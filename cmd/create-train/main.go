@@ -1,0 +1,37 @@
+// Command create-train trains the entropy predictor (Sec. 5.3, Table 9) on
+// frames generated from error-free episodes and reports the Fig. 14
+// accuracy metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/embodiedai/create/internal/entropy"
+)
+
+func main() {
+	frames := flag.Int("frames", 8000, "training frames to generate")
+	testFrames := flag.Int("test", 800, "held-out evaluation frames")
+	epochs := flag.Int("epochs", 12, "training epochs")
+	lr := flag.Float64("lr", 1.5e-3, "AdamW learning rate")
+	seed := flag.Int64("seed", 9, "random seed")
+	flag.Parse()
+
+	fmt.Printf("generating %d train / %d test frames...\n", *frames, *testFrames)
+	train := entropy.BuildDataset(*frames, *seed)
+	test := entropy.BuildDataset(*testFrames, *seed+99991)
+
+	p := entropy.NewPredictor(*seed + 7)
+	fmt.Printf("predictor: %d parameters (Table 9 architecture)\n", p.ParamCount())
+
+	cfg := entropy.TrainConfig{Epochs: *epochs, BatchSize: 16, LR: *lr, Seed: *seed}
+	losses := entropy.Train(p, train, cfg)
+	for i, l := range losses {
+		fmt.Printf("epoch %2d  train MSE %.4f\n", i+1, l)
+	}
+
+	m := entropy.Evaluate(p, test)
+	fmt.Printf("\nheld-out: MSE %.4f, R^2 %.4f (paper: MSE 9.96e-2, R^2 0.92 at 250k frames / 200 epochs)\n",
+		m.MSE, m.R2)
+}

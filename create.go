@@ -1,0 +1,75 @@
+// Package create is the public facade of the CREATE reproduction:
+// cross-layer resilience characterization and optimization for efficient yet
+// reliable embodied AI systems (Xie et al., ASPLOS 2026).
+//
+// A System pairs an LLM-planner/RL-controller embodied agent with a
+// voltage-scaled INT8 systolic accelerator. Three techniques co-optimize
+// reliability and efficiency:
+//
+//   - AD: circuit-level anomaly detection and clearance,
+//   - WR: model-level weight-rotation-enhanced planning,
+//   - VS: application-level autonomy-adaptive voltage scaling.
+//
+// Quickstart:
+//
+//	sys := create.NewSystem()
+//	baseline := sys.Run(create.TaskStone, create.Nominal())
+//	protected := sys.Run(create.TaskStone, create.Full(0.75))
+//	fmt.Printf("saving: %.1f%%\n", 100*create.Saving(baseline, protected))
+//
+// The full experiment suite behind every paper table and figure lives in
+// internal/experiments and is exposed through cmd/create-bench.
+package create
+
+import (
+	"github.com/embodiedai/create/internal/core"
+	"github.com/embodiedai/create/internal/policy"
+	"github.com/embodiedai/create/internal/world"
+)
+
+// System is a configured embodied AI deployment. See core.System.
+type System = core.System
+
+// Config selects protections and supply voltages. See core.Config.
+type Config = core.Config
+
+// Report summarizes a task evaluation. See core.Report.
+type Report = core.Report
+
+// Task identifies an evaluation task (Table 10).
+type Task = world.TaskName
+
+// The nine Minecraft evaluation tasks.
+const (
+	TaskWooden   = world.TaskWooden
+	TaskStone    = world.TaskStone
+	TaskCharcoal = world.TaskCharcoal
+	TaskChicken  = world.TaskChicken
+	TaskCoal     = world.TaskCoal
+	TaskIron     = world.TaskIron
+	TaskWool     = world.TaskWool
+	TaskSeed     = world.TaskSeed
+	TaskLog      = world.TaskLog
+)
+
+// Tasks lists all evaluation tasks.
+var Tasks = world.AllTasks
+
+// NewSystem builds the default JARVIS-1-shaped system.
+func NewSystem() *System { return core.NewSystem() }
+
+// Nominal is the unprotected nominal-voltage configuration.
+func Nominal() Config { return core.Nominal() }
+
+// Full is the complete CREATE stack (AD+WR+VS) with supply ceiling v.
+func Full(v float64) Config { return core.Full(v) }
+
+// Saving is the fractional energy saving between two reports.
+func Saving(from, to Report) float64 { return core.Saving(from, to) }
+
+// Policy is an entropy-to-voltage mapping for voltage scaling.
+type Policy = policy.Mapping
+
+// Policies returns the paper's six selected mappings (Fig. 21), ordered
+// conservative to aggressive; the default deployment uses Policy C.
+func Policies() []Policy { return policy.Selected }

@@ -1,0 +1,36 @@
+package create
+
+import "testing"
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := NewSystem()
+	cfg := Nominal()
+	cfg.Trials = 8
+	baseline := sys.Run(TaskWooden, cfg)
+	if baseline.SuccessRate < 0.8 {
+		t.Fatalf("baseline success %.2f", baseline.SuccessRate)
+	}
+
+	full := Full(0.78)
+	full.Trials = 8
+	protected := sys.Run(TaskWooden, full)
+	if protected.SuccessRate < 0.7 {
+		t.Fatalf("protected success %.2f", protected.SuccessRate)
+	}
+	if Saving(baseline, protected) <= 0 {
+		t.Fatal("no saving from the full stack")
+	}
+}
+
+func TestFacadeExportsTasksAndPolicies(t *testing.T) {
+	if len(Tasks) != 9 {
+		t.Fatalf("expected 9 tasks, got %d", len(Tasks))
+	}
+	ps := Policies()
+	if len(ps) != 6 {
+		t.Fatalf("expected 6 policies, got %d", len(ps))
+	}
+	if ps[2].Name != "C" {
+		t.Fatalf("default policy should be C, got %s", ps[2].Name)
+	}
+}

@@ -1,0 +1,65 @@
+// Adaptive controller: run autonomy-adaptive voltage scaling with each of
+// the six Fig. 21 policies and print the reliability-efficiency frontier,
+// plus a live entropy/voltage trace (Fig. 10 / Fig. 14(b)).
+package main
+
+import (
+	"fmt"
+	"math"
+
+	create "github.com/embodiedai/create"
+	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/world"
+)
+
+func main() {
+	sys := create.NewSystem()
+
+	fmt.Println("== policies A-F on stone, AD enabled (Fig 13d) ==")
+	for _, m := range create.Policies() {
+		p := m
+		cfg := create.Config{AD: true, VS: true, Policy: &p, Trials: 40}
+		r := sys.Run(create.TaskStone, cfg)
+		fmt.Printf("policy %s: success %5.1f%%  Veff %.3f  energy %6.2f J\n",
+			m.Name, r.SuccessRate*100, r.EffectiveVoltage, r.EnergyJ)
+	}
+
+	fmt.Println("\n== entropy/voltage trace (log task, policy C) ==")
+	m := create.Policies()[2]
+	cfg := agent.Config{
+		Task:        world.TaskLog,
+		Controller:  sys.Controller,
+		ControlProt: bridge.Protection{AD: true},
+		UniformBER:  agent.VoltageMode,
+		Timing:      sys.Timing,
+		VSPolicy:    m.Func(),
+		Trace:       true,
+		Seed:        7,
+	}
+	r := agent.Run(cfg)
+	for i := 0; i < len(r.EntropyTrace) && i < 160; i += 8 {
+		bar := ""
+		for j := 0.0; j < r.EntropyTrace[i]; j += 0.25 {
+			bar += "#"
+		}
+		fmt.Printf("step %4d  H=%.2f %-18s V=%.2f (%s)\n",
+			i, r.EntropyTrace[i], bar, r.VoltageTrace[i], r.PhaseTrace[i])
+	}
+	fmt.Printf("\nepisode: success=%v steps=%d effective voltage %.3f\n",
+		r.Success, r.Steps, effV(r.StepsAtMV))
+}
+
+func effV(stepsAtMV map[int]int) float64 {
+	var num float64
+	n := 0
+	for mv, c := range stepsAtMV {
+		v := float64(mv) / 1000
+		num += float64(c) * v * v
+		n += c
+	}
+	if n == 0 {
+		return 0.9
+	}
+	return math.Sqrt(num / float64(n))
+}

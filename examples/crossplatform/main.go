@@ -1,0 +1,27 @@
+// Cross-platform: apply AD+WR to the OpenVLA and RoboFlamingo planners and
+// AD+VS to the Octo and RT-1 controllers on their respective benchmarks
+// (Fig. 17), reporting per-task energy savings at preserved task quality.
+package main
+
+import (
+	"fmt"
+
+	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/platforms"
+)
+
+func main() {
+	env := experiments.NewEnv()
+	opt := experiments.Options{Trials: 40, Seed: 11}
+
+	pts := experiments.Fig17CrossPlatform(env, opt)
+	fmt.Println("platform              task       success   energy saving")
+	for _, p := range pts {
+		fmt.Printf("%-21s %-10s %5.1f%%    %5.1f%%\n",
+			p.Platform, p.Task, p.SuccessRate*100, p.Saving*100)
+	}
+	fmt.Printf("\nplanner average (AD+WR):    %5.1f%%  (paper: 50.7%%)\n",
+		experiments.AverageSavingByClass(pts, platforms.PlannerClass)*100)
+	fmt.Printf("controller average (AD+VS): %5.1f%%  (paper: 39.3%%)\n",
+		experiments.AverageSavingByClass(pts, platforms.ControllerClass)*100)
+}

@@ -1,0 +1,28 @@
+// Quickstart: evaluate one task under nominal operation and under the full
+// CREATE stack at an aggressive 0.75 V supply, and report the saving.
+package main
+
+import (
+	"fmt"
+
+	create "github.com/embodiedai/create"
+)
+
+func main() {
+	sys := create.NewSystem()
+
+	cfg := create.Nominal()
+	cfg.Trials = 40
+	baseline := sys.Run(create.TaskStone, cfg)
+
+	full := create.Full(0.75)
+	full.Trials = 40
+	protected := sys.Run(create.TaskStone, full)
+
+	fmt.Printf("task: %s\n", create.TaskStone)
+	fmt.Printf("nominal 0.90 V : success %5.1f%%  avg steps %6.0f  energy %6.2f J\n",
+		baseline.SuccessRate*100, baseline.AvgSteps, baseline.EnergyJ)
+	fmt.Printf("CREATE @0.75 V : success %5.1f%%  avg steps %6.0f  energy %6.2f J (Veff %.3f)\n",
+		protected.SuccessRate*100, protected.AvgSteps, protected.EnergyJ, protected.EffectiveVoltage)
+	fmt.Printf("computational energy saving: %.1f%%\n", create.Saving(baseline, protected)*100)
+}

@@ -1,0 +1,36 @@
+// Voltage sweep: reproduce the core reliability-efficiency trade-off of
+// Fig. 1 and Fig. 16 — sweep the supply from nominal down to 0.65 V for the
+// unprotected system and for the full CREATE stack, and find each task's
+// minimal quality-preserving voltage.
+package main
+
+import (
+	"fmt"
+
+	create "github.com/embodiedai/create"
+)
+
+func main() {
+	sys := create.NewSystem()
+
+	fmt.Println("== supply sweep on wooden (40 trials per point) ==")
+	fmt.Println("voltage   unprotected              CREATE (AD+WR+VS)")
+	for _, v := range []float64{0.90, 0.85, 0.80, 0.75, 0.70, 0.65} {
+		bare := create.Config{PlannerVoltage: v, ControllerVoltage: v, Trials: 40}
+		prot := create.Full(v)
+		prot.Trials = 40
+		rb := sys.Run(create.TaskWooden, bare)
+		rp := sys.Run(create.TaskWooden, prot)
+		fmt.Printf("%.2f V    %5.1f%% / %6.2f J      %5.1f%% / %6.2f J\n",
+			v, rb.SuccessRate*100, rb.EnergyJ, rp.SuccessRate*100, rp.EnergyJ)
+	}
+
+	fmt.Println("\n== minimal quality-preserving voltage per task (Fig 16b procedure) ==")
+	for _, task := range []create.Task{create.TaskWooden, create.TaskStone, create.TaskCoal} {
+		cfg := create.Full(0.90)
+		cfg.Trials = 32
+		vmin, nominal, best := sys.MinimalVoltage(task, cfg, 0.9)
+		fmt.Printf("%-8s Vmin %.3f  success %5.1f%%  saving %5.1f%%\n",
+			task, vmin, best.SuccessRate*100, create.Saving(nominal, best)*100)
+	}
+}

@@ -1,0 +1,306 @@
+// Package agent is the episode runtime: it orchestrates the planner and
+// controller in the JARVIS-1 execution paradigm (Sec. 2.1) — the planner
+// decomposes the task into subtasks, the controller grounds each subtask
+// into per-step actions, a subtask that stalls for ReplanLimit steps
+// re-invokes the planner, and the episode fails outright at StepLimit steps.
+//
+// Faults enter through two hooks driven by the bridge's fault models:
+// planner invocations corrupt plan subtasks, and controller steps corrupt
+// sampled actions. Voltage scaling (Sec. 5.3) modulates the controller's
+// corruption probability and is captured per step for energy accounting.
+package agent
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/planner"
+	"github.com/embodiedai/create/internal/timing"
+	"github.com/embodiedai/create/internal/world"
+)
+
+// Paper execution limits (Sec. 2.1): a subtask stalling for ReplanLimit
+// steps re-invokes the planner; the task fails at StepLimit total steps.
+const (
+	DefaultReplanLimit = 600
+	DefaultStepLimit   = 12000
+	DefaultVSInterval  = 5
+)
+
+// Config describes one episode setup.
+type Config struct {
+	Task world.TaskName
+
+	// Fault models (bridge-anchored). Nil models mean error-free execution.
+	Planner     *bridge.FaultModel
+	Controller  *bridge.FaultModel
+	PlannerProt bridge.Protection
+	ControlProt bridge.Protection
+
+	// Error condition. If UniformBER >= 0 both models see the uniform error
+	// model at that BER (Sec. 4 characterization). Set it to -1 (or use
+	// VoltageMode) for voltage-driven per-bit rates through Timing (Sec. 6
+	// evaluation).
+	UniformBER        float64
+	Timing            *timing.Model
+	PlannerVoltage    float64
+	ControllerVoltage float64
+
+	// VSPolicy, when set, maps predicted entropy to the controller voltage
+	// (autonomy-adaptive voltage scaling). It overrides ControllerVoltage.
+	VSPolicy func(predictedEntropy float64) float64
+	// VSInterval is the number of steps between voltage updates (Fig. 15).
+	VSInterval int
+	// PredictEntropy estimates the step's error-free entropy before
+	// execution. Nil uses NoisyOracle(0.34), matching the trained
+	// predictor's accuracy (R^2 ~ 0.92, Fig. 14).
+	PredictEntropy func(trueEntropy float64, rng *rand.Rand) float64
+
+	ReplanLimit, StepLimit int
+
+	// Overrides let alternative protection techniques (DMR, ThUnderVolt,
+	// ABFT — Sec. 6.10) supply their own corruption probabilities instead of
+	// the CREATE fault models.
+	ControllerCorruptOverride func(voltage float64) float64
+	PlannerCorruptOverride    func() float64
+
+	// Trace records per-step entropy/voltage/phase when set (Figs. 10, 14b).
+	Trace bool
+
+	Seed int64
+}
+
+// Result summarizes one episode.
+type Result struct {
+	Success bool
+	Steps   int
+
+	PlannerInvocations int
+	// PlannerVoltageMV is the planner's supply during the episode.
+	PlannerVoltageMV int
+	// StepsAtMV histograms controller steps by supply millivolts — the
+	// input to energy accounting.
+	StepsAtMV map[int]int
+
+	CorruptedSubtasks int
+	CorruptedActions  int
+
+	// Traces, populated when Config.Trace is set.
+	EntropyTrace   []float64
+	PredictedTrace []float64
+	VoltageTrace   []float64
+	PhaseTrace     []world.Phase
+}
+
+// NoisyOracle returns an entropy predictor with Gaussian error sigma — the
+// behavioural stand-in for the trained CNN+MLP predictor when episodes must
+// run fast. Sigma 0.34 reproduces the R^2 = 0.92 accuracy of Fig. 14.
+func NoisyOracle(sigma float64) func(float64, *rand.Rand) float64 {
+	return func(h float64, rng *rand.Rand) float64 {
+		p := h + rng.NormFloat64()*sigma
+		if p < 0 {
+			p = 0
+		}
+		return p
+	}
+}
+
+// Run executes one episode.
+func Run(cfg Config) Result {
+	if cfg.ReplanLimit == 0 {
+		cfg.ReplanLimit = DefaultReplanLimit
+	}
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = DefaultStepLimit
+	}
+	if cfg.VSInterval == 0 {
+		cfg.VSInterval = DefaultVSInterval
+	}
+	if cfg.PredictEntropy == nil {
+		cfg.PredictEntropy = NoisyOracle(0.34)
+	}
+	if cfg.PlannerVoltage == 0 {
+		cfg.PlannerVoltage = timing.VNominal
+	}
+	if cfg.ControllerVoltage == 0 {
+		cfg.ControllerVoltage = timing.VNominal
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	spec := world.Specs[cfg.Task]
+	w := world.New(spec.Biome, cfg.Seed+1)
+	expert := world.NewExpert(cfg.Seed + 2)
+
+	res := Result{StepsAtMV: make(map[int]int), PlannerVoltageMV: mv(cfg.PlannerVoltage)}
+
+	// Per-voltage controller corruption cache (the fault-model composition
+	// is deterministic per voltage).
+	qCache := map[int]float64{}
+	stepCorrupt := func(v float64) float64 {
+		key := mv(v)
+		if q, ok := qCache[key]; ok {
+			return q
+		}
+		q := cfg.controllerCorruptProb(v)
+		qCache[key] = q
+		return q
+	}
+
+	plan := invokePlanner(cfg, w, rng, &res)
+	goal := world.Subtask{}
+	stepsInSubtask := 0
+	voltage := cfg.ControllerVoltage
+	if cfg.VSPolicy != nil {
+		voltage = timing.VNominal // until the first prediction
+	}
+
+	for res.Steps < cfg.StepLimit {
+		// Finished plan but task incomplete (corrupted plan): replan.
+		for len(plan) > 0 && plan[0].Done(w) {
+			plan = plan[1:]
+			stepsInSubtask = 0
+		}
+		if w.Count(spec.Goal) >= spec.Count {
+			res.Success = true
+			return res
+		}
+		if len(plan) == 0 || stepsInSubtask >= cfg.ReplanLimit {
+			plan = invokePlanner(cfg, w, rng, &res)
+			stepsInSubtask = 0
+			if len(plan) == 0 {
+				// Planner believes everything is done but the goal is not
+				// reached; burn a step exploring to avoid a live-lock.
+				plan = []world.Subtask{{Kind: world.Nonsense}}
+			}
+		}
+		goal = plan[0]
+
+		dec := expert.Decide(w, goal)
+		entropy := dec.Entropy()
+
+		// Autonomy-adaptive voltage scaling: update every VSInterval steps
+		// from the pre-execution entropy prediction (Sec. 5.3).
+		if cfg.VSPolicy != nil && res.Steps%cfg.VSInterval == 0 {
+			voltage = cfg.VSPolicy(cfg.PredictEntropy(entropy, rng))
+		}
+
+		action := dec.Sample(rng)
+		q := stepCorrupt(voltage)
+		if q > 0 && rng.Float64() < q {
+			action = world.Action(rng.Intn(world.NumActions))
+			res.CorruptedActions++
+		}
+		w.Step(action, dec.Goal)
+
+		res.StepsAtMV[mv(voltage)]++
+		res.Steps++
+		stepsInSubtask++
+
+		if cfg.Trace {
+			res.EntropyTrace = append(res.EntropyTrace, entropy)
+			res.PredictedTrace = append(res.PredictedTrace, cfg.PredictEntropy(entropy, rng))
+			res.VoltageTrace = append(res.VoltageTrace, voltage)
+			res.PhaseTrace = append(res.PhaseTrace, dec.Phase)
+		}
+	}
+	return res
+}
+
+// VoltageMode is the UniformBER sentinel selecting voltage-driven error
+// rates.
+const VoltageMode = -1
+
+// controllerCorruptProb resolves the per-step action corruption probability
+// for the configured error condition at voltage v.
+func (cfg Config) controllerCorruptProb(v float64) float64 {
+	if cfg.ControllerCorruptOverride != nil {
+		return cfg.ControllerCorruptOverride(v)
+	}
+	if cfg.Controller == nil {
+		return 0
+	}
+	if cfg.UniformBER >= 0 {
+		return cfg.Controller.CorruptProbAtBER(cfg.UniformBER, cfg.ControlProt)
+	}
+	return cfg.Controller.CorruptProbAtVoltage(cfg.Timing, v, cfg.ControlProt)
+}
+
+// plannerSubtaskCorruptProb resolves the per-plan-line corruption
+// probability of a planner invocation (the planner fault model's unit is
+// one subtask line, ~planner.TokensPerSubtask decoded tokens).
+func (cfg Config) plannerSubtaskCorruptProb() float64 {
+	if cfg.PlannerCorruptOverride != nil {
+		return cfg.PlannerCorruptOverride()
+	}
+	if cfg.Planner == nil {
+		return 0
+	}
+	if cfg.UniformBER >= 0 {
+		return cfg.Planner.CorruptProbAtBER(cfg.UniformBER, cfg.PlannerProt)
+	}
+	return cfg.Planner.CorruptProbAtVoltage(cfg.Timing, cfg.PlannerVoltage, cfg.PlannerProt)
+}
+
+// invokePlanner produces a (possibly corrupted) plan for the current state.
+func invokePlanner(cfg Config, w *world.World, rng *rand.Rand, res *Result) []world.Subtask {
+	res.PlannerInvocations++
+	plan := planner.Golden(cfg.Task, w)
+	pSub := cfg.plannerSubtaskCorruptProb()
+	if pSub <= 0 {
+		return plan
+	}
+	corrupted := planner.Corrupt(plan, pSub, rng)
+	for i := range plan {
+		if corrupted[i] != plan[i] {
+			res.CorruptedSubtasks++
+		}
+	}
+	return corrupted
+}
+
+func mv(v float64) int { return int(math.Round(v * 1000)) }
+
+// Summary aggregates repeated episodes (the paper repeats every trial >= 100
+// times; Sec. 6.9 studies the repetition count).
+type Summary struct {
+	Trials      int
+	SuccessRate float64
+	// AvgSteps is the mean step count among successful trials (the paper's
+	// "average steps" metric).
+	AvgSteps float64
+	// AvgPlannerInvocations and StepsAtMV aggregate energy inputs across all
+	// trials (failed trials count at full execution, Sec. 6.1).
+	AvgPlannerInvocations float64
+	StepsAtMV             map[int]int
+	PlannerVoltageMV      int
+	Results               []Result
+}
+
+// RunMany executes trials episodes with distinct seeds and aggregates them.
+func RunMany(cfg Config, trials int) Summary {
+	s := Summary{Trials: trials, StepsAtMV: make(map[int]int)}
+	successes := 0
+	var stepSum, planSum float64
+	for t := 0; t < trials; t++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(t)*7919
+		r := Run(c)
+		s.Results = append(s.Results, r)
+		if r.Success {
+			successes++
+			stepSum += float64(r.Steps)
+		}
+		planSum += float64(r.PlannerInvocations)
+		for mv, n := range r.StepsAtMV {
+			s.StepsAtMV[mv] += n
+		}
+		s.PlannerVoltageMV = r.PlannerVoltageMV
+	}
+	s.SuccessRate = float64(successes) / float64(trials)
+	if successes > 0 {
+		s.AvgSteps = stepSum / float64(successes)
+	}
+	s.AvgPlannerInvocations = planSum / float64(trials)
+	return s
+}

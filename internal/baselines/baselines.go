@@ -1,0 +1,120 @@
+// Package baselines implements the prior-art protection techniques CREATE
+// is compared against in Sec. 6.10:
+//
+//   - DMR (dual modular redundancy, [39]): every computation runs twice and
+//     mismatches trigger a third run — near-perfect reliability at >= 2x
+//     compute energy plus recovery cost.
+//   - ThUnderVolt ([40]): per-PE timing-error detection with result
+//     bypassing (faulty partial results skipped, i.e. zeroed) — cheap, but
+//     the implied neuron pruning degrades accuracy as error rates grow.
+//   - ABFT ([49]): checksum-based GEMM error detection with recomputation —
+//     lightweight checksums, but recovery dominates once errors are
+//     frequent, which confines it above ~0.85 V.
+//
+// Each baseline supplies (a) corruption probabilities that plug into the
+// agent's override hooks and (b) an energy factor on compute energy.
+package baselines
+
+import (
+	"math"
+
+	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/timing"
+)
+
+// Baseline models one protection technique.
+type Baseline struct {
+	Name string
+	// PlannerKneeScale / ControllerKneeScale multiply the *unprotected*
+	// unit-level knees: how much more error density the technique tolerates
+	// before outputs corrupt.
+	PlannerKneeScale    float64
+	ControllerKneeScale float64
+	// PruneFloor is an additive corruption floor from the technique's own
+	// intervention (ThUnderVolt's zeroed results act like pruned neurons);
+	// it grows with the error rate and does not go away with voltage
+	// margin on the chain's own logic.
+	PruneFloor func(ber float64) float64
+	// EnergyFactor multiplies compute energy at supply voltage v, covering
+	// redundancy, checksums, and recomputation (recovery rates depend on the
+	// timing model's BER at v).
+	EnergyFactor func(tm *timing.Model, v float64) float64
+}
+
+// DMR is dual modular redundancy with triple-vote recovery.
+var DMR = Baseline{
+	Name:                "DMR",
+	PlannerKneeScale:    5e5, // detects and re-executes almost everything
+	ControllerKneeScale: 5e4,
+	EnergyFactor: func(tm *timing.Model, v float64) float64 {
+		// Two copies plus comparison, plus a third run for mismatching
+		// GEMM tiles: mismatch probability grows with BER.
+		recover := math.Min(1, tm.BER(v)*2e4)
+		return 2.05 + recover
+	},
+}
+
+// ThUnderVolt detects per-PE timing violations and bypasses (zeroes) faulty
+// results.
+var ThUnderVolt = Baseline{
+	Name:                "ThUnderVolt",
+	PlannerKneeScale:    80, // bypassing removes large errors, not the loss
+	ControllerKneeScale: 25,
+	PruneFloor: func(ber float64) float64 {
+		// Every detected error zeroes a partial result; dense zeroing acts
+		// like aggressive neuron pruning ("excessive neuron pruning...
+		// significantly degrades performance", Sec. 6.10).
+		return math.Min(0.45, ber*timing.AccBits*2e2)
+	},
+	EnergyFactor: func(tm *timing.Model, v float64) float64 {
+		return 1.06 // bypass circuits in every PE
+	},
+}
+
+// ABFT is checksum-based detection with tile recomputation.
+var ABFT = Baseline{
+	Name:                "ABFT",
+	PlannerKneeScale:    3e5, // checksums catch nearly everything...
+	ControllerKneeScale: 3e4,
+	EnergyFactor: func(tm *timing.Model, v float64) float64 {
+		// ...but every detected error recomputes its GEMM tile; the
+		// recovery fraction explodes below ~0.85 V (Sec. 6.10).
+		recover := math.Min(2.5, tm.BER(v)/1.2e-8)
+		return 1.08 + recover
+	},
+}
+
+// All lists the comparison baselines of Fig. 20.
+var All = []Baseline{DMR, ThUnderVolt, ABFT}
+
+// PlannerCorrupt returns the per-plan-line corruption probability under the
+// baseline at supply voltage v.
+func (b Baseline) PlannerCorrupt(tm *timing.Model, v float64) float64 {
+	knee := bridge.PlannerKneeFor(bridge.Protection{}) * b.PlannerKneeScale
+	p := corrupt(tm.BER(v), knee)
+	if b.PruneFloor != nil {
+		p = combine(p, b.PruneFloor(tm.BER(v)))
+	}
+	return p
+}
+
+// ControllerCorrupt returns the per-step action corruption probability
+// under the baseline at supply voltage v.
+func (b Baseline) ControllerCorrupt(tm *timing.Model, v float64) float64 {
+	knee := bridge.ControllerKneeFor(bridge.Protection{}) * b.ControllerKneeScale
+	p := corrupt(tm.BER(v), knee)
+	if b.PruneFloor != nil {
+		p = combine(p, b.PruneFloor(tm.BER(v)))
+	}
+	return p
+}
+
+func corrupt(ber, knee float64) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	lambda := bridge.KneeLambda * math.Pow(ber/knee, bridge.SublinearExponent)
+	return bridge.CorruptProb(lambda)
+}
+
+func combine(p, q float64) float64 { return 1 - (1-p)*(1-q) }

@@ -1,0 +1,77 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/embodiedai/create/internal/timing"
+)
+
+func TestDMRReliableButExpensive(t *testing.T) {
+	tm := timing.Default()
+	// Reliable across the whole range...
+	for _, v := range []float64{0.9, 0.8, 0.7, 0.65} {
+		if p := DMR.ControllerCorrupt(tm, v); p > 0.05 {
+			t.Fatalf("DMR should stay reliable at %vV, corrupt=%v", v, p)
+		}
+	}
+	// ...but always at >= 2x compute energy.
+	for _, v := range []float64{0.9, 0.8, 0.7} {
+		if f := DMR.EnergyFactor(tm, v); f < 2.0 {
+			t.Fatalf("DMR energy factor %v at %vV", f, v)
+		}
+	}
+	// Recovery grows at low voltage.
+	if DMR.EnergyFactor(tm, 0.62) <= DMR.EnergyFactor(tm, 0.88) {
+		t.Fatal("DMR recovery cost should grow with error rate")
+	}
+}
+
+func TestThUnderVoltPruningFloor(t *testing.T) {
+	tm := timing.Default()
+	// Cheap...
+	if f := ThUnderVolt.EnergyFactor(tm, 0.8); f > 1.15 {
+		t.Fatalf("ThUnderVolt should be cheap, factor %v", f)
+	}
+	// ...but quality degrades at low voltage through the pruning floor.
+	lo := ThUnderVolt.ControllerCorrupt(tm, 0.65)
+	hi := ThUnderVolt.ControllerCorrupt(tm, 0.88)
+	if lo <= hi {
+		t.Fatal("pruning corruption should grow as voltage drops")
+	}
+	if lo < 0.1 {
+		t.Fatalf("deep underscaling should hurt ThUnderVolt: %v", lo)
+	}
+}
+
+func TestABFTConfinedAbove085(t *testing.T) {
+	tm := timing.Default()
+	// Near 0.88 V the checksum overhead is small.
+	if f := ABFT.EnergyFactor(tm, 0.88); f > 1.25 {
+		t.Fatalf("ABFT at 0.88V should be cheap: %v", f)
+	}
+	// Below 0.85 V recovery explodes (Sec. 6.10).
+	if f := ABFT.EnergyFactor(tm, 0.78); f < 1.5 {
+		t.Fatalf("ABFT at 0.78V should pay recovery: %v", f)
+	}
+	// Reliability itself stays high (errors are corrected).
+	if p := ABFT.ControllerCorrupt(tm, 0.7); p > 0.1 {
+		t.Fatalf("ABFT corruption %v", p)
+	}
+}
+
+func TestBaselinesMonotoneInVoltage(t *testing.T) {
+	tm := timing.Default()
+	for _, b := range All {
+		prev := -1.0
+		for _, v := range []float64{0.88, 0.82, 0.76, 0.70, 0.64} {
+			p := b.PlannerCorrupt(tm, v)
+			if p < prev {
+				t.Fatalf("%s planner corruption not monotone at %v", b.Name, v)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("%s probability out of range: %v", b.Name, p)
+			}
+			prev = p
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package bridge
+
+import (
+	"math"
+	"testing"
+
+	"github.com/embodiedai/create/internal/model"
+	"github.com/embodiedai/create/internal/timing"
+)
+
+// flatSeverity returns a synthetic severity table so fault-model tests don't
+// pay for miniature measurements.
+func flatSeverity(highBit float64) Severity {
+	var s Severity
+	s.BoundBit = 14
+	s.Width = 64
+	for b := range s.Bits {
+		if b >= s.BoundBit {
+			s.Bits[b] = highBit
+		} else {
+			s.Bits[b] = highBit / 100
+		}
+	}
+	return s
+}
+
+func fastPlannerModel() *FaultModel {
+	m := NewPlannerFaultModel(JARVIS1PlannerShape)
+	m.SetSeverityFunc(func(Protection) Severity { return flatSeverity(0.1) })
+	return m
+}
+
+func fastControllerModel() *FaultModel {
+	m := NewControllerFaultModel(JARVIS1ControllerShape)
+	m.SetSeverityFunc(func(Protection) Severity { return flatSeverity(0.1) })
+	return m
+}
+
+func TestKneeAnchors(t *testing.T) {
+	pm, cm := fastPlannerModel(), fastControllerModel()
+	cases := []struct {
+		name string
+		m    *FaultModel
+		prot Protection
+		want float64
+	}{
+		{"planner bare", pm, Protection{}, PlannerKneeBER * PlannerTaskAbsorption},
+		{"planner AD", pm, Protection{AD: true}, 2e-5 * PlannerTaskAbsorption},
+		{"planner WR", pm, Protection{WR: true}, 1.2e-5 * PlannerTaskAbsorption},
+		{"planner AD+WR", pm, Protection{AD: true, WR: true}, 1.5e-2 * PlannerTaskAbsorption},
+		{"controller bare", cm, Protection{}, ControllerKneeBER * ControllerTaskAbsorption},
+		{"controller AD", cm, Protection{AD: true}, 8e-3 * ControllerTaskAbsorption},
+	}
+	for _, c := range cases {
+		got := c.m.KneeBER(c.prot)
+		if got < c.want/1.3 || got > c.want*1.3 {
+			t.Errorf("%s knee = %.3g, want ~%.3g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKneeOrdering(t *testing.T) {
+	// Paper ordering: bare << WR < AD << AD+WR for the planner.
+	pm := fastPlannerModel()
+	bare := pm.KneeBER(Protection{})
+	wr := pm.KneeBER(Protection{WR: true})
+	ad := pm.KneeBER(Protection{AD: true})
+	both := pm.KneeBER(Protection{AD: true, WR: true})
+	if !(bare < wr && wr < ad && ad < both) {
+		t.Fatalf("knee ordering violated: bare=%.3g wr=%.3g ad=%.3g both=%.3g", bare, wr, ad, both)
+	}
+	// Controller is far more resilient than the planner at every config.
+	cm := fastControllerModel()
+	if cm.KneeBER(Protection{}) <= pm.KneeBER(Protection{}) {
+		t.Fatal("controller must tolerate higher BER than planner")
+	}
+}
+
+func TestCorruptProbMonotoneInBER(t *testing.T) {
+	pm := fastPlannerModel()
+	prev := -1.0
+	for _, ber := range []float64{1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5} {
+		p := pm.CorruptProbAtBER(ber, Protection{})
+		if p < prev {
+			t.Fatalf("corruption prob not monotone at %v", ber)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		prev = p
+	}
+}
+
+func TestCorruptProbAtVoltageMonotone(t *testing.T) {
+	tm := timing.Default()
+	cm := fastControllerModel()
+	prev := 2.0
+	for _, v := range []float64{0.62, 0.68, 0.74, 0.80, 0.86, 0.90} {
+		p := cm.CorruptProbAtVoltage(tm, v, Protection{AD: true})
+		if p > prev {
+			t.Fatalf("higher voltage must not corrupt more: p(%v)=%v prev=%v", v, p, prev)
+		}
+		prev = p
+	}
+	if p := cm.CorruptProbAtVoltage(tm, timing.VNominal, Protection{AD: true}); p > 1e-4 {
+		t.Fatalf("nominal voltage should be near error free, p=%v", p)
+	}
+}
+
+func TestOpScaleShiftsKnee(t *testing.T) {
+	// A platform with double the per-token compute knees at half the BER.
+	heavy := Shape{Name: "heavy", OutputsPerUnit: JARVIS1PlannerShape.OutputsPerUnit * 2, Width: 4096}
+	m := NewPlannerFaultModel(heavy)
+	m.SetSeverityFunc(func(Protection) Severity { return flatSeverity(0.1) })
+	got := m.KneeBER(Protection{})
+	want := PlannerKneeBER * PlannerTaskAbsorption / 2
+	if got < want/1.3 || got > want*1.3 {
+		t.Fatalf("heavy platform knee = %.3g, want ~%.3g", got, want)
+	}
+}
+
+func TestLambdaUniformFastPathMatchesWeighted(t *testing.T) {
+	m := fastPlannerModel()
+	ber := 3e-7
+	viaUniform := m.Lambda(UniformRates(ber), Protection{})
+	// Build an "almost uniform" rate vector that dodges the fast path but
+	// should numerically agree.
+	rates := UniformRates(ber)
+	rates[0] *= 1.0000001
+	viaWeighted := m.Lambda(rates, Protection{})
+	if math.Abs(viaUniform-viaWeighted)/viaUniform > 1e-3 {
+		t.Fatalf("fast path %v != weighted %v", viaUniform, viaWeighted)
+	}
+}
+
+func TestHighBitsWeighMoreThanLowBits(t *testing.T) {
+	// With the measured-severity weighting, concentrating a given error
+	// budget on high bits must corrupt more than concentrating it on low
+	// bits (Fig. 4: high-bit flips are the damaging ones).
+	m := fastPlannerModel()
+	high := make([]float64, timing.AccBits)
+	low := make([]float64, timing.AccBits)
+	for b := 0; b < 4; b++ {
+		high[timing.AccBits-1-b] = 1e-6
+		low[b] = 1e-6
+	}
+	if m.Lambda(high, Protection{}) <= m.Lambda(low, Protection{}) {
+		t.Fatal("high-bit errors must dominate severity weighting")
+	}
+}
+
+func TestCorruptProbHelpers(t *testing.T) {
+	if CorruptProb(0) != 0 || CorruptProb(-1) != 0 {
+		t.Fatal("zero lambda must give zero probability")
+	}
+	if p := CorruptProb(1e9); p < 0.999999 {
+		t.Fatalf("huge lambda should saturate, got %v", p)
+	}
+	if NoiseCorruptProb(0) != 0 {
+		t.Fatal("zero variance must give zero noise corruption")
+	}
+	if p := NoiseCorruptProb(1e6); p < 0.99 {
+		t.Fatalf("huge noise should saturate, got %v", p)
+	}
+	small := NoiseCorruptProb(1e-4)
+	big := NoiseCorruptProb(1.0)
+	if small >= big {
+		t.Fatal("noise corruption must grow with variance")
+	}
+}
+
+func TestMeasuredSeverityStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miniature severity measurement is slow")
+	}
+	opt := DefaultMeasureOptions()
+	opt.TrialsPerBit = 6
+	cfg := model.DefaultPlannerConfig()
+	cfg.Layers = 2
+
+	bare := MeasurePlannerSeverity(cfg, Protection{}, opt)
+	ad := MeasurePlannerSeverity(cfg, Protection{AD: true}, opt)
+
+	sumHigh := func(s Severity) float64 {
+		var x float64
+		for b := s.BoundBit; b < timing.AccBits; b++ {
+			x += s.Bits[b]
+		}
+		return x
+	}
+	sumLow := func(s Severity) float64 {
+		var x float64
+		for b := 0; b < s.BoundBit; b++ {
+			x += s.Bits[b]
+		}
+		return x
+	}
+	if sumHigh(bare) <= sumLow(bare) {
+		t.Fatalf("bare planner: high bits must dominate (high=%v low=%v)", sumHigh(bare), sumLow(bare))
+	}
+	if sumHigh(ad) >= sumHigh(bare) {
+		t.Fatalf("AD must reduce high-bit severity: %v vs %v", sumHigh(ad), sumHigh(bare))
+	}
+	if !ad.Cleared || bare.Cleared {
+		t.Fatal("Cleared flag must track AD")
+	}
+}
+
+func TestMeasuredControllerMoreRobustThanPlanner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miniature severity measurement is slow")
+	}
+	opt := DefaultMeasureOptions()
+	opt.TrialsPerBit = 6
+	pcfg := model.DefaultPlannerConfig()
+	pcfg.Layers = 2
+	ccfg := model.DefaultControllerConfig()
+	ccfg.Layers = 2
+
+	p := MeasurePlannerSeverity(pcfg, Protection{}, opt)
+	c := MeasureControllerSeverity(ccfg, Protection{}, opt)
+	var ps, cs float64
+	for b := 0; b < timing.AccBits; b++ {
+		ps += p.Bits[b]
+		cs += c.Bits[b]
+	}
+	// Insight 1 at the per-fault level: the outlier-bearing planner is at
+	// least as fault sensitive as the controller.
+	if ps < cs {
+		t.Fatalf("planner per-fault severity (%v) should be >= controller (%v)", ps, cs)
+	}
+}

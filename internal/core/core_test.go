@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/embodiedai/create/internal/timing"
+	"github.com/embodiedai/create/internal/world"
+)
+
+func TestNominalRunSucceeds(t *testing.T) {
+	sys := NewSystem()
+	cfg := Nominal()
+	cfg.Trials = 12
+	r := sys.Run(world.TaskStone, cfg)
+	if r.SuccessRate < 0.9 {
+		t.Fatalf("nominal success %.2f", r.SuccessRate)
+	}
+	if r.EnergyJ <= 0 || r.AvgSteps <= 0 {
+		t.Fatalf("missing metrics: %+v", r)
+	}
+	if r.EffectiveVoltage != timing.VNominal {
+		t.Fatalf("nominal effective voltage %v", r.EffectiveVoltage)
+	}
+}
+
+func TestUnprotectedCollapsesAtLowVoltage(t *testing.T) {
+	sys := NewSystem()
+	cfg := Config{PlannerVoltage: 0.75, ControllerVoltage: 0.75, Trials: 12}
+	r := sys.Run(world.TaskStone, cfg)
+	if r.SuccessRate > 0.2 {
+		t.Fatalf("unprotected at 0.75V should collapse: %.2f", r.SuccessRate)
+	}
+}
+
+func TestFullStackSurvivesLowVoltageAndSaves(t *testing.T) {
+	sys := NewSystem()
+	nom := Nominal()
+	nom.Trials = 12
+	baseline := sys.Run(world.TaskStone, nom)
+
+	full := Full(0.75)
+	full.Trials = 12
+	protected := sys.Run(world.TaskStone, full)
+	if protected.SuccessRate < baseline.SuccessRate-0.1 {
+		t.Fatalf("CREATE at 0.75V lost quality: %.2f vs %.2f",
+			protected.SuccessRate, baseline.SuccessRate)
+	}
+	if s := Saving(baseline, protected); s < 0.1 {
+		t.Fatalf("CREATE saving only %.1f%%", s*100)
+	}
+	if protected.EffectiveVoltage >= baseline.EffectiveVoltage {
+		t.Fatal("effective voltage did not drop")
+	}
+}
+
+func TestMinimalVoltageSearch(t *testing.T) {
+	sys := NewSystem()
+	cfg := Full(timing.VNominal)
+	cfg.Trials = 10
+	vmin, nominal, best := sys.MinimalVoltage(world.TaskCoal, cfg, 0.9)
+	if vmin >= timing.VNominal {
+		t.Fatalf("search found no headroom: vmin=%v", vmin)
+	}
+	if best.EnergyJ > nominal.EnergyJ {
+		t.Fatal("optimum must not exceed nominal energy")
+	}
+	if best.SuccessRate < nominal.SuccessRate*0.9-1e-9 {
+		t.Fatal("optimum violated the quality floor")
+	}
+}
+
+func TestLDOQuantizationApplied(t *testing.T) {
+	sys := NewSystem()
+	cfg := Config{PlannerVoltage: 0.8431, ControllerVoltage: 0.8431, Trials: 4}
+	r := sys.Run(world.TaskSeed, cfg)
+	// The effective voltage must be on the 10 mV LDO grid.
+	mv := int(r.EffectiveVoltage*1000 + 0.5)
+	if mv%10 != 0 {
+		t.Fatalf("voltage not on LDO grid: %v", r.EffectiveVoltage)
+	}
+}

@@ -1,0 +1,129 @@
+// Package entropy implements the pre-execution entropy predictor of
+// autonomy-adaptive voltage scaling (Sec. 5.3, Fig. 11(a), Table 9): a small
+// CNN over the observed image fused with an MLP over the subtask prompt
+// embedding, trained with MSE + AdamW to estimate the controller's
+// error-free action-logit entropy before the step executes.
+package entropy
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/nn"
+	"github.com/embodiedai/create/internal/world"
+)
+
+// PromptDim is the subtask prompt-embedding width (Table 9: Linear in=512).
+const PromptDim = 512
+
+// PromptEmbedding returns the frozen 512-d embedding of a subtask — a
+// deterministic pseudo-random unit-scale vector per (kind, item), standing
+// in for the language model's prompt embedding.
+func PromptEmbedding(st world.Subtask) []float32 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(st.Kind), byte(st.Item)})
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	e := make([]float32, PromptDim)
+	for i := range e {
+		e[i] = float32(rng.NormFloat64() * 0.5)
+	}
+	return e
+}
+
+// Predictor is the Table 9 network: three stride-3 convolutions with
+// pooling over the 3x64x64 view, a prompt MLP, and a fusion MLP emitting a
+// scalar entropy estimate.
+type Predictor struct {
+	conv1, conv2, conv3 *nn.Conv2d
+	relu1, relu2, relu3 *nn.ReLUVol
+	pool1, pool2        *nn.MaxPool2
+	gap                 *nn.GlobalAvgPool
+
+	promptFC   *nn.Dense
+	promptReLU *nn.ReLUVec
+	dropout    *nn.Dropout
+
+	fuse1    *nn.Dense
+	fuseReLU *nn.ReLUVec
+	fuse2    *nn.Dense
+
+	// caches for backward
+	imgFeat, promptFeat []float32
+}
+
+// NewPredictor builds the predictor with seeded initialization.
+func NewPredictor(seed int64) *Predictor {
+	rng := rand.New(rand.NewSource(seed))
+	return &Predictor{
+		conv1: nn.NewConv2d(3, 16, 3, 3, 1, rng),
+		conv2: nn.NewConv2d(16, 32, 3, 3, 1, rng),
+		conv3: nn.NewConv2d(32, 64, 3, 3, 1, rng),
+		relu1: &nn.ReLUVol{}, relu2: &nn.ReLUVol{}, relu3: &nn.ReLUVol{},
+		pool1: &nn.MaxPool2{}, pool2: &nn.MaxPool2{},
+		gap:        &nn.GlobalAvgPool{},
+		promptFC:   nn.NewDense(PromptDim, 64, rng),
+		promptReLU: &nn.ReLUVec{},
+		dropout:    &nn.Dropout{P: 0.1},
+		fuse1:      nn.NewDense(128, 128, rng),
+		fuseReLU:   &nn.ReLUVec{},
+		fuse2:      nn.NewDense(128, 1, rng),
+	}
+}
+
+// Params returns all trainable parameters.
+func (p *Predictor) Params() []*nn.Param {
+	return []*nn.Param{
+		p.conv1.W, p.conv1.B, p.conv2.W, p.conv2.B, p.conv3.W, p.conv3.B,
+		p.promptFC.W, p.promptFC.B,
+		p.fuse1.W, p.fuse1.B, p.fuse2.W, p.fuse2.B,
+	}
+}
+
+// ParamCount returns the number of trainable scalars (Table 4 lists 55 k).
+func (p *Predictor) ParamCount() int {
+	n := 0
+	for _, pr := range p.Params() {
+		n += len(pr.Val)
+	}
+	return n
+}
+
+// Forward predicts the entropy for an observation image and prompt
+// embedding. Set train to enable dropout.
+func (p *Predictor) Forward(img *nn.Vol, prompt []float32, train bool, rng *rand.Rand) float32 {
+	x := p.relu1.Forward(p.conv1.Forward(img))
+	x = p.pool1.Forward(x)
+	x = p.relu2.Forward(p.conv2.Forward(x))
+	x = p.pool2.Forward(x)
+	x = p.relu3.Forward(p.conv3.Forward(x))
+	p.imgFeat = p.gap.Forward(x)
+
+	p.dropout.Train = train
+	pf := p.promptReLU.Forward(p.promptFC.Forward(prompt))
+	p.promptFeat = p.dropout.Forward(pf, rng)
+
+	fused := make([]float32, 0, 128)
+	fused = append(fused, p.imgFeat...)
+	fused = append(fused, p.promptFeat...)
+	h := p.fuseReLU.Forward(p.fuse1.Forward(fused))
+	return p.fuse2.Forward(h)[0]
+}
+
+// Backward propagates the scalar output gradient through the whole network,
+// accumulating parameter gradients.
+func (p *Predictor) Backward(gradOut float32) {
+	g := p.fuse2.Backward([]float32{gradOut})
+	g = p.fuse1.Backward(p.fuseReLU.Backward(g))
+
+	gImg, gPrompt := g[:64], g[64:]
+
+	gv := p.gap.Backward(gImg)
+	gv = p.conv3.Backward(p.relu3.Backward(gv))
+	gv = p.pool2.Backward(gv)
+	gv = p.conv2.Backward(p.relu2.Backward(gv))
+	gv = p.pool1.Backward(gv)
+	p.conv1.Backward(p.relu1.Backward(gv))
+
+	gp := p.dropout.Backward(gPrompt)
+	p.promptFC.Backward(p.promptReLU.Backward(gp))
+}

@@ -1,0 +1,103 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/embodiedai/create/internal/world"
+)
+
+func TestPromptEmbeddingDeterministicAndDistinct(t *testing.T) {
+	a := PromptEmbedding(world.Subtask{Kind: world.MineLog, Item: world.Log})
+	b := PromptEmbedding(world.Subtask{Kind: world.MineLog, Item: world.Log})
+	c := PromptEmbedding(world.Subtask{Kind: world.HuntChicken, Item: world.RawChicken})
+	if len(a) != PromptDim {
+		t.Fatalf("embedding dim %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same subtask must embed identically")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different subtasks must embed differently")
+	}
+}
+
+func TestPredictorForwardShape(t *testing.T) {
+	p := NewPredictor(1)
+	w := world.New(world.Plains, 2)
+	img := w.RenderView()
+	prompt := PromptEmbedding(world.Subtask{Kind: world.MineLog, Item: world.Log})
+	out := p.Forward(img, prompt, false, nil)
+	if math.IsNaN(float64(out)) || math.IsInf(float64(out), 0) {
+		t.Fatal("non-finite prediction")
+	}
+	// Table 4 sizes the predictor at ~55k parameters; ours lands in the
+	// same class.
+	if n := p.ParamCount(); n < 40000 || n > 110000 {
+		t.Fatalf("parameter count %d out of Table 4's class", n)
+	}
+}
+
+func TestBuildDatasetCoversPhases(t *testing.T) {
+	samples := BuildDataset(300, 3)
+	if len(samples) != 300 {
+		t.Fatalf("dataset size %d", len(samples))
+	}
+	low, high := 0, 0
+	for _, s := range samples {
+		if s.Image.C != 3 || s.Image.H != world.ViewSize {
+			t.Fatal("bad sample image")
+		}
+		if s.Entropy < 0 || float64(s.Entropy) > math.Log(float64(world.NumActions))+1e-3 {
+			t.Fatalf("entropy %v out of range", s.Entropy)
+		}
+		if s.Entropy < 1 {
+			low++
+		}
+		if s.Entropy > 2.5 {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Fatalf("dataset must cover critical and exploratory frames: low=%d high=%d", low, high)
+	}
+}
+
+func TestTrainingReducesLossAndLearnsSignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	train := BuildDataset(900, 11)
+	test := BuildDataset(150, 917)
+	p := NewPredictor(5)
+	before := Evaluate(p, test)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 5
+	losses := Train(p, train, cfg)
+	after := Evaluate(p, test)
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("training loss did not drop: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+	if after.MSE >= before.MSE {
+		t.Fatalf("held-out MSE did not improve: %v -> %v", before.MSE, after.MSE)
+	}
+}
+
+func TestEvaluateAgainstOracleBaseline(t *testing.T) {
+	// An untrained predictor must have R2 <= 0 against real targets.
+	test := BuildDataset(120, 23)
+	p := NewPredictor(7)
+	m := Evaluate(p, test)
+	if m.R2 > 0.2 {
+		t.Fatalf("untrained predictor suspiciously accurate: R2=%v", m.R2)
+	}
+}

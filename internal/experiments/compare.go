@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/baselines"
+	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/policy"
+	"github.com/embodiedai/create/internal/world"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 20: comparison with existing techniques.
+
+// ComparisonPoint is one (technique, voltage) sample of the Sec. 6.10
+// comparison.
+type ComparisonPoint struct {
+	Technique   string
+	Task        world.TaskName
+	Voltage     float64
+	SuccessRate float64
+	AvgSteps    float64
+	EnergyJ     float64
+}
+
+// Fig20Voltages is the comparison's supply grid.
+var Fig20Voltages = []float64{0.90, 0.85, 0.80, 0.75, 0.70, 0.65}
+
+// Fig20Baselines sweeps supply voltage for CREATE and the three baselines
+// on wooden and stone: DMR stays reliable but pays >= 2x energy;
+// ThUnderVolt's pruning degrades quality at low voltage; ABFT's recovery
+// overhead explodes below ~0.85 V; CREATE alone keeps both quality and
+// energy (Sec. 6.10: 35.0 % / 33.8 % savings over the best baseline).
+func Fig20Baselines(e *Env, opt Options) []ComparisonPoint {
+	var out []ComparisonPoint
+	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
+		for _, v := range Fig20Voltages {
+			out = append(out, e.createPoint(task, v, opt))
+			for _, b := range baselines.All {
+				out = append(out, e.baselinePoint(task, b, v, opt))
+			}
+		}
+	}
+	return out
+}
+
+// createPoint runs the full CREATE stack (AD+WR planner, AD+VS controller
+// with the supply as the VS ceiling).
+func (e *Env) createPoint(task world.TaskName, v float64, opt Options) ComparisonPoint {
+	cfg := agent.Config{
+		Planner:     e.Planner,
+		Controller:  e.Controller,
+		PlannerProt: bridge.Protection{AD: true, WR: true},
+		ControlProt: bridge.Protection{AD: true},
+		UniformBER:  agent.VoltageMode,
+		Timing:      e.Timing,
+	}
+	cfg.PlannerVoltage = v
+	base := policy.Default
+	cfg.VSPolicy = func(h float64) float64 {
+		pv := base.Voltage(h)
+		if pv > v {
+			pv = v
+		}
+		return pv
+	}
+	s := e.runTask(task, cfg, opt)
+	return ComparisonPoint{
+		Technique: "CREATE", Task: task, Voltage: v,
+		SuccessRate: s.SuccessRate, AvgSteps: s.AvgSteps,
+		EnergyJ: e.EpisodeEnergy(s, true),
+	}
+}
+
+// baselinePoint runs one prior-art technique at a fixed supply via the
+// agent's override hooks, applying its energy factor.
+func (e *Env) baselinePoint(task world.TaskName, b baselines.Baseline, v float64, opt Options) ComparisonPoint {
+	cfg := agent.Config{
+		UniformBER:        agent.VoltageMode,
+		Timing:            e.Timing,
+		PlannerVoltage:    v,
+		ControllerVoltage: v,
+		PlannerCorruptOverride: func() float64 {
+			return b.PlannerCorrupt(e.Timing, v)
+		},
+		ControllerCorruptOverride: func(cv float64) float64 {
+			return b.ControllerCorrupt(e.Timing, cv)
+		},
+	}
+	s := e.runTask(task, cfg, opt)
+	energy := e.EpisodeEnergy(s, false) * b.EnergyFactor(e.Timing, v)
+	return ComparisonPoint{
+		Technique: b.Name, Task: task, Voltage: v,
+		SuccessRate: s.SuccessRate, AvgSteps: s.AvgSteps, EnergyJ: energy,
+	}
+}
+
+// BestEnergyAtQuality returns, for one technique, the lowest per-task energy
+// among voltage points preserving success >= floor.
+func BestEnergyAtQuality(pts []ComparisonPoint, technique string, task world.TaskName, floor float64) (float64, bool) {
+	best := 0.0
+	found := false
+	for _, p := range pts {
+		if p.Technique != technique || p.Task != task || p.SuccessRate < floor {
+			continue
+		}
+		if !found || p.EnergyJ < best {
+			best, found = p.EnergyJ, true
+		}
+	}
+	return best, found
+}
+
+// ---------------------------------------------------------------------------
+// Figure 21 / policy search (Sec. 6.5).
+
+// Fig21Policies returns the selected mappings with their level structure.
+func Fig21Policies() []policy.Mapping { return policy.Selected }
+
+// PolicySearch scores candidate mappings on a task (success rate and
+// effective voltage) and returns the scored set — the search that selected
+// policies A-F from 100 candidates.
+func PolicySearch(e *Env, opt Options, candidates []policy.Mapping, task world.TaskName) []policy.Scored {
+	var scored []policy.Scored
+	for _, m := range candidates {
+		cfg := agent.Config{
+			Controller:  e.Controller,
+			ControlProt: bridge.Protection{AD: true},
+			UniformBER:  agent.VoltageMode,
+			Timing:      e.Timing,
+			VSPolicy:    m.Func(),
+		}
+		s := e.runTask(task, cfg, opt)
+		scored = append(scored, policy.Scored{
+			Mapping:          m,
+			SuccessRate:      s.SuccessRate,
+			EffectiveVoltage: e.Power.EffectiveVoltage(s.StepsAtMV),
+		})
+	}
+	return scored
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/platforms"
+	"github.com/embodiedai/create/internal/policy"
+	"github.com/embodiedai/create/internal/timing"
+	"github.com/embodiedai/create/internal/world"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 17: cross-platform generality.
+//
+// Planner savings (AD+WR) are evaluated on JARVIS-1 (Minecraft episodes),
+// OpenVLA (LIBERO) and RoboFlamingo (CALVIN); controller savings (AD+VS) on
+// JARVIS-1, Octo and RT-1 (OXE). LIBERO/CALVIN/OXE episodes are abstract
+// phase/step models (see platforms.CrossTask) driven by the same fault
+// models; what transfers is the workload shape from Table 4.
+
+// CrossPoint is one (platform, task) energy-saving sample.
+type CrossPoint struct {
+	Platform    string
+	Task        string
+	Class       platforms.Class
+	SuccessRate float64
+	// Saving is the computational energy saving at the lowest
+	// quality-preserving voltage versus nominal operation.
+	Saving float64
+}
+
+// Fig17CrossPlatform evaluates energy savings across all platforms and
+// tasks (Fig. 17: planners average ~50 % with AD+WR, controllers ~40 % with
+// AD+VS).
+func Fig17CrossPlatform(e *Env, opt Options) []CrossPoint {
+	var out []CrossPoint
+
+	// JARVIS-1 rows reuse the Minecraft pipeline.
+	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
+		out = append(out, e.jarvisPlannerPoint(task, opt))
+	}
+	for _, task := range []world.TaskName{world.TaskCharcoal, world.TaskChicken} {
+		out = append(out, e.jarvisControllerPoint(task, opt))
+	}
+
+	// Cross-platform rows run the abstract manipulation episodes.
+	for _, pair := range []struct {
+		spec  platforms.Spec
+		tasks []platforms.CrossTask
+	}{
+		{platforms.OpenVLA, platforms.LIBEROTasks},
+		{platforms.RoboFlamingo, platforms.CALVINTasks},
+	} {
+		fm := pair.spec.FaultModel()
+		for _, task := range pair.tasks {
+			out = append(out, crossPlannerPoint(e, fm, pair.spec, task, opt))
+		}
+	}
+	for _, pair := range []struct {
+		spec  platforms.Spec
+		tasks []platforms.CrossTask
+	}{
+		{platforms.Octo, platforms.OXEControllerTasks[:3]},
+		{platforms.RT1, platforms.OXEControllerTasks[3:]},
+	} {
+		fm := pair.spec.FaultModel()
+		for _, task := range pair.tasks {
+			out = append(out, crossControllerPoint(e, fm, pair.spec, task, opt))
+		}
+	}
+	return out
+}
+
+// jarvisPlannerPoint finds the planner's minimal AD+WR voltage on a
+// Minecraft task and reports the saving.
+func (e *Env) jarvisPlannerPoint(task world.TaskName, opt Options) CrossPoint {
+	prot := bridge.Protection{AD: true, WR: true}
+	clean := e.runTask(task, agent.Config{UniformBER: 0}, opt)
+	target := clean.SuccessRate * 0.9
+	best := timing.VNominal
+	var bestRate float64 = clean.SuccessRate
+	for v := 0.88; v >= 0.60; v -= 0.02 {
+		cfg := agent.Config{
+			Planner: e.Planner, PlannerProt: prot,
+			UniformBER: agent.VoltageMode, Timing: e.Timing, PlannerVoltage: v,
+		}
+		s := e.runTask(task, cfg, opt)
+		if s.SuccessRate < target {
+			break
+		}
+		best, bestRate = v, s.SuccessRate
+	}
+	return CrossPoint{
+		Platform: platforms.JARVIS1Planner.Name, Task: string(task),
+		Class: platforms.PlannerClass, SuccessRate: bestRate,
+		Saving: 1 - (best/timing.VNominal)*(best/timing.VNominal),
+	}
+}
+
+// jarvisControllerPoint runs AD+VS on a Minecraft task.
+func (e *Env) jarvisControllerPoint(task world.TaskName, opt Options) CrossPoint {
+	cfg := agent.Config{
+		Controller: e.Controller, ControlProt: bridge.Protection{AD: true},
+		UniformBER: agent.VoltageMode, Timing: e.Timing,
+		VSPolicy: policy.PolicyF.Func(),
+	}
+	s := e.runTask(task, cfg, opt)
+	veff := e.Power.EffectiveVoltage(s.StepsAtMV)
+	return CrossPoint{
+		Platform: platforms.JARVIS1Controller.Name, Task: string(task),
+		Class: platforms.ControllerClass, SuccessRate: s.SuccessRate,
+		Saving: 1 - (veff/timing.VNominal)*(veff/timing.VNominal),
+	}
+}
+
+// crossPlannerPoint evaluates AD+WR on an abstract manipulation task: the
+// planner decomposes the instruction into phases; a corrupted phase forces
+// a re-plan; the episode fails after too many re-plans.
+func crossPlannerPoint(e *Env, fm *bridge.FaultModel, spec platforms.Spec,
+	task platforms.CrossTask, opt Options) CrossPoint {
+	prot := bridge.Protection{AD: true, WR: true}
+	best := timing.VNominal
+	bestRate := 1.0
+	for v := 0.88; v >= 0.60; v -= 0.02 {
+		rate := crossPlannerSuccess(e, fm, prot, task, v, opt)
+		if rate < 0.9 {
+			break
+		}
+		best, bestRate = v, rate
+	}
+	return CrossPoint{
+		Platform: spec.Name, Task: task.Name, Class: platforms.PlannerClass,
+		SuccessRate: bestRate,
+		Saving:      1 - (best/timing.VNominal)*(best/timing.VNominal),
+	}
+}
+
+func crossPlannerSuccess(e *Env, fm *bridge.FaultModel, prot bridge.Protection,
+	task platforms.CrossTask, v float64, opt Options) float64 {
+	pCorrupt := fm.CorruptProbAtVoltage(e.Timing, v, prot)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	success := 0
+	for t := 0; t < opt.Trials; t++ {
+		replans := 0
+		phase := 0
+		for phase < task.Phases && replans <= 3 {
+			if rng.Float64() < pCorrupt {
+				replans++ // corrupted instruction wastes the phase budget
+				continue
+			}
+			phase++
+		}
+		if phase >= task.Phases {
+			success++
+		}
+	}
+	return float64(success) / float64(opt.Trials)
+}
+
+// crossControllerPoint evaluates AD+VS on an abstract manipulation task:
+// steps alternate between approach (high entropy) and precision segments
+// (low entropy); corrupted precision steps repeat the segment.
+func crossControllerPoint(e *Env, fm *bridge.FaultModel, spec platforms.Spec,
+	task platforms.CrossTask, opt Options) CrossPoint {
+	prot := bridge.Protection{AD: true}
+	vs := policy.PolicyF
+	rng := rand.New(rand.NewSource(opt.Seed))
+	success := 0
+	var weightedV2, stepsTotal float64
+	for t := 0; t < opt.Trials; t++ {
+		steps := 0
+		ok := true
+		for ph := 0; ph < task.Phases && ok; ph++ {
+			// Approach segment: high entropy, tolerant.
+			for i := 0; i < task.StepsPerPhase/2; i++ {
+				v := vs.Voltage(3.5)
+				weightedV2 += v * v
+				stepsTotal++
+				steps++
+			}
+			// Precision segment: low entropy, corruption repeats progress.
+			remaining := task.StepsPerPhase / 2
+			for remaining > 0 {
+				v := vs.Voltage(0.3)
+				q := fm.CorruptProbAtVoltage(e.Timing, v, prot)
+				weightedV2 += v * v
+				stepsTotal++
+				steps++
+				if steps > task.Phases*task.StepsPerPhase*6 {
+					ok = false
+					break
+				}
+				if rng.Float64() < q {
+					remaining = task.StepsPerPhase / 2 // segment restarts
+					continue
+				}
+				remaining--
+			}
+		}
+		if ok {
+			success++
+		}
+	}
+	veff := timing.VNominal
+	if stepsTotal > 0 {
+		veff = math.Sqrt(weightedV2 / stepsTotal)
+	}
+	return CrossPoint{
+		Platform: spec.Name, Task: task.Name, Class: platforms.ControllerClass,
+		SuccessRate: float64(success) / float64(opt.Trials),
+		Saving:      1 - (veff/timing.VNominal)*(veff/timing.VNominal),
+	}
+}
+
+// AverageSavingByClass aggregates Fig. 17 rows.
+func AverageSavingByClass(pts []CrossPoint, class platforms.Class) float64 {
+	var sum float64
+	n := 0
+	for _, p := range pts {
+		if p.Class == class {
+			sum += p.Saving
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,151 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md). Each Fig*/Table*
+// function runs the corresponding workload and returns typed rows; Render
+// helpers print them in the shape the paper reports. Absolute numbers come
+// from our simulated substrate; the reproduced claims are the shapes — who
+// wins, by what factor, where the knees and crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/platforms"
+	"github.com/embodiedai/create/internal/power"
+	"github.com/embodiedai/create/internal/timing"
+	"github.com/embodiedai/create/internal/world"
+)
+
+// Options control experiment scale. The paper repeats every trial at least
+// 100 times (Sec. 6.9); Quick mode trades confidence for wall-clock time.
+type Options struct {
+	Trials int
+	Seed   int64
+}
+
+// DefaultOptions reproduces the paper's repetition count.
+func DefaultOptions() Options { return Options{Trials: 100, Seed: 2026} }
+
+// QuickOptions is for tests and fast iteration.
+func QuickOptions() Options { return Options{Trials: 24, Seed: 2026} }
+
+// Env bundles the shared simulation substrate of the evaluation.
+type Env struct {
+	Timing     *timing.Model
+	Power      *power.Model
+	Planner    *bridge.FaultModel
+	Controller *bridge.FaultModel
+}
+
+// NewEnv builds the default JARVIS-1 environment.
+func NewEnv() *Env {
+	return &Env{
+		Timing:     timing.Default(),
+		Power:      power.Default(),
+		Planner:    platforms.JARVIS1Planner.FaultModel(),
+		Controller: platforms.JARVIS1Controller.FaultModel(),
+	}
+}
+
+// episodeSpec is the JARVIS-1 energy footprint per invocation (Table 4).
+func episodeSpec(vsActive bool) power.EpisodeSpec {
+	spec := power.EpisodeSpec{
+		PlannerMACsPerCall: platforms.JARVIS1Planner.MACs(),
+		ControllerMACsStep: platforms.JARVIS1Controller.MACs(),
+	}
+	if vsActive {
+		spec.PredictorMACsStep = platforms.EntropyPredictor.MACs()
+	}
+	return spec
+}
+
+// EpisodeEnergy computes the computational energy of an aggregated run,
+// charging failed episodes at full execution (Sec. 6.1).
+func (e *Env) EpisodeEnergy(s agent.Summary, vsActive bool) float64 {
+	spec := episodeSpec(vsActive)
+	total := e.Power.EpisodeEnergy(spec, s.AvgPlannerInvocations*float64(s.Trials),
+		s.PlannerVoltageMV, s.StepsAtMV)
+	return total / float64(s.Trials)
+}
+
+// runTask is the shared episode sweep helper.
+func (e *Env) runTask(task world.TaskName, cfg agent.Config, opt Options) agent.Summary {
+	cfg.Task = task
+	if cfg.Seed == 0 {
+		cfg.Seed = opt.Seed
+	}
+	if cfg.Timing == nil {
+		cfg.Timing = e.Timing
+	}
+	return agent.RunMany(cfg, opt.Trials)
+}
+
+// BERSweep is the standard characterization BER grid.
+func BERSweep(lo, hi float64) []float64 {
+	var out []float64
+	for b := lo; b <= hi*1.0001; b *= 10 {
+		out = append(out, b, b*3)
+	}
+	if len(out) > 0 {
+		out = out[:len(out)-1] // drop the 3x point past hi
+	}
+	return out
+}
+
+// table is a minimal fixed-width table renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func sci(x float64) string { return fmt.Sprintf("%.1e", x) }
+func steps(x float64) string {
+	if x == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", x)
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/embodiedai/create/internal/platforms"
+	"github.com/embodiedai/create/internal/policy"
+	"github.com/embodiedai/create/internal/timing"
+	"github.com/embodiedai/create/internal/world"
+)
+
+func tinyOptions() Options { return Options{Trials: 10, Seed: 2026} }
+
+func TestFig1bMonotone(t *testing.T) {
+	e := NewEnv()
+	pts := Fig1b(e)
+	if len(pts) == 0 {
+		t.Fatal("empty curve")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Voltage > pts[i-1].Voltage && pts[i].BER > pts[i-1].BER {
+			t.Fatal("BER must fall as voltage rises")
+		}
+	}
+}
+
+func TestFig4bLargeErrors(t *testing.T) {
+	e := NewEnv()
+	r := Fig4b(e, tinyOptions())
+	// The Fig. 4(b) observation: timing errors are dominated by
+	// large-magnitude high-bit flips that exceed the clean data range.
+	if r.LargeErrorFrac < 0.5 {
+		t.Fatalf("only %.2f of injected errors were large", r.LargeErrorFrac)
+	}
+	if r.CleanAbsMax <= 0 {
+		t.Fatal("missing clean range")
+	}
+}
+
+func TestFig5PlannerVsControllerKnees(t *testing.T) {
+	e := NewEnv()
+	opt := tinyOptions()
+	planner := Fig5Planner(e, opt)
+	controller := Fig5Controller(e, opt)
+
+	// Insight 1: the controller tolerates orders of magnitude more BER.
+	// Find the highest BER where each still exceeds 50% success on stone.
+	lastGood := func(pts []ResiliencePoint) float64 {
+		best := 0.0
+		for _, p := range pts {
+			if p.Task == world.TaskStone && p.SuccessRate >= 0.5 && p.BER > best {
+				best = p.BER
+			}
+		}
+		return best
+	}
+	pKnee, cKnee := lastGood(planner), lastGood(controller)
+	if pKnee == 0 || cKnee == 0 {
+		t.Fatalf("could not locate knees: %v %v", pKnee, cKnee)
+	}
+	if cKnee < pKnee*100 {
+		t.Fatalf("controller knee %.1e should be >=100x planner knee %.1e", cKnee, pKnee)
+	}
+	// Planner collapse near 2e-8 (within the paper's decade).
+	if pKnee < 5e-9 || pKnee > 3e-7 {
+		t.Fatalf("planner task knee %.1e not near 2e-8", pKnee)
+	}
+	var buf bytes.Buffer
+	RenderResilience(&buf, "x", planner)
+	if buf.Len() == 0 {
+		t.Fatal("renderer produced nothing")
+	}
+}
+
+func TestFig5ActivationsContrast(t *testing.T) {
+	profiles := Fig5Activations(tinyOptions())
+	var p, c ActivationProfile
+	for _, a := range profiles {
+		if a.Model == "planner" {
+			p = a
+		} else {
+			c = a
+		}
+	}
+	// Insight 2: the planner's residual stream has systematic outliers; a
+	// single in-range fault skews its normalization statistics far more
+	// than the controller's.
+	if p.AbsMax/p.Std < 2*(c.AbsMax/c.Std) {
+		t.Fatalf("planner outlier ratio %.1f vs controller %.1f", p.AbsMax/p.Std, c.AbsMax/c.Std)
+	}
+	pSkew := p.SigmaFaulty / p.SigmaClean
+	cSkew := c.SigmaFaulty / c.SigmaClean
+	if pSkew < cSkew {
+		t.Fatalf("planner norm skew %.2f should exceed controller %.2f", pSkew, cSkew)
+	}
+}
+
+func TestFig6SubtaskDiversity(t *testing.T) {
+	e := NewEnv()
+	pts := Fig6Subtasks(e, tinyOptions())
+	at := func(task world.TaskName, ber float64) float64 {
+		for _, p := range pts {
+			if p.Task == task && p.BER == ber {
+				return p.SuccessRate
+			}
+		}
+		t.Fatalf("missing point %v %v", task, ber)
+		return 0
+	}
+	// Deterministic chains collapse at 1e-3; stochastic tasks keep more.
+	if at(world.TaskLog, 1e-3) >= at(world.TaskWool, 1e-3)+0.2 {
+		t.Fatalf("log %.2f should degrade at least as hard as wool %.2f at 1e-3",
+			at(world.TaskLog, 1e-3), at(world.TaskWool, 1e-3))
+	}
+}
+
+func TestFig7StageStructure(t *testing.T) {
+	e := NewEnv()
+	stages := Fig7Stages(e, tinyOptions())
+	entropies := map[world.Phase]float64{}
+	for _, s := range stages {
+		entropies[s.Phase] = s.MeanEntropy
+	}
+	if !(entropies[world.PhaseExecute] < entropies[world.PhaseApproach] &&
+		entropies[world.PhaseApproach] < entropies[world.PhaseExplore]) {
+		t.Fatalf("phase entropy ordering wrong: %+v", entropies)
+	}
+
+	inj := Fig7PhaseInjection(e, tinyOptions(), 0.5)
+	var explore, execute StageCorruption
+	for _, s := range inj {
+		if s.Phase == world.PhaseExplore {
+			explore = s
+		} else {
+			execute = s
+		}
+	}
+	// Fig. 7: corrupting exploration is survivable; corrupting execution is
+	// what breaks chains.
+	if execute.SuccessRate > explore.SuccessRate {
+		t.Fatalf("execution corruption should hurt more: exec %.2f explore %.2f",
+			execute.SuccessRate, explore.SuccessRate)
+	}
+}
+
+func TestFig9RotationContract(t *testing.T) {
+	r := Fig9Rotation(tinyOptions())
+	if r.AbsMaxAfter > r.AbsMaxBefore/2 {
+		t.Fatalf("rotation should disperse outliers: %v -> %v", r.AbsMaxBefore, r.AbsMaxAfter)
+	}
+	if r.OutputDrift > 1e-2 {
+		t.Fatalf("rotation changed network function by %v", r.OutputDrift)
+	}
+}
+
+func TestFig10EntropyCurveSpansPhases(t *testing.T) {
+	trace, phases := Fig10EntropyCurve(tinyOptions(), world.TaskLog)
+	if len(trace) != len(phases) || len(trace) == 0 {
+		t.Fatal("bad trace")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, h := range trace {
+		lo = math.Min(lo, h)
+		hi = math.Max(hi, h)
+	}
+	if hi-lo < 1.5 {
+		t.Fatalf("entropy curve too flat: [%v, %v]", lo, hi)
+	}
+}
+
+func TestFig13VSFrontier(t *testing.T) {
+	e := NewEnv()
+	pts := Fig13VS(e, tinyOptions())
+	// Find the nominal constant point and Policy C with AD on stone.
+	var nominal, polC *VSPoint
+	for i := range pts {
+		p := &pts[i]
+		if p.Task != world.TaskStone || !p.AD {
+			continue
+		}
+		if p.Policy == "const" && p.EffectiveVoltage > 0.89 {
+			nominal = p
+		}
+		if p.Policy == "C" {
+			polC = p
+		}
+	}
+	if nominal == nil || polC == nil {
+		t.Fatal("missing frontier points")
+	}
+	// Policy C: lower effective voltage at comparable success (Sec. 6.5).
+	if polC.EffectiveVoltage >= nominal.EffectiveVoltage-0.02 {
+		t.Fatalf("policy C effective voltage %.3f not meaningfully below nominal %.3f",
+			polC.EffectiveVoltage, nominal.EffectiveVoltage)
+	}
+	if polC.SuccessRate < nominal.SuccessRate-0.15 {
+		t.Fatalf("policy C sacrificed success: %.2f vs %.2f", polC.SuccessRate, nominal.SuccessRate)
+	}
+}
+
+func TestFig16ReliabilityOrdering(t *testing.T) {
+	e := NewEnv()
+	pts := Fig16Reliability(e, Options{Trials: 12, Seed: 2026})
+	avg := map[string]float64{}
+	n := map[string]int{}
+	for _, p := range pts {
+		avg[p.Config] += p.SuccessRate
+		n[p.Config]++
+	}
+	for k := range avg {
+		avg[k] /= float64(n[k])
+	}
+	// Fig. 16(a): none << AD < AD+WR at 0.75 V; VS adds no degradation.
+	if avg["none"] > 0.3 {
+		t.Fatalf("unprotected at 0.75V should collapse: %v", avg["none"])
+	}
+	if avg["AD"] < avg["none"]+0.3 {
+		t.Fatalf("AD should recover most success: %v vs %v", avg["AD"], avg["none"])
+	}
+	if avg["AD+WR"] < avg["AD"]-0.05 {
+		t.Fatalf("AD+WR should not regress AD: %v vs %v", avg["AD+WR"], avg["AD"])
+	}
+	if avg["AD+WR+VS"] < avg["AD+WR"]-0.1 {
+		t.Fatalf("VS should add no degradation: %v vs %v", avg["AD+WR+VS"], avg["AD+WR"])
+	}
+}
+
+func TestTable3Budgets(t *testing.T) {
+	r := Table3Accelerator()
+	// Sec. 6.2: controller + predictor fit the 30 Hz real-time budget, and
+	// voltage switching is orders of magnitude faster than inference.
+	if r.ControllerLatencyUS > 33000 {
+		t.Fatalf("controller misses 30 Hz: %v us", r.ControllerLatencyUS)
+	}
+	if r.PredictorLatencyUS > r.ControllerLatencyUS {
+		t.Fatal("predictor must be far cheaper than the controller")
+	}
+	if r.SwitchingLatencyNS != 540 {
+		t.Fatalf("switching latency %v ns, want 540", r.SwitchingLatencyNS)
+	}
+	if r.PlannerLatencyMS <= 0 {
+		t.Fatal("missing planner latency")
+	}
+}
+
+func TestTable5Convergence(t *testing.T) {
+	e := NewEnv()
+	rows := Table5Repetitions(e, tinyOptions())
+	if len(rows) < 5 {
+		t.Fatal("missing repetition rows")
+	}
+	last := rows[len(rows)-1]
+	if last.CI95 > 0.1 {
+		t.Fatalf("200 repetitions should bound the CI under 10%%: %v", last.CI95)
+	}
+	// The estimates of the last three counts agree within their CIs.
+	for _, r := range rows[len(rows)-3:] {
+		if math.Abs(r.SuccessRate-last.SuccessRate) > r.CI95+last.CI95 {
+			t.Fatalf("estimate at n=%d (%.2f) incompatible with n=%d (%.2f)",
+				r.Repetitions, r.SuccessRate, last.Repetitions, last.SuccessRate)
+		}
+	}
+}
+
+func TestFig18SharesAndBattery(t *testing.T) {
+	e := NewEnv()
+	rows := Fig18ChipEnergy(e.Power, 0.507, 0.393)
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 models, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Class == platforms.PlannerClass && (r.ComputeShare < 0.55 || r.ComputeShare > 0.80) {
+			t.Fatalf("%s compute share %.2f outside planner band", r.Model, r.ComputeShare)
+		}
+		if r.Class == platforms.ControllerClass && (r.ComputeShare < 0.70 || r.ComputeShare > 0.90) {
+			t.Fatalf("%s compute share %.2f outside controller band", r.Model, r.ComputeShare)
+		}
+		if r.ChipSaving <= 0 || r.ChipSaving >= r.ComputeSaving {
+			t.Fatalf("%s chip saving %.2f implausible", r.Model, r.ChipSaving)
+		}
+	}
+	lo, hi := BatteryLifeRange(0.33)
+	if lo < 0.10 || hi > 0.40 || lo >= hi {
+		t.Fatalf("battery range [%v %v]", lo, hi)
+	}
+}
+
+func TestPolicySearchFindsFrontier(t *testing.T) {
+	e := NewEnv()
+	scored := PolicySearch(e, Options{Trials: 8, Seed: 2026}, policy.Selected, world.TaskWooden)
+	if len(scored) != len(policy.Selected) {
+		t.Fatal("missing scores")
+	}
+	front := policy.ParetoFront(scored)
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	if _, ok := policy.Best(scored, 0.05); !ok {
+		t.Fatal("no best policy found")
+	}
+}
+
+func TestOracleMatchesPaperAccuracy(t *testing.T) {
+	r2 := OracleR2(tinyOptions(), 0.34, 1500)
+	if r2 < 0.85 || r2 > 0.97 {
+		t.Fatalf("noisy oracle R2 %.3f not in the Fig. 14 class (~0.92)", r2)
+	}
+}
+
+func TestBERSweepGrid(t *testing.T) {
+	grid := BERSweep(1e-8, 1e-6)
+	if len(grid) != 5 {
+		t.Fatalf("grid %v", grid)
+	}
+	if grid[0] != 1e-8 || grid[len(grid)-1] != 1e-6 {
+		t.Fatalf("grid endpoints %v", grid)
+	}
+	_ = timing.Default() // keep import meaningful in minimal builds
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"github.com/embodiedai/create/internal/ldo"
+	"github.com/embodiedai/create/internal/platforms"
+	"github.com/embodiedai/create/internal/power"
+	"github.com/embodiedai/create/internal/scalesim"
+	"github.com/embodiedai/create/internal/timing"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 12 / Table 2: hardware platform.
+
+// Fig12Breakdown reproduces the area/power block table of Fig. 12(c): the
+// AD units and LDOs are ~0.1 % overheads against the PE array and SRAM.
+func Fig12Breakdown() []power.AreaPowerRow { return power.AreaPowerBreakdown() }
+
+// Table2Row is one LDO specification line.
+type Table2Row struct {
+	Name  string
+	Value string
+}
+
+// Table2LDO reproduces the LDO specification table.
+func Table2LDO() []Table2Row {
+	l := ldo.Default()
+	return []Table2Row{
+		{"Technology", "22 nm"},
+		{"Vout", "0.6-0.9 V"},
+		{"t_resp", "90 ns / 50 mV"},
+		{"V_step", "10 mV"},
+		{"Area", f2(l.AreaMM2) + " mm^2"},
+		{"I_load,max", f2(l.ILoadMax) + " A"},
+		{"eta_peak", pct(l.PeakEfficiency)},
+		{"J", f2(l.CurrentDensity) + " A/mm^2"},
+	}
+}
+
+// Fig12Waveforms simulates the LDO scaling waveforms of Fig. 12(d)/(e): a
+// step sequence across the output range with the Table 2 slew rate.
+func Fig12Waveforms() []ldo.WavePoint {
+	l := ldo.Default()
+	return l.Waveform([]float64{0.90, 0.75, 0.62, 0.84, 0.70, 0.90}, 400, 50)
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: accelerator performance.
+
+// Table3Result reproduces the accelerator performance table on the
+// weight-stationary cycle model.
+type Table3Result struct {
+	PeakTOPS            float64
+	PlannerMACs         float64
+	ControllerMACs      float64
+	PredictorMACs       float64
+	PlannerLatencyMS    float64
+	ControllerLatencyUS float64
+	PredictorLatencyUS  float64
+	SwitchingLatencyNS  float64
+}
+
+// Table3Accelerator evaluates the Table 4 workloads on the systolic cycle
+// model. The controller and predictor meet the 30 Hz real-time budget and
+// the LDO's full-swing switching latency stays orders of magnitude below
+// the controller's inference latency (Sec. 6.2).
+func Table3Accelerator() Table3Result {
+	arr := scalesim.Default()
+
+	plannerGEMMs := scalesim.TransformerGEMMs(
+		platforms.JARVIS1Planner.InTokens+platforms.JARVIS1Planner.OutTokens,
+		platforms.JARVIS1Planner.Hidden, platforms.JARVIS1Planner.MLPDim,
+		platforms.JARVIS1Planner.Layers)
+	controllerGEMMs := scalesim.TransformerGEMMs(
+		256, platforms.JARVIS1Controller.Hidden, platforms.JARVIS1Controller.MLPDim,
+		platforms.JARVIS1Controller.Layers)
+	predictorGEMMs := []scalesim.GEMM{
+		{M: 484, K: 27, N: 16}, {M: 16, K: 144, N: 32}, {M: 1, K: 288, N: 64},
+		{M: 1, K: 512, N: 64}, {M: 1, K: 128, N: 128}, {M: 1, K: 128, N: 1},
+	}
+
+	plannerDRAM := platforms.JARVIS1Planner.Params * 1e6
+	return Table3Result{
+		PeakTOPS:            arr.PeakTOPS(),
+		PlannerMACs:         platforms.JARVIS1Planner.MACs(),
+		ControllerMACs:      platforms.JARVIS1Controller.MACs(),
+		PredictorMACs:       platforms.EntropyPredictor.MACs(),
+		PlannerLatencyMS:    arr.Latency(plannerGEMMs, plannerDRAM) / 1e6,
+		ControllerLatencyUS: arr.Latency(controllerGEMMs, 0) / 1e3,
+		PredictorLatencyUS:  arr.Latency(predictorGEMMs, 0) / 1e3,
+		SwitchingLatencyNS:  ldo.Default().MaxSwitchingLatency() * 1e9,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 4: model parameters and computational requirements.
+
+// Table4Row is one model-zoo line.
+type Table4Row struct {
+	Name    string
+	ParamsM float64
+	GOps    float64
+}
+
+// Table4Models reproduces the parameter/op table from the platform specs.
+func Table4Models() []Table4Row {
+	var out []Table4Row
+	for _, s := range platforms.All {
+		out = append(out, Table4Row{s.Name, s.Params, s.GOps})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 18: chip-level energy breakdown.
+
+// ChipEnergyRow is one model's chip-level energy split and what CREATE's
+// computational saving translates to at chip level.
+type ChipEnergyRow struct {
+	Model        string
+	Class        platforms.Class
+	ComputeShare float64
+	// ComputeSaving is the technique's computational energy saving
+	// (planners: AD+WR; controllers: AD+VS) from the Fig. 17 evaluation.
+	ComputeSaving float64
+	// ChipSaving = ComputeShare * ComputeSaving (memory rails are not
+	// voltage scaled).
+	ChipSaving float64
+}
+
+// Fig18ChipEnergy combines the power-model breakdowns with per-class
+// computational savings: planners compute ~65 % of chip energy, controllers
+// ~78 %, translating ~50 %/~40 % compute savings into ~30-37 % chip-level
+// savings (Fig. 18).
+func Fig18ChipEnergy(pm *power.Model, plannerSaving, controllerSaving float64) []ChipEnergyRow {
+	var out []ChipEnergyRow
+	for _, s := range platforms.All {
+		if s.Name == platforms.EntropyPredictor.Name {
+			continue
+		}
+		bd := pm.Breakdown(s.Workload(), timing.VNominal)
+		saving := controllerSaving
+		if s.Class == platforms.PlannerClass {
+			saving = plannerSaving
+		}
+		out = append(out, ChipEnergyRow{
+			Model:         s.Name,
+			Class:         s.Class,
+			ComputeShare:  bd.ComputeShare(),
+			ComputeSaving: saving,
+			ChipSaving:    bd.ComputeShare() * saving,
+		})
+	}
+	return out
+}
+
+// BatteryLifeRange maps chip-level savings to battery-life extensions over
+// the compute-share range of realistic robots (Sec. 6.8: compute accounts
+// for energy "comparable to or exceeding" mechanical).
+func BatteryLifeRange(chipSaving float64) (low, high float64) {
+	return power.BatteryExtension(chipSaving, 0.45), power.BatteryExtension(chipSaving, 0.65)
+}

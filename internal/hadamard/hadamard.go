@@ -1,0 +1,57 @@
+// Package hadamard builds the orthonormal Hadamard rotations used by
+// weight-rotation-enhanced planning (paper Sec. 5.2). H is defined
+// recursively via the Kronecker product
+//
+//	H2 = 1/sqrt(2) * [[1, 1], [1, -1]],   H(2^k) = H2 (x) H(2^(k-1))
+//
+// and satisfies H * H^T = I, so it preserves L2 norms (hence commutes with
+// unit-gain RMSNorm) while spreading any single large coordinate across all
+// dimensions — exactly the property that disperses LLM activation outliers.
+package hadamard
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Matrix returns the orthonormal n x n Hadamard matrix (n a power of two).
+func Matrix(n int) *tensor.Mat {
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("hadamard: size %d is not a power of two", n))
+	}
+	h := tensor.NewMat(n, n)
+	// Sylvester construction: entry (i, j) = (-1)^popcount(i AND j).
+	norm := float32(1 / math.Sqrt(float64(n)))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if popcount(uint(i&j))%2 == 0 {
+				h.Set(i, j, norm)
+			} else {
+				h.Set(i, j, -norm)
+			}
+		}
+	}
+	return h
+}
+
+func popcount(x uint) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// RotateRight returns W*H: applied to residual-stream *producers* (O, Down,
+// the embedding), whose outputs land in the rotated stream.
+func RotateRight(w, h *tensor.Mat) *tensor.Mat { return tensor.MatMul(w, h) }
+
+// RotateLeft returns H^T*W: applied to residual-stream *consumers* (Q, K, V,
+// Gate, Up, the output head), which must undo the rotation on their inputs.
+func RotateLeft(h, w *tensor.Mat) *tensor.Mat { return tensor.MatMul(h.Transpose(), w) }

@@ -1,0 +1,94 @@
+package hadamard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 64, 1024} {
+		if !IsPowerOfTwo(n) {
+			t.Fatalf("%d should be a power of two", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 96} {
+		if IsPowerOfTwo(n) {
+			t.Fatalf("%d should not be a power of two", n)
+		}
+	}
+}
+
+func TestMatrixOrthonormal(t *testing.T) {
+	for _, n := range []int{2, 8, 64} {
+		h := Matrix(n)
+		prod := tensor.MatMul(h, h.Transpose())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := float32(0)
+				if i == j {
+					want = 1
+				}
+				if d := math.Abs(float64(prod.At(i, j) - want)); d > 1e-5 {
+					t.Fatalf("n=%d: H*H^T[%d][%d]=%v, want %v", n, i, j, prod.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixPreservesL2Norm(t *testing.T) {
+	h := Matrix(64)
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewMat(1, 64)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*10 - 5
+	}
+	y := tensor.MatMul(x, h)
+	if d := math.Abs(tensor.L2Norm(x.Data) - tensor.L2Norm(y.Data)); d > 1e-3 {
+		t.Fatalf("rotation changed L2 norm by %v", d)
+	}
+}
+
+func TestRotationDispersesOutliers(t *testing.T) {
+	// A vector with one huge coordinate must come out with a much smaller
+	// absolute maximum after rotation — the outlier-dispersal property WR
+	// relies on.
+	h := Matrix(64)
+	x := tensor.NewMat(1, 64)
+	x.Data[7] = 100
+	y := tensor.MatMul(x, h)
+	if mx := float64(tensor.AbsMax(y.Data)); mx > 100/math.Sqrt(64)+1e-3 {
+		t.Fatalf("outlier not dispersed: absmax %v", mx)
+	}
+}
+
+func TestRotateLeftRightInverse(t *testing.T) {
+	// (x*H) * (H^T*W) == x*W
+	h := Matrix(16)
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.NewMat(3, 16)
+	w := tensor.NewMat(16, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.Float32()
+	}
+	want := tensor.MatMul(x, w)
+	got := tensor.MatMul(tensor.MatMul(x, h), RotateLeft(h, w))
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("rotation not function preserving: %v", d)
+	}
+}
+
+func TestMatrixPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two size")
+		}
+	}()
+	Matrix(12)
+}

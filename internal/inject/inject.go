@@ -1,0 +1,187 @@
+// Package inject implements the runtime bit-flip injection framework
+// (paper Sec. 3.2). Errors are emulated as bit flips on the 24-bit
+// accumulator outputs of quantized GEMMs — the same abstraction the paper
+// (and the PyTorchFI-style tools it builds on) uses.
+//
+// Two error models are provided:
+//
+//   - Uniform: every accumulator bit flips independently with the same BER.
+//     Used for the resilience characterization (Sec. 4) to keep conclusions
+//     hardware independent.
+//   - Voltage: per-bit rates from the timing model's LUT (Sec. 6), which
+//     concentrates flips on the high bits as voltage drops.
+//
+// Injection is O(expected flips), not O(outputs): the number of flips per
+// bit position is drawn from a binomial distribution and only those
+// positions are touched, which is what makes task-scale Monte Carlo feasible.
+package inject
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/timing"
+)
+
+// Injector perturbs a slice of accumulator values in place and reports how
+// many bit flips it applied.
+type Injector interface {
+	// Inject flips bits in acc according to the error model and returns the
+	// number of flips performed.
+	Inject(acc []int32, rng *rand.Rand) int
+	// BitRates returns the per-bit flip probability for each of the
+	// timing.AccBits accumulator bits.
+	BitRates() []float64
+}
+
+// None is the error-free injector.
+type None struct{}
+
+// Inject is a no-op for the error-free injector.
+func (None) Inject([]int32, *rand.Rand) int { return 0 }
+
+// BitRates returns all-zero rates.
+func (None) BitRates() []float64 { return make([]float64, timing.AccBits) }
+
+// Uniform flips every accumulator bit independently with probability BER.
+type Uniform struct {
+	BER float64
+}
+
+// BitRates returns the uniform per-bit rates.
+func (u Uniform) BitRates() []float64 {
+	r := make([]float64, timing.AccBits)
+	for i := range r {
+		r[i] = u.BER
+	}
+	return r
+}
+
+// Inject applies uniform random bit flips to acc.
+func (u Uniform) Inject(acc []int32, rng *rand.Rand) int {
+	if u.BER <= 0 || len(acc) == 0 {
+		return 0
+	}
+	total := 0
+	for bit := 0; bit < timing.AccBits; bit++ {
+		total += flipBit(acc, bit, u.BER, rng)
+	}
+	return total
+}
+
+// Voltage flips bits according to the timing model's per-bit rates at the
+// configured supply voltage.
+type Voltage struct {
+	Model *timing.Model
+	V     float64
+}
+
+// BitRates returns the timing model's per-bit rates at the configured voltage.
+func (v Voltage) BitRates() []float64 { return v.Model.BitRates(v.V) }
+
+// Inject applies voltage-dependent bit flips to acc.
+func (v Voltage) Inject(acc []int32, rng *rand.Rand) int {
+	if len(acc) == 0 {
+		return 0
+	}
+	total := 0
+	for bit, p := range v.Model.BitRates(v.V) {
+		total += flipBit(acc, bit, p, rng)
+	}
+	return total
+}
+
+// flipBit flips bit `bit` of a binomially sampled subset of acc.
+func flipBit(acc []int32, bit int, p float64, rng *rand.Rand) int {
+	n := sampleBinomial(len(acc), p, rng)
+	for i := 0; i < n; i++ {
+		idx := rng.Intn(len(acc))
+		acc[idx] = FlipAccumulatorBit(acc[idx], bit)
+	}
+	return n
+}
+
+// FlipAccumulatorBit flips bit `bit` of the value as represented in the
+// hardware's AccBits-wide two's-complement accumulator, then sign-extends
+// back to int32. Flipping the MSB therefore toggles the sign of the stored
+// quantity exactly as it would in the datapath.
+func FlipAccumulatorBit(v int32, bit int) int32 {
+	mask := uint32(1) << uint(bit)
+	raw := uint32(v) & (1<<timing.AccBits - 1)
+	raw ^= mask
+	// Sign-extend from AccBits to 32 bits.
+	if raw&(1<<(timing.AccBits-1)) != 0 {
+		raw |= ^uint32(1<<timing.AccBits - 1)
+	}
+	return int32(raw)
+}
+
+// sampleBinomial draws from Binomial(n, p). For the tiny p this package sees
+// it uses a Poisson approximation; for larger p it falls back to explicit
+// Bernoulli trials (n is then small in our workloads, so this stays cheap).
+func sampleBinomial(n int, p float64, rng *rand.Rand) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	lambda := float64(n) * p
+	if lambda < 30 && p < 0.05 {
+		k := samplePoisson(lambda, rng)
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	if lambda < 4096 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// Normal approximation for the huge-count regime.
+	sigma := math.Sqrt(lambda * (1 - p))
+	k := int(math.Round(lambda + rng.NormFloat64()*sigma))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// samplePoisson draws from Poisson(lambda) via Knuth's method (lambda is
+// always modest where this is called).
+func samplePoisson(lambda float64, rng *rand.Rand) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1<<20 { // safety valve; unreachable for sane lambda
+			return k
+		}
+	}
+}
+
+// ExpectedFlips returns the expected number of bit flips when injecting into
+// n accumulator outputs under the given per-bit rates.
+func ExpectedFlips(n int, bitRates []float64) float64 {
+	var s float64
+	for _, p := range bitRates {
+		s += p
+	}
+	return s * float64(n)
+}

@@ -1,0 +1,165 @@
+package inject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/embodiedai/create/internal/timing"
+)
+
+func TestFlipAccumulatorBitInvolution(t *testing.T) {
+	f := func(v int32, bit uint8) bool {
+		b := int(bit) % timing.AccBits
+		// Keep v inside the 24-bit accumulator domain.
+		v = v % (1 << (timing.AccBits - 1))
+		return FlipAccumulatorBit(FlipAccumulatorBit(v, b), b) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipLSBChangesParity(t *testing.T) {
+	if got := FlipAccumulatorBit(10, 0); got != 11 {
+		t.Fatalf("flip LSB of 10 = %d, want 11", got)
+	}
+	if got := FlipAccumulatorBit(11, 0); got != 10 {
+		t.Fatalf("flip LSB of 11 = %d, want 10", got)
+	}
+}
+
+func TestFlipMSBTogglesSign(t *testing.T) {
+	// Flipping bit 23 of a small positive value makes it a large negative
+	// value in 24-bit two's complement.
+	got := FlipAccumulatorBit(5, timing.AccBits-1)
+	want := int32(5 - (1 << (timing.AccBits - 1)))
+	if got != want {
+		t.Fatalf("MSB flip of 5 = %d, want %d", got, want)
+	}
+	if back := FlipAccumulatorBit(got, timing.AccBits-1); back != 5 {
+		t.Fatalf("MSB flip not involutive: %d", back)
+	}
+}
+
+func TestNoneInjectorIsNoOp(t *testing.T) {
+	acc := []int32{1, 2, 3}
+	n := None{}.Inject(acc, rand.New(rand.NewSource(1)))
+	if n != 0 || acc[0] != 1 || acc[1] != 2 || acc[2] != 3 {
+		t.Fatal("None must not modify anything")
+	}
+}
+
+func TestUniformFlipCountMatchesExpectation(t *testing.T) {
+	const n = 10000
+	const ber = 1e-3
+	inj := Uniform{BER: ber}
+	rng := rand.New(rand.NewSource(42))
+	total := 0
+	const reps = 50
+	for r := 0; r < reps; r++ {
+		acc := make([]int32, n)
+		total += inj.Inject(acc, rng)
+	}
+	want := float64(n) * timing.AccBits * ber * reps
+	got := float64(total)
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("flip count %v far from expectation %v", got, want)
+	}
+}
+
+func TestUniformZeroBER(t *testing.T) {
+	acc := make([]int32, 100)
+	if n := (Uniform{BER: 0}).Inject(acc, rand.New(rand.NewSource(1))); n != 0 {
+		t.Fatalf("zero BER injected %d flips", n)
+	}
+}
+
+func TestVoltageInjectorNominalAlmostClean(t *testing.T) {
+	m := timing.Default()
+	inj := Voltage{Model: m, V: timing.VNominal}
+	rng := rand.New(rand.NewSource(9))
+	acc := make([]int32, 100000)
+	n := inj.Inject(acc, rng)
+	if n > 2 {
+		t.Fatalf("nominal voltage should be nearly error free, got %d flips", n)
+	}
+}
+
+func TestVoltageInjectorLowVoltageErrors(t *testing.T) {
+	m := timing.Default()
+	inj := Voltage{Model: m, V: 0.62}
+	rng := rand.New(rand.NewSource(9))
+	acc := make([]int32, 10000)
+	n := inj.Inject(acc, rng)
+	if n == 0 {
+		t.Fatal("0.62V should produce flips")
+	}
+	exp := ExpectedFlips(len(acc), inj.BitRates())
+	if float64(n) < exp*0.5 || float64(n) > exp*1.5 {
+		t.Fatalf("flips %d far from expected %v", n, exp)
+	}
+}
+
+func TestVoltageFlipsConcentrateOnHighBits(t *testing.T) {
+	// Inject into zeros and check that the corrupted values are mostly
+	// large-magnitude — the Fig. 4(b) "higher bits exhibit frequent large
+	// timing errors" pattern.
+	m := timing.Default()
+	inj := Voltage{Model: m, V: 0.80}
+	rng := rand.New(rand.NewSource(5))
+	large, total := 0, 0
+	for r := 0; r < 200; r++ {
+		acc := make([]int32, 5000)
+		inj.Inject(acc, rng)
+		for _, v := range acc {
+			if v != 0 {
+				total++
+				if v >= 1<<16 || v <= -(1<<16) {
+					large++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no flips at 0.80V")
+	}
+	if frac := float64(large) / float64(total); frac < 0.5 {
+		t.Fatalf("only %.2f of flips were large magnitude; expected high-bit dominance", frac)
+	}
+}
+
+func TestSampleBinomialStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		n int
+		p float64
+	}{{1000, 0.001}, {100, 0.3}, {1 << 20, 0.01}}
+	for _, c := range cases {
+		var sum float64
+		const reps = 200
+		for i := 0; i < reps; i++ {
+			sum += float64(sampleBinomial(c.n, c.p, rng))
+		}
+		mean := sum / reps
+		want := float64(c.n) * c.p
+		tol := 5 * math.Sqrt(want*(1-c.p)/reps) // 5 sigma of the sample mean
+		if math.Abs(mean-want) > tol+1 {
+			t.Fatalf("binomial(n=%d,p=%v): mean %v, want %v +- %v", c.n, c.p, mean, want, tol)
+		}
+	}
+	if sampleBinomial(10, 1.5, rng) != 10 {
+		t.Fatal("p>=1 must return n")
+	}
+	if sampleBinomial(0, 0.5, rng) != 0 {
+		t.Fatal("n=0 must return 0")
+	}
+}
+
+func TestExpectedFlips(t *testing.T) {
+	rates := []float64{0.1, 0.2, 0.3}
+	if e := ExpectedFlips(10, rates); math.Abs(e-6) > 1e-12 {
+		t.Fatalf("expected flips = %v, want 6", e)
+	}
+}

@@ -1,0 +1,61 @@
+package inject
+
+import (
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/timing"
+)
+
+// SingleFlip injects exactly one bit flip at a pre-chosen output index across
+// an entire inference pass. The characterization harness uses it to measure
+// per-bit fault severity: run once error free to count outputs, pick a
+// uniform target index, re-run with a SingleFlip.
+type SingleFlip struct {
+	// Bit is the accumulator bit to flip (0 = LSB).
+	Bit int
+	// Target is the global output index (across all GEMM calls of the pass)
+	// to corrupt.
+	Target int64
+	// Fired reports whether the flip happened (false if the pass produced
+	// fewer than Target+1 outputs).
+	Fired bool
+
+	seen int64
+}
+
+// Reset re-arms the injector for another pass with a new target.
+func (s *SingleFlip) Reset(bit int, target int64) {
+	s.Bit, s.Target, s.Fired, s.seen = bit, target, false, 0
+}
+
+// BitRates is zero everywhere; SingleFlip is deterministic, not statistical.
+func (s *SingleFlip) BitRates() []float64 { return make([]float64, timing.AccBits) }
+
+// Inject flips the target output's bit if it falls inside this call.
+func (s *SingleFlip) Inject(acc []int32, _ *rand.Rand) int {
+	if s.Fired {
+		return 0
+	}
+	if s.Target < s.seen+int64(len(acc)) {
+		i := s.Target - s.seen
+		acc[i] = FlipAccumulatorBit(acc[i], s.Bit)
+		s.Fired = true
+		s.seen += int64(len(acc))
+		return 1
+	}
+	s.seen += int64(len(acc))
+	return 0
+}
+
+// OutputCounter counts how many accumulator outputs a pass produces without
+// corrupting anything; it sizes the target range for SingleFlip.
+type OutputCounter struct{ N int64 }
+
+// BitRates is zero everywhere.
+func (c *OutputCounter) BitRates() []float64 { return make([]float64, timing.AccBits) }
+
+// Inject only counts.
+func (c *OutputCounter) Inject(acc []int32, _ *rand.Rand) int {
+	c.N += int64(len(acc))
+	return 0
+}

@@ -1,0 +1,122 @@
+// Package ldo is a behavioural model of the distributed digital low-dropout
+// regulators that implement the voltage-scaling system (Sec. 5.3, Fig. 12,
+// Table 2): 0.6-0.9 V output in 10 mV steps, a 90 ns / 50 mV transient
+// response, and 99.8 % peak current efficiency, after the event-driven
+// design of [103].
+package ldo
+
+import (
+	"math"
+)
+
+// LDO holds the regulator's Table 2 specifications.
+type LDO struct {
+	VMin, VMax float64 // output range (V)
+	StepV      float64 // output resolution (V)
+	// SlewSPerV is the transient response expressed in seconds per volt
+	// (90 ns per 50 mV).
+	SlewSPerV float64
+	// PeakEfficiency at maximum load current.
+	PeakEfficiency float64
+	// ILoadMax is the maximum load current (A).
+	ILoadMax float64
+	// AreaMM2 is the regulator macro area.
+	AreaMM2 float64
+	// CurrentDensity in A/mm^2.
+	CurrentDensity float64
+}
+
+// Default returns the Table 2 regulator.
+func Default() *LDO {
+	return &LDO{
+		VMin: 0.60, VMax: 0.90, StepV: 0.010,
+		SlewSPerV:      90e-9 / 0.050,
+		PeakEfficiency: 0.998,
+		ILoadMax:       15.2,
+		AreaMM2:        0.43,
+		CurrentDensity: 35,
+	}
+}
+
+// Quantize snaps a requested voltage onto the regulator's grid, clamping to
+// the output range.
+func (l *LDO) Quantize(v float64) float64 {
+	if v < l.VMin {
+		return l.VMin
+	}
+	if v > l.VMax {
+		return l.VMax
+	}
+	steps := math.Round((v - l.VMin) / l.StepV)
+	// Re-round to whole millivolts so grid values are exact (0.6 + 30*0.01
+	// would otherwise land at 0.8999999999999999).
+	return math.Round((l.VMin+steps*l.StepV)*1000) / 1000
+}
+
+// TransitionTime returns the settling time of a step from one voltage to
+// another, in seconds. The full-range 0.6 -> 0.9 V swing takes 540 ns — the
+// switching-latency bound of Table 3.
+func (l *LDO) TransitionTime(from, to float64) float64 {
+	return math.Abs(to-from) * l.SlewSPerV
+}
+
+// MaxSwitchingLatency is the full-range transition time (Table 3: 540 ns).
+func (l *LDO) MaxSwitchingLatency() float64 { return l.TransitionTime(l.VMin, l.VMax) }
+
+// LossEnergy returns the regulator's own dissipation for delivering `joules`
+// to the load: (1-eta)/eta of the delivered energy. At 99.8 % efficiency the
+// overhead is negligible, which is why the paper reports "switching power is
+// negligible in practice".
+func (l *LDO) LossEnergy(joules float64) float64 {
+	return joules * (1 - l.PeakEfficiency) / l.PeakEfficiency
+}
+
+// WavePoint is one sample of a transition waveform (Fig. 12(d)/(e)).
+type WavePoint struct {
+	TimeNS  float64
+	Voltage float64
+}
+
+// Waveform simulates a sequence of target voltages, sampling the output
+// every sampleNS nanoseconds while it slews linearly between levels and then
+// holds for holdNS.
+func (l *LDO) Waveform(targets []float64, holdNS, sampleNS float64) []WavePoint {
+	var out []WavePoint
+	if len(targets) == 0 || sampleNS <= 0 {
+		return out
+	}
+	t := 0.0
+	v := l.Quantize(targets[0])
+	out = append(out, WavePoint{0, v})
+	for _, raw := range targets {
+		target := l.Quantize(raw)
+		// Slew phase.
+		for v != target {
+			dv := l.StepV
+			if math.Abs(target-v) < dv {
+				dv = math.Abs(target - v)
+			}
+			if target < v {
+				dv = -dv
+			}
+			v += dv
+			t += math.Abs(dv) * l.SlewSPerV * 1e9
+			out = append(out, WavePoint{t, v})
+		}
+		// Hold phase.
+		for ht := sampleNS; ht <= holdNS; ht += sampleNS {
+			out = append(out, WavePoint{t + ht, v})
+		}
+		t += holdNS
+	}
+	return out
+}
+
+// Levels returns every voltage the regulator can output, ascending.
+func (l *LDO) Levels() []float64 {
+	var out []float64
+	for v := l.VMin; v <= l.VMax+1e-9; v += l.StepV {
+		out = append(out, math.Round(v*1000)/1000)
+	}
+	return out
+}

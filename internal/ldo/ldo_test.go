@@ -1,0 +1,93 @@
+package ldo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeGridAndClamp(t *testing.T) {
+	l := Default()
+	if v := l.Quantize(0.844); math.Abs(v-0.84) > 1e-9 {
+		t.Fatalf("quantize 0.844 -> %v", v)
+	}
+	if v := l.Quantize(0.846); math.Abs(v-0.85) > 1e-9 {
+		t.Fatalf("quantize 0.846 -> %v", v)
+	}
+	if l.Quantize(0.3) != l.VMin || l.Quantize(1.2) != l.VMax {
+		t.Fatal("clamping failed")
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	l := Default()
+	f := func(raw uint16) bool {
+		v := 0.5 + float64(raw%500)/1000
+		q := l.Quantize(v)
+		return l.Quantize(q) == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullSwingIs540ns(t *testing.T) {
+	l := Default()
+	// Table 3: 0.6 -> 0.9 V at 90 ns / 50 mV = 540 ns.
+	if got := l.MaxSwitchingLatency(); math.Abs(got-540e-9) > 1e-12 {
+		t.Fatalf("max switching latency %v", got)
+	}
+	if tt := l.TransitionTime(0.8, 0.85); math.Abs(tt-90e-9) > 1e-12 {
+		t.Fatalf("50mV step took %v", tt)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	l := Default()
+	levels := l.Levels()
+	if len(levels) != 31 {
+		t.Fatalf("10mV grid over 0.6-0.9 should have 31 levels, got %d", len(levels))
+	}
+	if levels[0] != 0.6 || levels[len(levels)-1] != 0.9 {
+		t.Fatalf("level endpoints %v %v", levels[0], levels[len(levels)-1])
+	}
+}
+
+func TestWaveformMonotoneSlewAndBounds(t *testing.T) {
+	l := Default()
+	wf := l.Waveform([]float64{0.9, 0.7, 0.85}, 300, 50)
+	if len(wf) == 0 {
+		t.Fatal("empty waveform")
+	}
+	prevT := -1.0
+	for _, p := range wf {
+		if p.TimeNS < prevT {
+			t.Fatal("time must be non-decreasing")
+		}
+		prevT = p.TimeNS
+		if p.Voltage < l.VMin-1e-9 || p.Voltage > l.VMax+1e-9 {
+			t.Fatalf("voltage %v out of range", p.Voltage)
+		}
+	}
+	// The waveform must actually reach both targets.
+	saw07, saw085 := false, false
+	for _, p := range wf {
+		if math.Abs(p.Voltage-0.70) < 1e-9 {
+			saw07 = true
+		}
+		if math.Abs(p.Voltage-0.85) < 1e-9 {
+			saw085 = true
+		}
+	}
+	if !saw07 || !saw085 {
+		t.Fatal("waveform missed a target level")
+	}
+}
+
+func TestLossEnergyTiny(t *testing.T) {
+	l := Default()
+	// 99.8% efficiency: delivering 1 J loses ~2 mJ.
+	if loss := l.LossEnergy(1.0); loss < 0.001 || loss > 0.003 {
+		t.Fatalf("LDO loss %v", loss)
+	}
+}

@@ -1,0 +1,135 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/nn"
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+// ControllerConfig sizes the synthetic RL controller.
+type ControllerConfig struct {
+	Layers, Dim, MLPDim, Heads int
+	// Actions is the size of the action-logit head; ObsTokens is the length
+	// of the fused observation/prompt token sequence the controller attends
+	// over.
+	Actions, ObsTokens int
+	Seed               int64
+}
+
+// DefaultControllerConfig returns the miniature controller used for
+// characterization.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{
+		Layers: 4, Dim: 64, MLPDim: 256, Heads: 4,
+		Actions: 36, ObsTokens: 12, Seed: 20260323,
+	}
+}
+
+// ControllerBlock is one pre-LayerNorm Transformer block of the controller.
+type ControllerBlock struct {
+	Norm1, Norm2 *nn.LayerNorm
+	Attn         *nn.Attention
+	MLP          *nn.MLP
+}
+
+// Controller is the synthetic low-level action policy.
+type Controller struct {
+	Cfg    ControllerConfig
+	InProj *tensor.Mat // fixed observation encoder (ObsFeatures x Dim)
+	Blocks []*ControllerBlock
+	Norm   *nn.LayerNorm
+	Head   *nn.Linear // policy head: Dim x Actions
+
+	// Probe, when non-nil, observes the residual stream entering each
+	// block's first normalization (Fig. 5(j)/(l)).
+	Probe func(layer int, residual *tensor.Mat)
+}
+
+// ObsFeatures is the dimensionality of the flattened observation feature
+// vector the controller consumes each step.
+const ObsFeatures = 32
+
+// NewController constructs the controller with deterministic weights and
+// uniform (outlier-free) activations.
+func NewController(cfg ControllerConfig) *Controller {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Controller{Cfg: cfg}
+
+	c.InProj = tensor.NewMat(ObsFeatures, cfg.Dim)
+	nn.RandInit(c.InProj, rng, 2)
+
+	lin := func(name string, in, out int, gain float64) *nn.Linear {
+		w := tensor.NewMat(in, out)
+		nn.RandInit(w, rng, gain)
+		return &nn.Linear{Name: name, W: w, B: make([]float32, out)}
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		c.Blocks = append(c.Blocks, &ControllerBlock{
+			Norm1: nn.NewLayerNorm(cfg.Dim),
+			Norm2: nn.NewLayerNorm(cfg.Dim),
+			Attn: &nn.Attention{
+				Heads: cfg.Heads,
+				Q:     lin(fmt.Sprintf("L%d.Q", l), cfg.Dim, cfg.Dim, 1),
+				K:     lin(fmt.Sprintf("L%d.K", l), cfg.Dim, cfg.Dim, 1),
+				V:     lin(fmt.Sprintf("L%d.V", l), cfg.Dim, cfg.Dim, 1),
+				O:     lin(fmt.Sprintf("L%d.O", l), cfg.Dim, cfg.Dim, 0.5),
+			},
+			MLP: &nn.MLP{
+				FC1: lin(fmt.Sprintf("L%d.FC1", l), cfg.Dim, cfg.MLPDim, 1),
+				FC2: lin(fmt.Sprintf("L%d.FC2", l), cfg.MLPDim, cfg.Dim, 0.5),
+			},
+		})
+	}
+	c.Norm = nn.NewLayerNorm(cfg.Dim)
+	c.Head = lin("Head", cfg.Dim, cfg.Actions, 1)
+	return c
+}
+
+// EncodeObservation expands a flat observation feature vector into the token
+// sequence the controller attends over (a stand-in for the prompt-embed +
+// image-process fusion front end of Fig. 3).
+func (c *Controller) EncodeObservation(features []float32) *tensor.Mat {
+	if len(features) != ObsFeatures {
+		panic(fmt.Sprintf("model: controller expects %d features, got %d", ObsFeatures, len(features)))
+	}
+	x := tensor.NewMat(c.Cfg.ObsTokens, ObsFeatures)
+	for t := 0; t < c.Cfg.ObsTokens; t++ {
+		row := x.Row(t)
+		for j, f := range features {
+			// Token-position-dependent mixing keeps the sequence informative
+			// without another learned component.
+			row[j] = f * float32(1+(t+j)%3)
+		}
+	}
+	return tensor.MatMul(x, c.InProj)
+}
+
+// Forward runs the controller and returns the action logits of the final
+// token (the step's action distribution, Fig. 3 bottom-right).
+func (c *Controller) Forward(be nn.Backend, features []float32) []float32 {
+	h := c.EncodeObservation(features)
+	for l, blk := range c.Blocks {
+		if c.Probe != nil {
+			c.Probe(l, h)
+		}
+		attnIn := blk.Norm1.Forward(h)
+		h.AddInPlace(blk.Attn.Forward(be, attnIn))
+		mlpIn := blk.Norm2.Forward(h)
+		h.AddInPlace(blk.MLP.Forward(be, mlpIn))
+	}
+	out := c.Head.Forward(be, c.Norm.Forward(h))
+	logits := make([]float32, c.Cfg.Actions)
+	copy(logits, out.Row(out.Rows-1))
+	return logits
+}
+
+// RandomObservation draws a plausible observation feature vector.
+func RandomObservation(rng *rand.Rand) []float32 {
+	obs := make([]float32, ObsFeatures)
+	for i := range obs {
+		obs[i] = float32(rng.NormFloat64())
+	}
+	return obs
+}

@@ -1,0 +1,187 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/embodiedai/create/internal/nn"
+	"github.com/embodiedai/create/internal/systolic"
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+func smallPlannerConfig() PlannerConfig {
+	cfg := DefaultPlannerConfig()
+	cfg.Layers = 2
+	return cfg
+}
+
+func TestPlannerDeterministic(t *testing.T) {
+	cfg := smallPlannerConfig()
+	p1, p2 := NewPlanner(cfg), NewPlanner(cfg)
+	tokens := p1.PromptTokens(8, 1)
+	l1 := p1.Forward(nn.Float{}, tokens)
+	l2 := p2.Forward(nn.Float{}, tokens)
+	if tensor.MaxAbsDiff(l1, l2) != 0 {
+		t.Fatal("same seed must give identical planners")
+	}
+}
+
+func TestPlannerLogitsShape(t *testing.T) {
+	p := NewPlanner(smallPlannerConfig())
+	tokens := p.PromptTokens(10, 2)
+	logits := p.Forward(nn.Float{}, tokens)
+	if logits.Rows != 10 || logits.Cols != p.Cfg.Vocab {
+		t.Fatalf("logits shape %dx%d", logits.Rows, logits.Cols)
+	}
+	for _, v := range logits.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite logits")
+		}
+	}
+}
+
+func TestPlannerResidualHasOutliers(t *testing.T) {
+	// Fig. 5(i): the planner's pre-norm residual stream must exhibit
+	// systematic outliers — std across channels far above the median channel
+	// magnitude, concentrated on fixed channels.
+	p := NewPlanner(smallPlannerConfig())
+	var captured []float32
+	p.Probe = func(layer int, h *tensor.Mat) {
+		if layer == 1 {
+			captured = append(captured[:0], h.Data...)
+		}
+	}
+	p.Forward(nn.Float{}, p.PromptTokens(12, 3))
+	if captured == nil {
+		t.Fatal("probe never fired")
+	}
+	mx := float64(tensor.AbsMax(captured))
+	sd := tensor.Std(captured)
+	if mx < 6*sd {
+		t.Fatalf("expected heavy outliers: absmax %v vs std %v", mx, sd)
+	}
+}
+
+func TestControllerResidualUniform(t *testing.T) {
+	// Fig. 5(j): the controller's residual stream has no extreme outliers.
+	c := NewController(DefaultControllerConfig())
+	var captured []float32
+	c.Probe = func(layer int, h *tensor.Mat) {
+		if layer == c.Cfg.Layers-1 {
+			captured = append(captured[:0], h.Data...)
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	c.Forward(nn.Float{}, RandomObservation(rng))
+	mx := float64(tensor.AbsMax(captured))
+	sd := tensor.Std(captured)
+	if mx > 8*sd {
+		t.Fatalf("controller activations should be outlier free: absmax %v vs std %v", mx, sd)
+	}
+}
+
+func TestWeightRotationPreservesFunction(t *testing.T) {
+	// Sec. 5.2: rotations fold into the weights offline "without altering
+	// overall network outputs". Exact in float; we allow float32 roundoff.
+	cfg := smallPlannerConfig()
+	base := NewPlanner(cfg)
+	rot := NewPlanner(cfg)
+	rot.ApplyWeightRotation()
+	if !rot.Rotated() || base.Rotated() {
+		t.Fatal("rotation flags wrong")
+	}
+	tokens := base.PromptTokens(8, 5)
+	l1 := base.Forward(nn.Float{}, tokens)
+	l2 := rot.Forward(nn.Float{}, tokens)
+	scale := float64(tensor.AbsMax(l1.Data))
+	if d := tensor.MaxAbsDiff(l1, l2); d > 1e-3*scale+1e-3 {
+		t.Fatalf("rotation changed network function: maxdiff %v (logit scale %v)", d, scale)
+	}
+}
+
+func TestWeightRotationDispersesResidualOutliers(t *testing.T) {
+	// Fig. 9(b): post-rotation residual activations are outlier free.
+	cfg := smallPlannerConfig()
+	spread := func(rotate bool) float64 {
+		p := NewPlanner(cfg)
+		if rotate {
+			p.ApplyWeightRotation()
+		}
+		var mx float64
+		p.Probe = func(_ int, h *tensor.Mat) {
+			if m := float64(tensor.AbsMax(h.Data)); m > mx {
+				mx = m
+			}
+		}
+		p.Forward(nn.Float{}, p.PromptTokens(12, 6))
+		return mx
+	}
+	// Compare absolute maxima of the residual stream.
+	before, after := spread(false), spread(true)
+	if after > before/2 {
+		t.Fatalf("rotation should shrink residual absmax: before %v after %v", before, after)
+	}
+}
+
+func TestWeightRotationIdempotent(t *testing.T) {
+	p := NewPlanner(smallPlannerConfig())
+	p.ApplyWeightRotation()
+	w := p.Blocks[0].Attn.Q.W.Clone()
+	p.ApplyWeightRotation() // second call must be a no-op
+	if tensor.MaxAbsDiff(w, p.Blocks[0].Attn.Q.W) != 0 {
+		t.Fatal("double rotation modified weights")
+	}
+}
+
+func TestControllerForwardShapeAndDeterminism(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	c := NewController(cfg)
+	rng := rand.New(rand.NewSource(7))
+	obs := RandomObservation(rng)
+	l1 := c.Forward(nn.Float{}, obs)
+	l2 := c.Forward(nn.Float{}, obs)
+	if len(l1) != cfg.Actions {
+		t.Fatalf("logit count %d", len(l1))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("controller forward must be deterministic")
+		}
+	}
+}
+
+func TestPlannerOnSystolicBackendMatchesFloatShape(t *testing.T) {
+	// Error-free systolic execution should produce logits that agree with
+	// the float path on the argmax for most positions (quantization noise
+	// only).
+	p := NewPlanner(smallPlannerConfig())
+	tokens := p.PromptTokens(8, 8)
+	floatTokens := p.GreedyTokens(nn.Float{}, tokens)
+
+	be := nn.NewSystolic(systolic.NewEngine(1))
+	be.Calibrating = true
+	p.Forward(be, tokens)
+	be.Calibrating = false
+	sysTokens := p.GreedyTokens(be, tokens)
+
+	agree := 0
+	for i := range floatTokens {
+		if floatTokens[i] == sysTokens[i] {
+			agree++
+		}
+	}
+	if agree < len(floatTokens)/2 {
+		t.Fatalf("INT8 datapath too lossy: only %d/%d argmax agree", agree, len(floatTokens))
+	}
+}
+
+func TestEncodeObservationValidatesLength(t *testing.T) {
+	c := NewController(DefaultControllerConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong feature length")
+		}
+	}()
+	c.EncodeObservation(make([]float32, 3))
+}

@@ -1,0 +1,205 @@
+// Package model builds the synthetic planner and controller networks used
+// for resilience characterization.
+//
+// The paper characterizes JARVIS-1: an 8 B-parameter LLaVA planner and a
+// STEVE-1 Transformer controller. Networks of that scale are out of reach
+// here, so this package constructs architecture-faithful miniatures:
+//
+//   - the planner is a stack of pre-RMSNorm Transformer blocks with a SwiGLU
+//     MLP (components Q, K, V, O, Gate, Up, Down — Fig. 3 left) and, crucially,
+//     *planted activation outlier channels*: a few residual-stream channels
+//     carry magnitudes tens of times larger than the rest, reproducing the
+//     systematic outliers of billion-parameter LLMs (Fig. 5(i));
+//   - the controller is a stack of pre-LayerNorm Transformer blocks with a
+//     plain ReLU MLP (components Q, K, V, O, FC1, FC2 — Fig. 3 right) and
+//     uniform activations (Fig. 5(j)).
+//
+// Resilience conclusions transfer because they depend on this activation/
+// normalization structure, not on model capability (see DESIGN.md).
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/hadamard"
+	"github.com/embodiedai/create/internal/nn"
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+// PlannerConfig sizes the synthetic planner.
+type PlannerConfig struct {
+	Layers, Dim, MLPDim, Heads, Vocab int
+	// OutlierChannels is the number of planted outlier channels in the
+	// residual stream; OutlierScale is their magnitude multiplier.
+	OutlierChannels int
+	OutlierScale    float32
+	Seed            int64
+}
+
+// DefaultPlannerConfig returns the miniature used throughout the
+// characterization: dim 64 (a power of two, so the Hadamard rotation applies
+// directly), 4 layers, 4 outlier channels at 24x magnitude.
+func DefaultPlannerConfig() PlannerConfig {
+	return PlannerConfig{
+		Layers: 4, Dim: 64, MLPDim: 192, Heads: 4, Vocab: 128,
+		OutlierChannels: 4, OutlierScale: 24, Seed: 20260322,
+	}
+}
+
+// PlannerBlock is one pre-norm Transformer block of the planner.
+type PlannerBlock struct {
+	Norm1, Norm2 *nn.RMSNorm
+	Attn         *nn.Attention
+	MLP          *nn.GatedMLP
+}
+
+// Planner is the synthetic LLM planner.
+type Planner struct {
+	Cfg       PlannerConfig
+	Embed     *tensor.Mat // Vocab x Dim
+	Blocks    []*PlannerBlock
+	FinalNorm *nn.RMSNorm
+	Head      *nn.Linear // "Head": Dim x Vocab
+
+	// Probe, when non-nil, observes the residual stream entering each
+	// block's first normalization — the activation the paper profiles in
+	// Fig. 5(i)/(k).
+	Probe func(layer int, residual *tensor.Mat)
+
+	rotated bool
+}
+
+// NewPlanner constructs the planner with deterministic weights and planted
+// outlier channels.
+func NewPlanner(cfg PlannerConfig) *Planner {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Planner{Cfg: cfg}
+
+	p.Embed = tensor.NewMat(cfg.Vocab, cfg.Dim)
+	for i := range p.Embed.Data {
+		p.Embed.Data[i] = float32(rng.NormFloat64())
+	}
+	// Plant systematic outlier channels: the same few channels carry large
+	// magnitudes for every token, as observed in large LLMs.
+	for t := 0; t < cfg.Vocab; t++ {
+		row := p.Embed.Row(t)
+		for c := 0; c < cfg.OutlierChannels; c++ {
+			ch := outlierChannel(c, cfg.Dim)
+			row[ch] *= cfg.OutlierScale
+		}
+	}
+
+	lin := func(name string, in, out int, gain float64) *nn.Linear {
+		w := tensor.NewMat(in, out)
+		nn.RandInit(w, rng, gain)
+		return &nn.Linear{Name: name, W: w}
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		blk := &PlannerBlock{
+			Norm1: nn.NewRMSNorm(cfg.Dim),
+			Norm2: nn.NewRMSNorm(cfg.Dim),
+			Attn: &nn.Attention{
+				Heads:  cfg.Heads,
+				Causal: true,
+				Q:      lin(fmt.Sprintf("L%d.Q", l), cfg.Dim, cfg.Dim, 1),
+				K:      lin(fmt.Sprintf("L%d.K", l), cfg.Dim, cfg.Dim, 1),
+				V:      lin(fmt.Sprintf("L%d.V", l), cfg.Dim, cfg.Dim, 1),
+				O:      lin(fmt.Sprintf("L%d.O", l), cfg.Dim, cfg.Dim, 0.5),
+			},
+			MLP: &nn.GatedMLP{
+				Gate: lin(fmt.Sprintf("L%d.Gate", l), cfg.Dim, cfg.MLPDim, 1),
+				Up:   lin(fmt.Sprintf("L%d.Up", l), cfg.Dim, cfg.MLPDim, 1),
+				Down: lin(fmt.Sprintf("L%d.Down", l), cfg.MLPDim, cfg.Dim, 0.5),
+			},
+		}
+		// Keep the outlier channels of the block outputs aligned with the
+		// residual stream so outliers persist through depth, as they do in
+		// real LLMs.
+		for c := 0; c < cfg.OutlierChannels; c++ {
+			ch := outlierChannel(c, cfg.Dim)
+			scaleColumn(blk.Attn.O.W, ch, cfg.OutlierScale/4)
+			scaleColumn(blk.MLP.Down.W, ch, cfg.OutlierScale/4)
+		}
+		p.Blocks = append(p.Blocks, blk)
+	}
+	p.FinalNorm = nn.NewRMSNorm(cfg.Dim)
+	p.Head = lin("Head", cfg.Dim, cfg.Vocab, 1)
+	return p
+}
+
+func outlierChannel(i, dim int) int { return (i*13 + 3) % dim }
+
+func scaleColumn(w *tensor.Mat, col int, s float32) {
+	for r := 0; r < w.Rows; r++ {
+		w.Set(r, col, w.At(r, col)*s)
+	}
+}
+
+// Forward runs the planner over a token sequence and returns the
+// (tokens x Vocab) logits.
+func (p *Planner) Forward(be nn.Backend, tokens []int) *tensor.Mat {
+	h := tensor.NewMat(len(tokens), p.Cfg.Dim)
+	for i, t := range tokens {
+		copy(h.Row(i), p.Embed.Row(t%p.Cfg.Vocab))
+	}
+	for l, blk := range p.Blocks {
+		if p.Probe != nil {
+			p.Probe(l, h)
+		}
+		attnIn := blk.Norm1.Forward(h)
+		h.AddInPlace(blk.Attn.Forward(be, attnIn))
+		mlpIn := blk.Norm2.Forward(h)
+		h.AddInPlace(blk.MLP.Forward(be, mlpIn))
+	}
+	return p.Head.Forward(be, p.FinalNorm.Forward(h))
+}
+
+// GreedyTokens returns the argmax next-token prediction at every position.
+func (p *Planner) GreedyTokens(be nn.Backend, tokens []int) []int {
+	logits := p.Forward(be, tokens)
+	out := make([]int, logits.Rows)
+	for i := range out {
+		out[i] = tensor.ArgMax(logits.Row(i))
+	}
+	return out
+}
+
+// Rotated reports whether ApplyWeightRotation has been applied.
+func (p *Planner) Rotated() bool { return p.rotated }
+
+// ApplyWeightRotation folds the Hadamard rotation into the planner weights
+// offline (Sec. 5.2, Fig. 9(a)): producers of the residual stream (embedding,
+// O, Down) are right-multiplied by H; consumers (Q, K, V, Gate, Up, head) are
+// left-multiplied by H^T. Unit-gain RMSNorm commutes with the rotation, so
+// the network function is unchanged while the residual-stream outliers are
+// dispersed across all channels.
+func (p *Planner) ApplyWeightRotation() {
+	if p.rotated {
+		return
+	}
+	h := hadamard.Matrix(p.Cfg.Dim)
+	p.Embed = hadamard.RotateRight(p.Embed, h)
+	for _, blk := range p.Blocks {
+		blk.Attn.Q.W = hadamard.RotateLeft(h, blk.Attn.Q.W)
+		blk.Attn.K.W = hadamard.RotateLeft(h, blk.Attn.K.W)
+		blk.Attn.V.W = hadamard.RotateLeft(h, blk.Attn.V.W)
+		blk.Attn.O.W = hadamard.RotateRight(blk.Attn.O.W, h)
+		blk.MLP.Gate.W = hadamard.RotateLeft(h, blk.MLP.Gate.W)
+		blk.MLP.Up.W = hadamard.RotateLeft(h, blk.MLP.Up.W)
+		blk.MLP.Down.W = hadamard.RotateRight(blk.MLP.Down.W, h)
+	}
+	p.Head.W = hadamard.RotateLeft(h, p.Head.W)
+	p.rotated = true
+}
+
+// PromptTokens returns a deterministic pseudo-prompt of n tokens for seeding
+// characterization runs.
+func (p *Planner) PromptTokens(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(p.Cfg.Vocab)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+// Attention is a multi-head self-attention block. The four projection
+// components (Q, K, V, O) run on the Backend — they are the GEMMs the paper
+// injects errors into — while the score computation itself stays in float,
+// matching the paper's injection sites (outputs of GEMM layers).
+type Attention struct {
+	Heads      int
+	Q, K, V, O *Linear
+	Causal     bool
+}
+
+// Forward runs self-attention over x (tokens x dim).
+func (a *Attention) Forward(be Backend, x *tensor.Mat) *tensor.Mat {
+	dim := a.Q.W.Cols
+	if dim%a.Heads != 0 {
+		panic("nn: head count must divide model dim")
+	}
+	hd := dim / a.Heads
+	q := a.Q.Forward(be, x)
+	k := a.K.Forward(be, x)
+	v := a.V.Forward(be, x)
+
+	ctx := tensor.NewMat(x.Rows, dim)
+	invSqrt := float32(1 / math.Sqrt(float64(hd)))
+	scores := make([]float32, x.Rows)
+	for h := 0; h < a.Heads; h++ {
+		off := h * hd
+		for i := 0; i < x.Rows; i++ {
+			qi := q.Row(i)[off : off+hd]
+			limit := x.Rows
+			if a.Causal {
+				limit = i + 1
+			}
+			for j := 0; j < limit; j++ {
+				kj := k.Row(j)[off : off+hd]
+				var dot float32
+				for d := 0; d < hd; d++ {
+					dot += qi[d] * kj[d]
+				}
+				scores[j] = dot * invSqrt
+			}
+			probs := tensor.Softmax(scores[:limit])
+			out := ctx.Row(i)[off : off+hd]
+			for j := 0; j < limit; j++ {
+				p := probs[j]
+				if p == 0 {
+					continue
+				}
+				vj := v.Row(j)[off : off+hd]
+				for d := 0; d < hd; d++ {
+					out[d] += p * vj[d]
+				}
+			}
+		}
+	}
+	return a.O.Forward(be, ctx)
+}

@@ -1,0 +1,94 @@
+// Package nn provides the neural-network building blocks of the embodied AI
+// stack: the Transformer layers of the planner and controller (inference,
+// with a pluggable GEMM backend so the systolic datapath and its error
+// injection slot underneath any component), and a small training subset
+// (convolutions, pools, linear, MSE, AdamW) used by the entropy predictor.
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/embodiedai/create/internal/inject"
+	"github.com/embodiedai/create/internal/systolic"
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+// Backend executes the matrix products of named network components.
+// Implementations decide the datapath: exact float math, or the quantized
+// systolic array with error injection. The component name (e.g. "L3.O",
+// "L0.FC1") lets backends target individual components, which is how the
+// paper's per-component characterization (Fig. 5(e)-(h)) is driven.
+type Backend interface {
+	MatMul(component string, x, w *tensor.Mat) *tensor.Mat
+}
+
+// Float is the exact float32 reference backend.
+type Float struct{}
+
+// MatMul computes the exact float product, ignoring the component name.
+func (Float) MatMul(_ string, x, w *tensor.Mat) *tensor.Mat { return tensor.MatMul(x, w) }
+
+// Systolic runs every component on a quantized systolic engine, with
+// per-component injection control and offline-profiled output ranges.
+type Systolic struct {
+	Engine *systolic.Engine
+	// Target restricts injection to components whose name contains this
+	// substring; empty targets every component. (Comparing "K" vs "O"
+	// resilience uses Target=".K" / ".O".)
+	Target string
+	// Profile holds per-component output absolute maxima collected by a
+	// calibration pass; the anomaly bound derives from these.
+	Profile map[string]float32
+	// Headroom loosens the anomaly bound above the profiled maximum so that
+	// legitimate values near the observed range never trip the AD units
+	// (offline profiling always leaves margin). Default 1.5.
+	Headroom float32
+	// Calibrating records output ranges instead of consuming them.
+	Calibrating bool
+}
+
+// NewSystolic wraps an engine with an empty profile.
+func NewSystolic(e *systolic.Engine) *Systolic {
+	return &Systolic{Engine: e, Profile: make(map[string]float32), Headroom: 1.5}
+}
+
+// MatMul executes one component on the systolic engine. During calibration
+// it runs error free and records the output range; afterwards it injects
+// errors into targeted components and applies AD against the recorded range.
+func (s *Systolic) MatMul(component string, x, w *tensor.Mat) *tensor.Mat {
+	if s.Calibrating {
+		saved := s.Engine.Injector
+		s.Engine.Injector = inject.None{}
+		out := s.Engine.MatMul(x, w, 0)
+		s.Engine.Injector = saved
+		mx := tensor.AbsMax(out.Data)
+		if mx > s.Profile[component] {
+			s.Profile[component] = mx
+		}
+		return out
+	}
+	outMax := s.Profile[component] * s.Headroom
+	if !s.targeted(component) {
+		saved := s.Engine.Injector
+		s.Engine.Injector = inject.None{}
+		out := s.Engine.MatMul(x, w, outMax)
+		s.Engine.Injector = saved
+		return out
+	}
+	return s.Engine.MatMul(x, w, outMax)
+}
+
+func (s *Systolic) targeted(component string) bool {
+	return s.Target == "" || strings.Contains(component, s.Target)
+}
+
+// RandInit fills m with scaled Gaussian entries (std = gain/sqrt(fanIn)),
+// the usual Transformer initialization.
+func RandInit(m *tensor.Mat, rng *rand.Rand, gain float64) {
+	std := gain / math.Sqrt(float64(m.Rows))
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}

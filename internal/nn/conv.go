@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vol is a CHW-layout activation volume for the convolutional stack of the
+// entropy predictor (Table 9 of the paper).
+type Vol struct {
+	C, H, W int
+	Data    []float32
+}
+
+// NewVol returns a zeroed C x H x W volume.
+func NewVol(c, h, w int) *Vol {
+	return &Vol{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
+}
+
+// At returns element (c, y, x).
+func (v *Vol) At(c, y, x int) float32 { return v.Data[(c*v.H+y)*v.W+x] }
+
+// Set assigns element (c, y, x).
+func (v *Vol) Set(c, y, x int, val float32) { v.Data[(c*v.H+y)*v.W+x] = val }
+
+// Param is a trainable tensor with its gradient and AdamW moment buffers.
+type Param struct {
+	Val, Grad []float32
+	m, v      []float32
+}
+
+// NewParam allocates a parameter of n elements.
+func NewParam(n int) *Param {
+	return &Param{Val: make([]float32, n), Grad: make([]float32, n), m: make([]float32, n), v: make([]float32, n)}
+}
+
+// ZeroGrad clears the gradient buffer.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Conv2d is a stride-s, padding-p 2-D convolution with square kernels
+// (kernel size 3 throughout the predictor, per Table 9).
+type Conv2d struct {
+	InC, OutC, Kernel, Stride, Pad int
+	W, B                           *Param
+
+	lastIn *Vol
+}
+
+// NewConv2d builds a convolution with Kaiming-style initialization.
+func NewConv2d(inC, outC, kernel, stride, pad int, rng *rand.Rand) *Conv2d {
+	c := &Conv2d{InC: inC, OutC: outC, Kernel: kernel, Stride: stride, Pad: pad,
+		W: NewParam(outC * inC * kernel * kernel), B: NewParam(outC)}
+	std := math.Sqrt(2 / float64(inC*kernel*kernel))
+	for i := range c.W.Val {
+		c.W.Val[i] = float32(rng.NormFloat64() * std)
+	}
+	return c
+}
+
+// OutDim returns the spatial output size for input size n.
+func (c *Conv2d) OutDim(n int) int { return (n+2*c.Pad-c.Kernel)/c.Stride + 1 }
+
+func (c *Conv2d) widx(oc, ic, ky, kx int) int {
+	return ((oc*c.InC+ic)*c.Kernel+ky)*c.Kernel + kx
+}
+
+// Forward convolves in and caches it for Backward.
+func (c *Conv2d) Forward(in *Vol) *Vol {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("nn: conv expects %d channels, got %d", c.InC, in.C))
+	}
+	c.lastIn = in
+	oh, ow := c.OutDim(in.H), c.OutDim(in.W)
+	out := NewVol(c.OutC, oh, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := c.B.Val[oc]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := bias
+				iy0 := oy*c.Stride - c.Pad
+				ix0 := ox*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.Kernel; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.Kernel; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							sum += in.At(ic, iy, ix) * c.W.Val[c.widx(oc, ic, ky, kx)]
+						}
+					}
+				}
+				out.Set(oc, oy, ox, sum)
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients and returns the input gradient.
+func (c *Conv2d) Backward(gradOut *Vol) *Vol {
+	in := c.lastIn
+	gradIn := NewVol(in.C, in.H, in.W)
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < gradOut.H; oy++ {
+			for ox := 0; ox < gradOut.W; ox++ {
+				g := gradOut.At(oc, oy, ox)
+				if g == 0 {
+					continue
+				}
+				c.B.Grad[oc] += g
+				iy0 := oy*c.Stride - c.Pad
+				ix0 := ox*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.Kernel; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.Kernel; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							wi := c.widx(oc, ic, ky, kx)
+							c.W.Grad[wi] += g * in.At(ic, iy, ix)
+							gradIn.Data[(ic*in.H+iy)*in.W+ix] += g * c.W.Val[wi]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// ReLUVol is an in-place ReLU over volumes with backward masking.
+type ReLUVol struct{ mask []bool }
+
+// Forward applies ReLU and records which units were active.
+func (r *ReLUVol) Forward(in *Vol) *Vol {
+	r.mask = make([]bool, len(in.Data))
+	out := NewVol(in.C, in.H, in.W)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates the incoming gradient by the activation mask.
+func (r *ReLUVol) Backward(gradOut *Vol) *Vol {
+	gradIn := NewVol(gradOut.C, gradOut.H, gradOut.W)
+	for i, g := range gradOut.Data {
+		if r.mask[i] {
+			gradIn.Data[i] = g
+		}
+	}
+	return gradIn
+}
+
+// MaxPool2 is a 2x2, stride-2 max pool with argmax caching.
+type MaxPool2 struct {
+	argmax []int
+	inC    int
+	inH    int
+	inW    int
+}
+
+// Forward max-pools in by 2x2.
+func (p *MaxPool2) Forward(in *Vol) *Vol {
+	oh, ow := in.H/2, in.W/2
+	out := NewVol(in.C, oh, ow)
+	p.argmax = make([]int, in.C*oh*ow)
+	p.inC, p.inH, p.inW = in.C, in.H, in.W
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(math.Inf(-1))
+				bestIdx := 0
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						iy, ix := oy*2+dy, ox*2+dx
+						idx := (c*in.H+iy)*in.W + ix
+						if in.Data[idx] > best {
+							best = in.Data[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				oi := (c*oh+oy)*ow + ox
+				out.Data[oi] = best
+				p.argmax[oi] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (p *MaxPool2) Backward(gradOut *Vol) *Vol {
+	gradIn := NewVol(p.inC, p.inH, p.inW)
+	for oi, g := range gradOut.Data {
+		gradIn.Data[p.argmax[oi]] += g
+	}
+	return gradIn
+}
+
+// GlobalAvgPool reduces each channel to its spatial mean (AdaptiveAvgPool to
+// output size 1 in Table 9).
+type GlobalAvgPool struct {
+	inC, inH, inW int
+}
+
+// Forward returns the per-channel means as a feature vector.
+func (p *GlobalAvgPool) Forward(in *Vol) []float32 {
+	p.inC, p.inH, p.inW = in.C, in.H, in.W
+	out := make([]float32, in.C)
+	n := float32(in.H * in.W)
+	for c := 0; c < in.C; c++ {
+		var sum float32
+		base := c * in.H * in.W
+		for i := 0; i < in.H*in.W; i++ {
+			sum += in.Data[base+i]
+		}
+		out[c] = sum / n
+	}
+	return out
+}
+
+// Backward spreads each channel gradient uniformly over its spatial extent.
+func (p *GlobalAvgPool) Backward(gradOut []float32) *Vol {
+	gradIn := NewVol(p.inC, p.inH, p.inW)
+	n := float32(p.inH * p.inW)
+	for c, g := range gradOut {
+		base := c * p.inH * p.inW
+		gv := g / n
+		for i := 0; i < p.inH*p.inW; i++ {
+			gradIn.Data[base+i] = gv
+		}
+	}
+	return gradIn
+}

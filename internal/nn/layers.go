@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+// Linear is a y = x*W (+ b) component executed on a Backend. Name identifies
+// it to the backend for targeted injection and per-component profiling.
+type Linear struct {
+	Name string
+	W    *tensor.Mat // In x Out
+	B    []float32   // optional bias, length Out
+}
+
+// Forward applies the linear map to x ((tokens) x In).
+func (l *Linear) Forward(be Backend, x *tensor.Mat) *tensor.Mat {
+	out := be.MatMul(l.Name, x, l.W)
+	if l.B != nil {
+		for i := 0; i < out.Rows; i++ {
+			row := out.Row(i)
+			for j := range row {
+				row[j] += l.B[j]
+			}
+		}
+	}
+	return out
+}
+
+// RMSNorm normalizes each row by its root-mean-square, the pre-norm used by
+// LLaMA-family planners. Gain is per-channel; unit gain keeps the norm a pure
+// rotation-commuting operation, which the weight-rotation technique relies on
+// (Sec. 5.2: Hadamard matrices "preserve the L2 norm as RMSNorm
+// denominators").
+type RMSNorm struct {
+	Gain []float32
+	Eps  float32
+}
+
+// NewRMSNorm returns a unit-gain RMSNorm over dim channels.
+func NewRMSNorm(dim int) *RMSNorm {
+	g := make([]float32, dim)
+	for i := range g {
+		g[i] = 1
+	}
+	return &RMSNorm{Gain: g, Eps: 1e-5}
+}
+
+// Forward returns the row-wise RMS-normalized matrix.
+func (n *RMSNorm) Forward(x *tensor.Mat) *tensor.Mat {
+	out := tensor.NewMat(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var ss float64
+		for _, v := range row {
+			ss += float64(v) * float64(v)
+		}
+		inv := float32(1 / math.Sqrt(ss/float64(len(row))+float64(n.Eps)))
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = v * inv * n.Gain[j]
+		}
+	}
+	return out
+}
+
+// LayerNorm is the mean/variance normalization used by the controller's
+// Transformer blocks. Its statistics (mu, sigma) are what a single
+// large-magnitude fault skews (Fig. 5(k)/(l)).
+type LayerNorm struct {
+	Gain, Bias []float32
+	Eps        float32
+}
+
+// NewLayerNorm returns a unit-gain zero-bias LayerNorm over dim channels.
+func NewLayerNorm(dim int) *LayerNorm {
+	g := make([]float32, dim)
+	for i := range g {
+		g[i] = 1
+	}
+	return &LayerNorm{Gain: g, Bias: make([]float32, dim), Eps: 1e-5}
+}
+
+// Forward returns the row-wise layer-normalized matrix.
+func (n *LayerNorm) Forward(x *tensor.Mat) *tensor.Mat {
+	out := tensor.NewMat(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		mu, sigma := RowMoments(x.Row(i))
+		inv := float32(1 / (sigma + float64(n.Eps)))
+		row := x.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = (v-float32(mu))*inv*n.Gain[j] + n.Bias[j]
+		}
+	}
+	return out
+}
+
+// RowMoments returns the mean and standard deviation of one activation row —
+// the normalization statistics the resilience analysis tracks.
+func RowMoments(row []float32) (mu, sigma float64) {
+	mu = tensor.Mean(row)
+	var ss float64
+	for _, v := range row {
+		d := float64(v) - mu
+		ss += d * d
+	}
+	sigma = math.Sqrt(ss / float64(len(row)))
+	return mu, sigma
+}
+
+// SiLU applies x*sigmoid(x) element-wise in place (planner MLP activation).
+func SiLU(m *tensor.Mat) {
+	for i, v := range m.Data {
+		m.Data[i] = v * float32(1/(1+math.Exp(-float64(v))))
+	}
+}
+
+// ReLU applies max(0, x) element-wise in place (controller MLP activation).
+func ReLU(m *tensor.Mat) {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// GatedMLP is the planner's SwiGLU feed-forward block: Down(SiLU(Gate(x)) * Up(x)).
+type GatedMLP struct {
+	Gate, Up, Down *Linear
+}
+
+// Forward runs the gated MLP on x.
+func (m *GatedMLP) Forward(be Backend, x *tensor.Mat) *tensor.Mat {
+	g := m.Gate.Forward(be, x)
+	u := m.Up.Forward(be, x)
+	SiLU(g)
+	for i := range g.Data {
+		g.Data[i] *= u.Data[i]
+	}
+	return m.Down.Forward(be, g)
+}
+
+// MLP is the controller's plain two-layer feed-forward block: FC2(ReLU(FC1(x))).
+type MLP struct {
+	FC1, FC2 *Linear
+}
+
+// Forward runs the MLP on x.
+func (m *MLP) Forward(be Backend, x *tensor.Mat) *tensor.Mat {
+	h := m.FC1.Forward(be, x)
+	ReLU(h)
+	return m.FC2.Forward(be, h)
+}

@@ -1,0 +1,333 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/embodiedai/create/internal/systolic"
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+func TestLinearForward(t *testing.T) {
+	w := tensor.FromRows([][]float32{{1, 0}, {0, 2}})
+	l := &Linear{Name: "t", W: w, B: []float32{1, -1}}
+	x := tensor.FromRows([][]float32{{3, 4}})
+	out := l.Forward(Float{}, x)
+	if out.At(0, 0) != 4 || out.At(0, 1) != 7 {
+		t.Fatalf("linear output %v", out.Data)
+	}
+}
+
+func TestRMSNormUnitGainProperties(t *testing.T) {
+	n := NewRMSNorm(8)
+	x := tensor.FromRows([][]float32{{2, -2, 2, -2, 2, -2, 2, -2}})
+	out := n.Forward(x)
+	// RMS of the row is 2, so outputs are +-1.
+	for i, v := range out.Data {
+		want := float32(1)
+		if i%2 == 1 {
+			want = -1
+		}
+		if math.Abs(float64(v-want)) > 1e-3 {
+			t.Fatalf("rmsnorm[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestRMSNormScaleInvariance(t *testing.T) {
+	n := NewRMSNorm(16)
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewMat(2, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*4 - 2
+	}
+	scaled := x.Clone()
+	scaled.Scale(7)
+	a, b := n.Forward(x), n.Forward(scaled)
+	if d := tensor.MaxAbsDiff(a, b); d > 1e-3 {
+		t.Fatalf("rmsnorm not scale invariant: %v", d)
+	}
+}
+
+func TestLayerNormMoments(t *testing.T) {
+	n := NewLayerNorm(32)
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.NewMat(1, 32)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*10 + 3
+	}
+	out := n.Forward(x)
+	mu, sigma := RowMoments(out.Row(0))
+	if math.Abs(mu) > 1e-4 {
+		t.Fatalf("layernorm mean %v", mu)
+	}
+	if math.Abs(sigma-1) > 1e-2 {
+		t.Fatalf("layernorm sigma %v", sigma)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	m := tensor.FromRows([][]float32{{-1, 0, 2}})
+	r := m.Clone()
+	ReLU(r)
+	if r.Data[0] != 0 || r.Data[1] != 0 || r.Data[2] != 2 {
+		t.Fatalf("relu %v", r.Data)
+	}
+	s := m.Clone()
+	SiLU(s)
+	if s.Data[1] != 0 {
+		t.Fatal("silu(0) != 0")
+	}
+	if math.Abs(float64(s.Data[2])-2/(1+math.Exp(-2))*1) > 1e-4 {
+		t.Fatalf("silu(2) = %v", s.Data[2])
+	}
+	if s.Data[0] >= 0 {
+		t.Fatal("silu(-1) should be negative")
+	}
+}
+
+func TestAttentionCausality(t *testing.T) {
+	// With causal masking, changing a later token must not affect earlier
+	// positions' outputs.
+	rng := rand.New(rand.NewSource(3))
+	dim := 16
+	lin := func(name string) *Linear {
+		w := tensor.NewMat(dim, dim)
+		RandInit(w, rng, 1)
+		return &Linear{Name: name, W: w}
+	}
+	a := &Attention{Heads: 4, Q: lin("q"), K: lin("k"), V: lin("v"), O: lin("o"), Causal: true}
+	x := tensor.NewMat(4, dim)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	out1 := a.Forward(Float{}, x)
+	x2 := x.Clone()
+	for j := 0; j < dim; j++ {
+		x2.Set(3, j, 42)
+	}
+	out2 := a.Forward(Float{}, x2)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < dim; j++ {
+			if out1.At(i, j) != out2.At(i, j) {
+				t.Fatalf("causality violated at pos %d", i)
+			}
+		}
+	}
+}
+
+func TestSystolicBackendCalibrationAndTargeting(t *testing.T) {
+	eng := systolic.NewEngine(1)
+	be := NewSystolic(eng)
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.NewMat(4, 8)
+	w := tensor.NewMat(8, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.Float32()
+	}
+	be.Calibrating = true
+	be.MatMul("L0.K", x, w)
+	be.Calibrating = false
+	if be.Profile["L0.K"] == 0 {
+		t.Fatal("calibration did not record a range")
+	}
+	// Targeting: a backend targeting ".O" must run ".K" error free.
+	be.Target = ".O"
+	if be.targeted("L0.K") || !be.targeted("L3.O") {
+		t.Fatal("targeting predicate wrong")
+	}
+}
+
+// --- gradient checks -------------------------------------------------------
+
+func numericalGrad(f func() float64, p *Param, i int) float64 {
+	const eps = 1e-3
+	old := p.Val[i]
+	p.Val[i] = old + eps
+	up := f()
+	p.Val[i] = old - eps
+	down := f()
+	p.Val[i] = old
+	return (up - down) / (2 * eps)
+}
+
+func TestDenseGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDense(3, 2, rng)
+	x := []float32{0.5, -1, 2}
+	target := []float32{0.3, -0.7}
+	loss := func() float64 {
+		l, _ := MSE(d.Forward(x), target)
+		return l
+	}
+	// Analytic gradients.
+	_, grad := MSE(d.Forward(x), target)
+	d.W.ZeroGrad()
+	d.B.ZeroGrad()
+	d.Backward(grad)
+	for i := 0; i < len(d.W.Val); i++ {
+		num := numericalGrad(loss, d.W, i)
+		if math.Abs(num-float64(d.W.Grad[i])) > 1e-2*(math.Abs(num)+1e-2) {
+			t.Fatalf("dense W grad[%d]: analytic %v numeric %v", i, d.W.Grad[i], num)
+		}
+	}
+	for i := 0; i < len(d.B.Val); i++ {
+		num := numericalGrad(loss, d.B, i)
+		if math.Abs(num-float64(d.B.Grad[i])) > 1e-2*(math.Abs(num)+1e-2) {
+			t.Fatalf("dense B grad[%d]: analytic %v numeric %v", i, d.B.Grad[i], num)
+		}
+	}
+}
+
+func TestConvGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewConv2d(2, 3, 3, 2, 1, rng)
+	in := NewVol(2, 5, 5)
+	for i := range in.Data {
+		in.Data[i] = rng.Float32()*2 - 1
+	}
+	targetLen := 3 * c.OutDim(5) * c.OutDim(5)
+	target := make([]float32, targetLen)
+	for i := range target {
+		target[i] = rng.Float32()
+	}
+	loss := func() float64 {
+		out := c.Forward(in)
+		l, _ := MSE(out.Data, target)
+		return l
+	}
+	out := c.Forward(in)
+	_, grad := MSE(out.Data, target)
+	c.W.ZeroGrad()
+	c.B.ZeroGrad()
+	gv := &Vol{C: 3, H: c.OutDim(5), W: c.OutDim(5), Data: grad}
+	gradIn := c.Backward(gv)
+	for _, i := range []int{0, 7, 13, len(c.W.Val) - 1} {
+		num := numericalGrad(loss, c.W, i)
+		if math.Abs(num-float64(c.W.Grad[i])) > 2e-2*(math.Abs(num)+1e-2) {
+			t.Fatalf("conv W grad[%d]: analytic %v numeric %v", i, c.W.Grad[i], num)
+		}
+	}
+	// Input gradient check via a wrapped parameter.
+	ip := &Param{Val: in.Data, Grad: make([]float32, len(in.Data))}
+	for _, i := range []int{0, 12, 24} {
+		num := numericalGrad(loss, ip, i)
+		if math.Abs(num-float64(gradIn.Data[i])) > 2e-2*(math.Abs(num)+1e-2) {
+			t.Fatalf("conv input grad[%d]: analytic %v numeric %v", i, gradIn.Data[i], num)
+		}
+	}
+}
+
+func TestPoolingBackward(t *testing.T) {
+	p := &MaxPool2{}
+	in := NewVol(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	out := p.Forward(in)
+	if out.At(0, 0, 0) != 5 || out.At(0, 1, 1) != 15 {
+		t.Fatalf("maxpool wrong: %v", out.Data)
+	}
+	g := NewVol(1, 2, 2)
+	g.Data = []float32{1, 2, 3, 4}
+	gi := p.Backward(g)
+	if gi.Data[5] != 1 || gi.Data[15] != 4 {
+		t.Fatal("maxpool backward misrouted")
+	}
+	var total float32
+	for _, v := range gi.Data {
+		total += v
+	}
+	if total != 10 {
+		t.Fatalf("maxpool backward lost gradient: %v", total)
+	}
+
+	gap := &GlobalAvgPool{}
+	feat := gap.Forward(in)
+	if math.Abs(float64(feat[0])-7.5) > 1e-6 {
+		t.Fatalf("gap mean %v", feat[0])
+	}
+	gb := gap.Backward([]float32{16})
+	for _, v := range gb.Data {
+		if v != 1 {
+			t.Fatalf("gap backward %v", v)
+		}
+	}
+}
+
+func TestDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := &Dropout{P: 0.5, Train: true}
+	x := make([]float32, 1000)
+	for i := range x {
+		x[i] = 1
+	}
+	out := d.Forward(x, rng)
+	kept := 0
+	for _, v := range out {
+		if v != 0 {
+			if v != 2 {
+				t.Fatalf("inverted dropout scale wrong: %v", v)
+			}
+			kept++
+		}
+	}
+	if kept < 400 || kept > 600 {
+		t.Fatalf("dropout kept %d of 1000 at p=0.5", kept)
+	}
+	d.Train = false
+	out = d.Forward(x, rng)
+	for _, v := range out {
+		if v != 1 {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+}
+
+func TestAdamWReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewDense(4, 1, rng)
+	opt := NewAdamW(1e-2)
+	x := []float32{1, 2, 3, 4}
+	target := []float32{10}
+	var first, last float64
+	for i := 0; i < 200; i++ {
+		out := d.Forward(x)
+		loss, grad := MSE(out, target)
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+		d.Backward(grad)
+		opt.Step([]*Param{d.W, d.B})
+	}
+	if last > first/100 {
+		t.Fatalf("AdamW failed to fit: %v -> %v", first, last)
+	}
+}
+
+func TestGatedMLPAndMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dim, hidden := 8, 16
+	lin := func(in, out int) *Linear {
+		w := tensor.NewMat(in, out)
+		RandInit(w, rng, 1)
+		return &Linear{Name: "x", W: w}
+	}
+	g := &GatedMLP{Gate: lin(dim, hidden), Up: lin(dim, hidden), Down: lin(hidden, dim)}
+	m := &MLP{FC1: lin(dim, hidden), FC2: lin(hidden, dim)}
+	x := tensor.NewMat(2, dim)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	if out := g.Forward(Float{}, x); out.Rows != 2 || out.Cols != dim {
+		t.Fatal("gated mlp shape")
+	}
+	if out := m.Forward(Float{}, x); out.Rows != 2 || out.Cols != dim {
+		t.Fatal("mlp shape")
+	}
+}

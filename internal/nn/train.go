@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dense is a fully connected trainable layer over flat feature vectors.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	lastIn  []float32
+}
+
+// NewDense builds a dense layer with Xavier-style initialization.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, W: NewParam(in * out), B: NewParam(out)}
+	std := math.Sqrt(2 / float64(in+out))
+	for i := range d.W.Val {
+		d.W.Val[i] = float32(rng.NormFloat64() * std)
+	}
+	return d
+}
+
+// Forward computes y = W^T x + b and caches x.
+func (d *Dense) Forward(x []float32) []float32 {
+	d.lastIn = x
+	out := make([]float32, d.Out)
+	copy(out, d.B.Val)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := d.W.Val[i*d.Out : (i+1)*d.Out]
+		for j, wv := range row {
+			out[j] += xv * wv
+		}
+	}
+	return out
+}
+
+// Backward accumulates gradients and returns dLoss/dx.
+func (d *Dense) Backward(gradOut []float32) []float32 {
+	gradIn := make([]float32, d.In)
+	for j, g := range gradOut {
+		d.B.Grad[j] += g
+	}
+	for i, xv := range d.lastIn {
+		wrow := d.W.Val[i*d.Out : (i+1)*d.Out]
+		grow := d.W.Grad[i*d.Out : (i+1)*d.Out]
+		var acc float32
+		for j, g := range gradOut {
+			grow[j] += g * xv
+			acc += g * wrow[j]
+		}
+		gradIn[i] = acc
+	}
+	return gradIn
+}
+
+// ReLUVec is ReLU over flat vectors with backward masking.
+type ReLUVec struct{ mask []bool }
+
+// Forward applies ReLU.
+func (r *ReLUVec) Forward(x []float32) []float32 {
+	r.mask = make([]bool, len(x))
+	out := make([]float32, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the activation mask.
+func (r *ReLUVec) Backward(g []float32) []float32 {
+	out := make([]float32, len(g))
+	for i, v := range g {
+		if r.mask[i] {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Dropout randomly zeroes activations during training (inverted dropout, so
+// evaluation needs no rescaling).
+type Dropout struct {
+	P     float64
+	Train bool
+	mask  []bool
+}
+
+// Forward applies dropout when Train is set; otherwise it is the identity.
+func (d *Dropout) Forward(x []float32, rng *rand.Rand) []float32 {
+	if !d.Train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	out := make([]float32, len(x))
+	d.mask = make([]bool, len(x))
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x {
+		if rng.Float64() >= d.P {
+			out[i] = v * scale
+			d.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the kept units.
+func (d *Dropout) Backward(g []float32) []float32 {
+	if d.mask == nil {
+		return g
+	}
+	out := make([]float32, len(g))
+	scale := float32(1 / (1 - d.P))
+	for i, v := range g {
+		if d.mask[i] {
+			out[i] = v * scale
+		}
+	}
+	return out
+}
+
+// MSE returns the mean squared error and the gradient w.r.t. pred.
+func MSE(pred, target []float32) (loss float64, grad []float32) {
+	grad = make([]float32, len(pred))
+	for i := range pred {
+		d := float64(pred[i]) - float64(target[i])
+		loss += d * d
+		grad[i] = float32(2 * d / float64(len(pred)))
+	}
+	return loss / float64(len(pred)), grad
+}
+
+// AdamW implements decoupled weight-decay Adam (the optimizer the paper
+// trains the entropy predictor with: lr 1e-4, weight decay 1e-2).
+type AdamW struct {
+	LR, Beta1, Beta2, Eps, WeightDecay float64
+	step                               int
+}
+
+// NewAdamW returns AdamW with the paper's hyperparameters.
+func NewAdamW(lr float64) *AdamW {
+	return &AdamW{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 1e-2}
+}
+
+// Step applies one update to every parameter and clears the gradients.
+func (a *AdamW) Step(params []*Param) {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		for i := range p.Val {
+			g := float64(p.Grad[i])
+			m := a.Beta1*float64(p.m[i]) + (1-a.Beta1)*g
+			v := a.Beta2*float64(p.v[i]) + (1-a.Beta2)*g*g
+			p.m[i], p.v[i] = float32(m), float32(v)
+			mHat := m / bc1
+			vHat := v / bc2
+			upd := a.LR * (mHat/(math.Sqrt(vHat)+a.Eps) + a.WeightDecay*float64(p.Val[i]))
+			p.Val[i] -= float32(upd)
+			p.Grad[i] = 0
+		}
+	}
+}

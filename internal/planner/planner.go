@@ -1,0 +1,167 @@
+// Package planner implements the high-level task decomposition of the
+// LLM-based planner and how planner faults corrupt it.
+//
+// The real JARVIS-1 planner turns a natural-language task into a subtask
+// sequence by decoding tokens; a fault-corrupted decode yields wrong or
+// nonsense instructions (Sec. 4.1). Here the golden decomposition is
+// rule-derived from the task's dependency chain (state-aware, so replans
+// resume from progress), and corruption operates at subtask granularity:
+// each subtask spans ~TokensPerSubtask decode tokens, and any materially
+// corrupted token spoils its subtask, replacing it with a nonsense or
+// misordered instruction the controller cannot complete.
+package planner
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/world"
+)
+
+// TokensPerSubtask is the number of decoded tokens that determine one
+// subtask line of a plan.
+const TokensPerSubtask = 12
+
+// SubtaskCorruptProb converts a per-token corruption probability into a
+// per-subtask one.
+func SubtaskCorruptProb(pToken float64) float64 {
+	if pToken <= 0 {
+		return 0
+	}
+	if pToken >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-pToken, TokensPerSubtask)
+}
+
+// Golden returns the remaining subtask sequence for the task given the
+// current world state — the decomposition an error-free planner produces.
+// On a fresh world this is the full plan; after partial progress (replans)
+// completed milestones are skipped.
+func Golden(task world.TaskName, w *world.World) []world.Subtask {
+	full := fullPlan(task)
+	// Resume after the furthest completed milestone: tool crafts, placements
+	// and final items are monotone conditions, so everything before the last
+	// completed subtask is no longer needed even if its own condition has
+	// since been consumed away (e.g. logs turned into planks).
+	start := 0
+	for i := len(full) - 1; i >= 0; i-- {
+		if full[i].Done(w) {
+			start = i + 1
+			break
+		}
+	}
+	var out []world.Subtask
+	for _, st := range full[start:] {
+		if !st.Done(w) {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// fullPlan is the from-scratch decomposition of each task (Table 10).
+func fullPlan(task world.TaskName) []world.Subtask {
+	mine := func(kind world.SubtaskKind, item world.Item, n int) world.Subtask {
+		return world.Subtask{Kind: kind, Item: item, Count: n}
+	}
+	craft := func(item world.Item) world.Subtask {
+		return world.Subtask{Kind: world.CraftItem, Item: item, Count: 1}
+	}
+	smelt := func(item world.Item, n int) world.Subtask {
+		return world.Subtask{Kind: world.SmeltItem, Item: item, Count: n}
+	}
+	placeTable := world.Subtask{Kind: world.PlaceTable}
+	placeFurnace := world.Subtask{Kind: world.PlaceFurnace}
+
+	woodenChain := func(logs int) []world.Subtask {
+		return []world.Subtask{
+			mine(world.MineLog, world.Log, logs),
+			craft(world.CraftingTable),
+			placeTable,
+			craft(world.WoodenPickaxe),
+		}
+	}
+	furnaceChain := []world.Subtask{
+		mine(world.MineStone, world.Cobblestone, 8),
+		craft(world.Furnace),
+		placeFurnace,
+	}
+
+	switch task {
+	case world.TaskWooden:
+		return woodenChain(3)
+	case world.TaskStone:
+		return append(woodenChain(3),
+			mine(world.MineStone, world.Cobblestone, 3),
+			craft(world.StonePickaxe),
+		)
+	case world.TaskCharcoal:
+		plan := append(woodenChain(5), furnaceChain...)
+		return append(plan, smelt(world.Charcoal, 1))
+	case world.TaskChicken:
+		plan := append(woodenChain(4), furnaceChain...)
+		return append(plan,
+			mine(world.HuntChicken, world.RawChicken, 1),
+			smelt(world.CookedChicken, 1),
+		)
+	case world.TaskCoal:
+		return append(woodenChain(3), mine(world.MineCoal, world.Coal, 1))
+	case world.TaskIron:
+		plan := append(woodenChain(4),
+			mine(world.MineStone, world.Cobblestone, 3),
+			craft(world.StonePickaxe),
+		)
+		plan = append(plan, furnaceChain...)
+		return append(plan,
+			mine(world.MineIron, world.RawIron, 2),
+			smelt(world.IronIngot, 2),
+			craft(world.IronSword),
+		)
+	case world.TaskWool:
+		return []world.Subtask{mine(world.ShearWool, world.Wool, 5)}
+	case world.TaskSeed:
+		return []world.Subtask{mine(world.CollectSeeds, world.WheatSeeds, 10)}
+	case world.TaskLog:
+		return []world.Subtask{mine(world.MineLog, world.Log, 10)}
+	default:
+		return nil
+	}
+}
+
+// Corrupt applies planner faults to a plan: each subtask independently
+// corrupts with probability pSubtask. A corrupted line becomes nonsense
+// (ungroundable text) or a misordered instruction picked at random —
+// "prolonged irrelevant or incorrect actions" (Sec. 4.1).
+func Corrupt(plan []world.Subtask, pSubtask float64, rng *rand.Rand) []world.Subtask {
+	if pSubtask <= 0 {
+		return plan
+	}
+	out := make([]world.Subtask, len(plan))
+	copy(out, plan)
+	for i := range out {
+		if rng.Float64() >= pSubtask {
+			continue
+		}
+		if rng.Float64() < 0.5 {
+			out[i] = world.Subtask{Kind: world.Nonsense}
+		} else {
+			out[i] = randomMisordered(rng)
+		}
+	}
+	return out
+}
+
+// randomMisordered picks a plausible-looking but contextually wrong subtask.
+func randomMisordered(rng *rand.Rand) world.Subtask {
+	options := []world.Subtask{
+		{Kind: world.MineIron, Item: world.RawIron, Count: 2},
+		{Kind: world.MineCoal, Item: world.Coal, Count: 1},
+		{Kind: world.CraftItem, Item: world.IronSword, Count: 1},
+		{Kind: world.CraftItem, Item: world.Furnace, Count: 1},
+		{Kind: world.SmeltItem, Item: world.IronIngot, Count: 1},
+		{Kind: world.HuntChicken, Item: world.RawChicken, Count: 1},
+		{Kind: world.MineStone, Item: world.Cobblestone, Count: 8},
+	}
+	return options[rng.Intn(len(options))]
+}

@@ -1,0 +1,119 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/embodiedai/create/internal/world"
+)
+
+func TestGoldenPlansExistForAllTasks(t *testing.T) {
+	for _, task := range world.AllTasks {
+		w := world.New(world.Specs[task].Biome, 1)
+		plan := Golden(task, w)
+		if len(plan) == 0 {
+			t.Fatalf("%s: empty plan", task)
+		}
+		// A fresh plan must not contain nonsense and must end with a
+		// subtask that yields the task's goal item.
+		for _, st := range plan {
+			if st.Kind == world.Nonsense {
+				t.Fatalf("%s: golden plan contains nonsense", task)
+			}
+		}
+		last := plan[len(plan)-1]
+		if last.Item != world.Specs[task].Goal {
+			t.Fatalf("%s: plan ends with %v, want %v", task, last.Item, world.Specs[task].Goal)
+		}
+	}
+}
+
+func TestGoldenPlanSubtaskCounts(t *testing.T) {
+	// The paper's tasks decompose into a handful of subtasks (Sec. 2.1:
+	// typically 5-20 basic subtasks for complex ones; simple gather tasks
+	// are single subtasks).
+	w := world.New(world.Plains, 2)
+	if n := len(Golden(world.TaskIron, w)); n < 8 {
+		t.Fatalf("iron should be a long decomposition, got %d", n)
+	}
+	if n := len(Golden(world.TaskLog, w)); n != 1 {
+		t.Fatalf("log should be a single subtask, got %d", n)
+	}
+}
+
+func TestGoldenResumesAfterMilestones(t *testing.T) {
+	w := world.New(world.Jungle, 3)
+	full := Golden(world.TaskStone, w)
+
+	// Simulate having crafted the wooden pickaxe (logs consumed).
+	w.Inventory[world.WoodenPickaxe] = 1
+	w.Inventory[world.Planks] = 3
+	resumed := Golden(world.TaskStone, w)
+	if len(resumed) >= len(full) {
+		t.Fatalf("replan did not skip completed milestones: %d vs %d", len(resumed), len(full))
+	}
+	for _, st := range resumed {
+		if st.Kind == world.MineLog {
+			t.Fatal("replan re-mines logs after the pickaxe milestone")
+		}
+	}
+}
+
+func TestSubtaskCorruptProb(t *testing.T) {
+	if SubtaskCorruptProb(0) != 0 {
+		t.Fatal("zero token corruption must give zero")
+	}
+	if SubtaskCorruptProb(1) != 1 {
+		t.Fatal("certain token corruption must give one")
+	}
+	p := SubtaskCorruptProb(0.01)
+	want := 1 - math.Pow(0.99, TokensPerSubtask)
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("subtask corruption %v, want %v", p, want)
+	}
+}
+
+func TestCorruptStatistics(t *testing.T) {
+	w := world.New(world.Plains, 4)
+	plan := Golden(world.TaskIron, w)
+	rng := rand.New(rand.NewSource(5))
+	const reps = 400
+	corrupted := 0
+	for r := 0; r < reps; r++ {
+		out := Corrupt(plan, 0.3, rng)
+		if len(out) != len(plan) {
+			t.Fatal("corruption changed plan length")
+		}
+		for i := range out {
+			if out[i] != plan[i] {
+				corrupted++
+			}
+		}
+	}
+	rate := float64(corrupted) / float64(reps*len(plan))
+	if rate < 0.2 || rate > 0.4 {
+		t.Fatalf("corruption rate %v far from requested 0.3", rate)
+	}
+}
+
+func TestCorruptZeroProbIsIdentity(t *testing.T) {
+	w := world.New(world.Plains, 6)
+	plan := Golden(world.TaskStone, w)
+	out := Corrupt(plan, 0, rand.New(rand.NewSource(1)))
+	for i := range out {
+		if out[i] != plan[i] {
+			t.Fatal("p=0 corruption modified the plan")
+		}
+	}
+}
+
+func TestCharcoalPlanIsExecutable(t *testing.T) {
+	// Material accounting: following the charcoal plan's crafting chain must
+	// leave a log for smelting and fuel to burn (the 5-log decomposition).
+	w := world.New(world.Plains, 7)
+	plan := Golden(world.TaskCharcoal, w)
+	if plan[0].Count < 5 {
+		t.Fatalf("charcoal needs 5 logs (crafting consumes 3, smelt input 1, fuel margin), got %d", plan[0].Count)
+	}
+}

@@ -1,0 +1,163 @@
+// Package platforms carries the model-zoo data of the paper's evaluation:
+// parameter counts, op counts, token/image workloads (Table 4), and layer
+// shapes (Tables 7 and 8) for JARVIS-1, OpenVLA, RoboFlamingo, Octo, RT-1,
+// and the entropy predictor — plus the cross-platform task suites
+// (LIBERO, CALVIN, OXE; Table 10).
+package platforms
+
+import (
+	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/power"
+)
+
+// Class separates planner-shaped models (LLM/VLA backbones invoked per
+// task) from controller-shaped ones (policies invoked per step).
+type Class int
+
+// Model classes.
+const (
+	PlannerClass Class = iota
+	ControllerClass
+)
+
+// Spec describes one platform model (Table 4, with shapes from Tables 7/8).
+type Spec struct {
+	Name   string
+	Class  Class
+	Bench  string // benchmark suite the paper evaluates it on
+	Params float64
+	// GOps is giga INT8 operations per invocation (planner: one task
+	// decomposition; controller: one step). MACs = GOps/2 * 1e9.
+	GOps float64
+	// Hidden is the backbone width; Layers the depth (Tables 7/8).
+	Hidden, Layers int
+	// InTokens/OutTokens for planners (prefill/decode); InRes for
+	// controllers (square RGB input resolution).
+	InTokens, OutTokens int
+	InRes               int
+	MLPDim              int
+	// SRAMReuse is the average operand reuse on the systolic array (high
+	// for large planner GEMMs, low for the controller's skinny ones); it
+	// sets SRAM traffic = MACs/SRAMReuse bytes.
+	SRAMReuse float64
+	// WeightsResident marks models whose weights fit on-chip SRAM (the
+	// controllers, Sec. 6.1), avoiding per-invocation DRAM traffic.
+	WeightsResident bool
+}
+
+// MACs per invocation.
+func (s Spec) MACs() float64 { return s.GOps / 2 * 1e9 }
+
+// Shape derives the bridge fault-model shape: outputs per invocation-unit
+// (plan line for planners, step for controllers) and the hidden width.
+func (s Spec) Shape() bridge.Shape {
+	units := 1.0
+	if s.Class == PlannerClass {
+		units = float64(s.OutTokens)
+	}
+	return bridge.Shape{
+		Name:           s.Name,
+		OutputsPerUnit: s.MACs() / float64(s.Hidden) / units,
+		Width:          s.Hidden,
+	}
+}
+
+// FaultModel builds the anchored fault model for this platform.
+func (s Spec) FaultModel() *bridge.FaultModel {
+	if s.Class == PlannerClass {
+		return bridge.NewPlannerFaultModel(s.Shape())
+	}
+	return bridge.NewControllerFaultModel(s.Shape())
+}
+
+// Workload derives the power-model footprint of one invocation.
+func (s Spec) Workload() power.Workload {
+	w := power.Workload{MACs: s.MACs()}
+	w.SRAMBytes = w.MACs / s.SRAMReuse
+	if !s.WeightsResident {
+		// Weights are streamed from HBM2 each invocation (INT8: one byte
+		// per parameter), plus a smaller activation/KV share.
+		w.DRAMBytes = s.Params * 1e6 * 1.2
+	}
+	return w
+}
+
+// The model zoo (Tables 4, 7, 8).
+var (
+	JARVIS1Planner = Spec{
+		Name: "JARVIS-1 planner", Class: PlannerClass, Bench: "Minecraft",
+		Params: 7869, GOps: 5344, Hidden: 4096, Layers: 32, MLPDim: 14336,
+		InTokens: 740, OutTokens: 251, SRAMReuse: 64,
+	}
+	OpenVLA = Spec{
+		Name: "OpenVLA", Class: PlannerClass, Bench: "LIBERO",
+		Params: 6929, GOps: 4595, Hidden: 4096, Layers: 32, MLPDim: 11008,
+		InTokens: 617, OutTokens: 71, SRAMReuse: 64,
+	}
+	RoboFlamingo = Spec{
+		Name: "RoboFlamingo", Class: PlannerClass, Bench: "CALVIN",
+		Params: 2552, GOps: 2411, Hidden: 2048, Layers: 24, MLPDim: 8192,
+		InTokens: 505, OutTokens: 61, SRAMReuse: 64,
+	}
+	JARVIS1Controller = Spec{
+		Name: "JARVIS-1 controller", Class: ControllerClass, Bench: "Minecraft",
+		Params: 61, GOps: 102, Hidden: 1024, Layers: 4, MLPDim: 4096,
+		InRes: 128, SRAMReuse: 8, WeightsResident: true,
+	}
+	RT1 = Spec{
+		Name: "RT-1", Class: ControllerClass, Bench: "OXE",
+		Params: 35, GOps: 78, Hidden: 768, Layers: 11, MLPDim: 3072,
+		InRes: 224, SRAMReuse: 8, WeightsResident: true,
+	}
+	Octo = Spec{
+		Name: "Octo", Class: ControllerClass, Bench: "OXE",
+		Params: 27, GOps: 76, Hidden: 384, Layers: 12, MLPDim: 1536,
+		InRes: 224, SRAMReuse: 8, WeightsResident: true,
+	}
+	EntropyPredictor = Spec{
+		Name: "Entropy predictor", Class: ControllerClass, Bench: "-",
+		Params: 0.055, GOps: 0.043, Hidden: 128, Layers: 8,
+		InRes: 64, SRAMReuse: 8, WeightsResident: true,
+	}
+)
+
+// Planners and Controllers list the cross-platform evaluation sets of
+// Fig. 17.
+var (
+	Planners    = []Spec{JARVIS1Planner, OpenVLA, RoboFlamingo}
+	Controllers = []Spec{JARVIS1Controller, Octo, RT1}
+	All         = []Spec{JARVIS1Planner, OpenVLA, RoboFlamingo, JARVIS1Controller, RT1, Octo, EntropyPredictor}
+)
+
+// CrossTask is one manipulation task of the LIBERO/CALVIN/OXE suites
+// (Table 10). They are modelled as abstract episodes: a planner-shaped
+// model decomposes the instruction into Phases plan lines, each taking
+// StepsPerPhase controller steps.
+type CrossTask struct {
+	Name          string
+	Suite         string
+	Phases        int
+	StepsPerPhase int
+}
+
+// Cross-platform task suites (Table 10 abbreviations).
+var (
+	LIBEROTasks = []CrossTask{
+		{"wine", "LIBERO", 4, 60},
+		{"alphabet", "LIBERO", 5, 55},
+		{"bbq", "LIBERO", 5, 50},
+	}
+	CALVINTasks = []CrossTask{
+		{"button", "CALVIN", 3, 45},
+		{"block", "CALVIN", 4, 60},
+		{"handle", "CALVIN", 4, 55},
+	}
+	OXEControllerTasks = []CrossTask{
+		{"eggplant", "OXE", 3, 70},
+		{"coke", "OXE", 3, 60},
+		{"carrot", "OXE", 3, 65},
+		{"open", "OXE", 3, 55},
+		{"move", "OXE", 3, 65},
+		{"place", "OXE", 4, 60},
+	}
+)

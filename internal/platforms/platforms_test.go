@@ -1,0 +1,101 @@
+package platforms
+
+import (
+	"math"
+	"testing"
+
+	"github.com/embodiedai/create/internal/bridge"
+)
+
+func TestTable4Data(t *testing.T) {
+	// Spot-check the headline Table 4 numbers.
+	if JARVIS1Planner.Params != 7869 || JARVIS1Planner.GOps != 5344 {
+		t.Fatal("JARVIS-1 planner Table 4 row wrong")
+	}
+	if JARVIS1Controller.Params != 61 || JARVIS1Controller.GOps != 102 {
+		t.Fatal("JARVIS-1 controller Table 4 row wrong")
+	}
+	if EntropyPredictor.Params != 0.055 || EntropyPredictor.GOps != 0.043 {
+		t.Fatal("entropy predictor Table 4 row wrong")
+	}
+	if len(All) != 7 {
+		t.Fatalf("model zoo should have 7 entries, got %d", len(All))
+	}
+}
+
+func TestShapesMatchBridgeReference(t *testing.T) {
+	// The bridge's anchored reference shapes must agree with the Table 4
+	// derivation (within rounding of the published constants).
+	p := JARVIS1Planner.Shape()
+	if rel := math.Abs(p.OutputsPerUnit-bridge.JARVIS1PlannerShape.OutputsPerUnit) /
+		bridge.JARVIS1PlannerShape.OutputsPerUnit; rel > 0.05 {
+		t.Fatalf("planner shape drifted from bridge reference: %v vs %v",
+			p.OutputsPerUnit, bridge.JARVIS1PlannerShape.OutputsPerUnit)
+	}
+	c := JARVIS1Controller.Shape()
+	if rel := math.Abs(c.OutputsPerUnit-bridge.JARVIS1ControllerShape.OutputsPerUnit) /
+		bridge.JARVIS1ControllerShape.OutputsPerUnit; rel > 0.05 {
+		t.Fatalf("controller shape drifted: %v vs %v",
+			c.OutputsPerUnit, bridge.JARVIS1ControllerShape.OutputsPerUnit)
+	}
+	if p.Width != 4096 || c.Width != 1024 {
+		t.Fatal("hidden widths wrong")
+	}
+}
+
+func TestClassesAndSuites(t *testing.T) {
+	for _, s := range Planners {
+		if s.Class != PlannerClass {
+			t.Fatalf("%s misclassified", s.Name)
+		}
+	}
+	for _, s := range Controllers {
+		if s.Class != ControllerClass {
+			t.Fatalf("%s misclassified", s.Name)
+		}
+	}
+	if len(LIBEROTasks) != 3 || len(CALVINTasks) != 3 || len(OXEControllerTasks) != 6 {
+		t.Fatal("Table 10 cross-platform suites incomplete")
+	}
+}
+
+func TestWorkloadFootprints(t *testing.T) {
+	// Planners stream weights from DRAM; controllers are SRAM resident.
+	wp := JARVIS1Planner.Workload()
+	if wp.DRAMBytes < JARVIS1Planner.Params*1e6 {
+		t.Fatal("planner must stream at least its weights")
+	}
+	wc := JARVIS1Controller.Workload()
+	if wc.DRAMBytes != 0 {
+		t.Fatal("controller weights are SRAM resident (Sec. 6.1)")
+	}
+	if wp.MACs != 5344.0/2*1e9 {
+		t.Fatalf("planner MACs %v", wp.MACs)
+	}
+}
+
+func TestFaultModelKneesScaleWithOps(t *testing.T) {
+	// A smaller planner (fewer ops per decoded token) tolerates more BER.
+	jarvis := JARVIS1Planner.FaultModel()
+	flamingo := RoboFlamingo.FaultModel()
+	fake := func(bridge.Protection) bridge.Severity {
+		var s bridge.Severity
+		s.BoundBit = 14
+		s.Width = 64
+		for b := range s.Bits {
+			s.Bits[b] = 0.1
+		}
+		return s
+	}
+	jarvis.SetSeverityFunc(fake)
+	flamingo.SetSeverityFunc(fake)
+	kj := jarvis.KneeBER(bridge.Protection{})
+	kf := flamingo.KneeBER(bridge.Protection{})
+	// Knees scale inversely with per-token output counts: RoboFlamingo
+	// concentrates more compute per decoded token (heavy prefill, few
+	// decode tokens), so it knees lower.
+	ratioShapes := JARVIS1Planner.Shape().OutputsPerUnit / RoboFlamingo.Shape().OutputsPerUnit
+	if r := (kf / kj) * (1 / ratioShapes); r < 0.8 || r > 1.25 {
+		t.Fatalf("knee scaling %v inconsistent with op ratio %v", kf/kj, ratioShapes)
+	}
+}

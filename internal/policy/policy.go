@@ -1,0 +1,198 @@
+// Package policy implements the entropy-to-voltage mappings of
+// autonomy-adaptive voltage scaling (Sec. 5.3, Fig. 21, Appendix C): step
+// functions that assign lower supply voltages to higher-entropy
+// (non-critical) steps, a candidate generator for the 100-candidate search
+// the paper runs, and Pareto selection over (success rate, effective
+// voltage).
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Level is one step of a mapping: entropies at or above MinEntropy (and
+// below the next level's threshold) run at Voltage.
+type Level struct {
+	MinEntropy float64
+	Voltage    float64
+}
+
+// Mapping is a monotone non-increasing entropy-to-voltage step function:
+// low entropy (critical steps) keeps robust voltage margins, high entropy
+// (exploratory steps) drops the supply for efficiency.
+type Mapping struct {
+	Name   string
+	Levels []Level // ascending MinEntropy, non-increasing Voltage
+}
+
+// Voltage returns the supply for a predicted entropy.
+func (m Mapping) Voltage(entropy float64) float64 {
+	v := m.Levels[0].Voltage
+	for _, l := range m.Levels {
+		if entropy >= l.MinEntropy {
+			v = l.Voltage
+		}
+	}
+	return v
+}
+
+// Func adapts the mapping to the agent's VSPolicy hook.
+func (m Mapping) Func() func(float64) float64 {
+	return func(h float64) float64 { return m.Voltage(h) }
+}
+
+// Valid checks the structural invariants: thresholds ascend from 0,
+// voltages are within the LDO range and non-increasing.
+func (m Mapping) Valid() bool {
+	if len(m.Levels) == 0 || m.Levels[0].MinEntropy != 0 {
+		return false
+	}
+	for i, l := range m.Levels {
+		if l.Voltage < 0.60 || l.Voltage > 0.90 {
+			return false
+		}
+		if i > 0 {
+			if l.MinEntropy <= m.Levels[i-1].MinEntropy {
+				return false
+			}
+			if l.Voltage > m.Levels[i-1].Voltage {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// The six selected policies of Fig. 21 (Appendix C), ordered from
+// conservative (A) to aggressive (F). Policy C is the paper's default: it
+// advances the reliability-efficiency Pareto frontier, cutting effective
+// voltage ~7 % at iso-success (Sec. 6.5).
+var (
+	PolicyA = Mapping{Name: "A", Levels: []Level{{0, 0.90}, {1.0, 0.88}, {2.0, 0.86}, {3.0, 0.84}}}
+	PolicyB = Mapping{Name: "B", Levels: []Level{{0, 0.89}, {1.0, 0.86}, {2.0, 0.83}, {3.0, 0.80}}}
+	PolicyC = Mapping{Name: "C", Levels: []Level{{0, 0.88}, {0.8, 0.84}, {2.0, 0.80}, {3.0, 0.76}}}
+	PolicyD = Mapping{Name: "D", Levels: []Level{{0, 0.86}, {0.8, 0.82}, {2.0, 0.78}, {3.0, 0.73}}}
+	PolicyE = Mapping{Name: "E", Levels: []Level{{0, 0.85}, {0.8, 0.80}, {2.0, 0.75}, {3.0, 0.70}}}
+	PolicyF = Mapping{Name: "F", Levels: []Level{{0, 0.84}, {0.5, 0.78}, {2.0, 0.72}, {3.0, 0.66}}}
+
+	// Selected is the Fig. 21 set.
+	Selected = []Mapping{PolicyA, PolicyB, PolicyC, PolicyD, PolicyE, PolicyF}
+	// Default is Policy C (Sec. 6.5).
+	Default = PolicyC
+)
+
+// Candidates generates n random but structurally valid mappings — the
+// search space the paper's 100-candidate exploration draws from. Entropy
+// thresholds span [0, 4.2) (the 63-action logit range); voltages are LDO
+// levels.
+func Candidates(n int, rng *rand.Rand) []Mapping {
+	out := make([]Mapping, 0, n)
+	for i := 0; i < n; i++ {
+		levels := 3 + rng.Intn(3)
+		thresholds := make([]float64, levels)
+		thresholds[0] = 0
+		for j := 1; j < levels; j++ {
+			thresholds[j] = rng.Float64() * 4.2
+		}
+		sort.Float64s(thresholds)
+		ok := true
+		for j := 1; j < levels; j++ {
+			if thresholds[j]-thresholds[j-1] < 0.2 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			i--
+			continue
+		}
+		v := 0.84 + rng.Float64()*0.06
+		m := Mapping{Name: fmt.Sprintf("cand%03d", i)}
+		for j := 0; j < levels; j++ {
+			m.Levels = append(m.Levels, Level{MinEntropy: thresholds[j], Voltage: quantize(v)})
+			v -= 0.01 + rng.Float64()*0.06
+			if v < 0.60 {
+				v = 0.60
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func quantize(v float64) float64 {
+	q := 0.60 + 0.01*float64(int((v-0.60)/0.01+0.5))
+	if q > 0.90 {
+		q = 0.90
+	}
+	if q < 0.60 {
+		q = 0.60
+	}
+	return q
+}
+
+// Scored pairs a mapping with its evaluation.
+type Scored struct {
+	Mapping     Mapping
+	SuccessRate float64
+	// EffectiveVoltage is the constant-equivalent supply (lower = more
+	// efficient).
+	EffectiveVoltage float64
+}
+
+// ParetoFront filters scored mappings to the reliability-efficiency
+// frontier: mappings not dominated by any other (higher success AND lower
+// effective voltage), sorted by effective voltage ascending.
+func ParetoFront(scored []Scored) []Scored {
+	var front []Scored
+	for i, s := range scored {
+		dominated := false
+		for j, o := range scored {
+			if i == j {
+				continue
+			}
+			if o.SuccessRate >= s.SuccessRate && o.EffectiveVoltage < s.EffectiveVoltage ||
+				o.SuccessRate > s.SuccessRate && o.EffectiveVoltage <= s.EffectiveVoltage {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, s)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		return front[i].EffectiveVoltage < front[j].EffectiveVoltage
+	})
+	return front
+}
+
+// Best picks the frontier mapping with the lowest effective voltage among
+// those whose success rate is within tolerance of the best achieved — how
+// Policy C is selected in Sec. 6.5.
+func Best(scored []Scored, tolerance float64) (Scored, bool) {
+	if len(scored) == 0 {
+		return Scored{}, false
+	}
+	bestSuccess := 0.0
+	for _, s := range scored {
+		if s.SuccessRate > bestSuccess {
+			bestSuccess = s.SuccessRate
+		}
+	}
+	var pick *Scored
+	for i := range scored {
+		s := &scored[i]
+		if s.SuccessRate >= bestSuccess-tolerance {
+			if pick == nil || s.EffectiveVoltage < pick.EffectiveVoltage {
+				pick = s
+			}
+		}
+	}
+	if pick == nil {
+		return Scored{}, false
+	}
+	return *pick, true
+}

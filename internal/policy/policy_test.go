@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSelectedPoliciesValid(t *testing.T) {
+	for _, m := range Selected {
+		if !m.Valid() {
+			t.Fatalf("policy %s structurally invalid", m.Name)
+		}
+	}
+}
+
+func TestVoltageMonotoneInEntropy(t *testing.T) {
+	for _, m := range Selected {
+		prev := 1.0
+		for h := 0.0; h <= 4.2; h += 0.1 {
+			v := m.Voltage(h)
+			if v > prev {
+				t.Fatalf("policy %s: voltage rises with entropy at %v", m.Name, h)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestPolicyOrderingConservativeToAggressive(t *testing.T) {
+	// A is the most conservative, F the most aggressive, at every entropy.
+	for h := 0.0; h <= 4.2; h += 0.5 {
+		if PolicyA.Voltage(h) < PolicyF.Voltage(h) {
+			t.Fatalf("A should never go below F (h=%v)", h)
+		}
+	}
+	if PolicyF.Voltage(4) >= PolicyA.Voltage(4) {
+		t.Fatal("F should be strictly more aggressive at high entropy")
+	}
+}
+
+func TestCandidatesValidAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cands := Candidates(100, rng)
+	if len(cands) != 100 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	for _, m := range cands {
+		if !m.Valid() {
+			t.Fatalf("invalid candidate %s: %+v", m.Name, m.Levels)
+		}
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	scored := []Scored{
+		{Mapping: Mapping{Name: "good"}, SuccessRate: 0.95, EffectiveVoltage: 0.80},
+		{Mapping: Mapping{Name: "dominated"}, SuccessRate: 0.90, EffectiveVoltage: 0.85},
+		{Mapping: Mapping{Name: "safe"}, SuccessRate: 0.99, EffectiveVoltage: 0.88},
+		{Mapping: Mapping{Name: "cheap"}, SuccessRate: 0.70, EffectiveVoltage: 0.70},
+	}
+	front := ParetoFront(scored)
+	names := map[string]bool{}
+	for _, s := range front {
+		names[s.Mapping.Name] = true
+	}
+	if names["dominated"] {
+		t.Fatal("dominated point survived")
+	}
+	if !names["good"] || !names["safe"] || !names["cheap"] {
+		t.Fatalf("frontier missing points: %v", names)
+	}
+	// Sorted by effective voltage ascending.
+	for i := 1; i < len(front); i++ {
+		if front[i].EffectiveVoltage < front[i-1].EffectiveVoltage {
+			t.Fatal("frontier not sorted")
+		}
+	}
+}
+
+func TestBestSelection(t *testing.T) {
+	scored := []Scored{
+		{Mapping: Mapping{Name: "safe"}, SuccessRate: 0.99, EffectiveVoltage: 0.88},
+		{Mapping: Mapping{Name: "optimal"}, SuccessRate: 0.97, EffectiveVoltage: 0.80},
+		{Mapping: Mapping{Name: "risky"}, SuccessRate: 0.60, EffectiveVoltage: 0.66},
+	}
+	got, ok := Best(scored, 0.03)
+	if !ok || got.Mapping.Name != "optimal" {
+		t.Fatalf("Best picked %v", got.Mapping.Name)
+	}
+	if _, ok := Best(nil, 0.03); ok {
+		t.Fatal("empty input should report no pick")
+	}
+}
+
+func TestMappingValidRejectsBadStructures(t *testing.T) {
+	bad := []Mapping{
+		{Name: "empty"},
+		{Name: "no-zero", Levels: []Level{{0.5, 0.9}}},
+		{Name: "rising-v", Levels: []Level{{0, 0.8}, {1, 0.85}}},
+		{Name: "out-of-range", Levels: []Level{{0, 0.95}}},
+		{Name: "non-ascending", Levels: []Level{{0, 0.9}, {0, 0.85}}},
+	}
+	for _, m := range bad {
+		if m.Valid() {
+			t.Fatalf("%s should be invalid", m.Name)
+		}
+	}
+}

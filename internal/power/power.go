@@ -1,0 +1,153 @@
+// Package power models the accelerator's energy: dynamic compute energy
+// scaling quadratically with supply voltage, SRAM and HBM2 access energies,
+// chip-level breakdowns (Fig. 18), the effective-voltage metric (Sec. 6.1),
+// and battery-life extension (Sec. 6.8).
+package power
+
+import (
+	"math"
+
+	"github.com/embodiedai/create/internal/timing"
+)
+
+// Model holds the energy constants of the 22 nm platform. They are
+// calibrated so the JARVIS-1 chip-level breakdown matches Fig. 18
+// (computation ~67 % of planner energy, ~78 % of controller energy).
+type Model struct {
+	// EMACNominal is the INT8 multiply-accumulate energy at the nominal
+	// voltage, in joules.
+	EMACNominal float64
+	// ESRAMPerByte and EDRAMPerByte are access energies in joules. The
+	// memory rails are not voltage scaled (only the PE array is), so these
+	// stay constant under VS.
+	ESRAMPerByte float64
+	EDRAMPerByte float64
+	VNominal     float64
+}
+
+// Default returns the calibrated 22 nm model.
+func Default() *Model {
+	return &Model{
+		EMACNominal:  0.25e-12,
+		ESRAMPerByte: 0.55e-12,
+		EDRAMPerByte: 38e-12, // HBM2 including PHY/controller
+		VNominal:     timing.VNominal,
+	}
+}
+
+// MACEnergy returns the per-MAC energy at supply voltage v (dynamic energy
+// scales with V^2).
+func (m *Model) MACEnergy(v float64) float64 {
+	r := v / m.VNominal
+	return m.EMACNominal * r * r
+}
+
+// ComputeEnergy returns the compute energy of `macs` MACs at voltage v.
+func (m *Model) ComputeEnergy(macs, v float64) float64 { return macs * m.MACEnergy(v) }
+
+// Workload is one inference invocation's resource footprint.
+type Workload struct {
+	MACs      float64
+	SRAMBytes float64
+	DRAMBytes float64
+}
+
+// Breakdown is a chip-level energy split (Fig. 18).
+type Breakdown struct {
+	Compute float64
+	SRAM    float64
+	DRAM    float64
+}
+
+// Total is the summed energy.
+func (b Breakdown) Total() float64 { return b.Compute + b.SRAM + b.DRAM }
+
+// ComputeShare is the fraction of total energy spent on computation.
+func (b Breakdown) ComputeShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.Compute / t
+}
+
+// Breakdown evaluates a workload at compute voltage v.
+func (m *Model) Breakdown(w Workload, v float64) Breakdown {
+	return Breakdown{
+		Compute: m.ComputeEnergy(w.MACs, v),
+		SRAM:    w.SRAMBytes * m.ESRAMPerByte,
+		DRAM:    w.DRAMBytes * m.EDRAMPerByte,
+	}
+}
+
+// EffectiveVoltage is the constant voltage with the same total compute
+// energy as the observed per-step voltage histogram (Sec. 6.1's metric for
+// adaptive policies): Veff = Vnom * sqrt(mean((Vi/Vnom)^2)).
+func (m *Model) EffectiveVoltage(stepsAtMV map[int]int) float64 {
+	var num float64
+	total := 0
+	for mv, n := range stepsAtMV {
+		v := float64(mv) / 1000
+		num += float64(n) * v * v
+		total += n
+	}
+	if total == 0 {
+		return m.VNominal
+	}
+	return math.Sqrt(num / float64(total))
+}
+
+// EpisodeEnergy sums the computational energy of an episode: planner
+// invocations at the planner voltage, controller steps at their per-step
+// voltages, plus the always-at-nominal entropy predictor when VS is active
+// (Sec. 5.3: "the predictor operates at nominal voltage").
+type EpisodeSpec struct {
+	PlannerMACsPerCall float64
+	ControllerMACsStep float64
+	PredictorMACsStep  float64 // 0 when VS is off
+}
+
+// EpisodeEnergy computes computational joules for one episode or an
+// aggregate of episodes.
+func (m *Model) EpisodeEnergy(spec EpisodeSpec, plannerCalls float64, plannerMV int, stepsAtMV map[int]int) float64 {
+	e := plannerCalls * m.ComputeEnergy(spec.PlannerMACsPerCall, float64(plannerMV)/1000)
+	steps := 0
+	for mv, n := range stepsAtMV {
+		e += float64(n) * m.ComputeEnergy(spec.ControllerMACsStep, float64(mv)/1000)
+		steps += n
+	}
+	e += float64(steps) * m.ComputeEnergy(spec.PredictorMACsStep, m.VNominal)
+	return e
+}
+
+// BatteryExtension returns the battery-life extension factor (e.g. 0.21 for
+// +21 %) when computation saves computeSavingFrac of its energy and
+// computation accounts for computeShare of total system power (Sec. 6.8:
+// compute is "comparable to or exceeding" mechanical power on the cited
+// platforms).
+func BatteryExtension(computeSavingFrac, computeShare float64) float64 {
+	pNew := (1 - computeShare) + computeShare*(1-computeSavingFrac)
+	if pNew <= 0 {
+		return math.Inf(1)
+	}
+	return 1/pNew - 1
+}
+
+// AreaPowerRow is one line of the Fig. 12(c) block breakdown.
+type AreaPowerRow struct {
+	Block   string
+	AreaMM2 float64
+	PowerW  string
+}
+
+// AreaPowerBreakdown reproduces the Fig. 12(c) table: the AD units and LDOs
+// add ~0.1 % overhead against the PE array and SRAM.
+func AreaPowerBreakdown() []AreaPowerRow {
+	return []AreaPowerRow{
+		{"LDO", 0.43, "0.03"},
+		{"AD Unit", 0.25, "0.02"},
+		{"PE Array", 195.50, "6.93-15.39"},
+		{"SRAM", 85.96, "0.84*"},
+		{"Total", 322.50, "12.82-17.75"},
+	}
+}

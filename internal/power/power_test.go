@@ -1,0 +1,135 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/embodiedai/create/internal/timing"
+)
+
+func TestMACEnergyQuadraticInVoltage(t *testing.T) {
+	m := Default()
+	full := m.MACEnergy(0.9)
+	half := m.MACEnergy(0.45)
+	if math.Abs(half-full/4)/full > 1e-9 {
+		t.Fatalf("V^2 scaling violated: %v vs %v", half, full/4)
+	}
+}
+
+func TestEffectiveVoltageProperties(t *testing.T) {
+	m := Default()
+	// Constant histogram: effective voltage equals the constant.
+	if v := m.EffectiveVoltage(map[int]int{750: 100}); math.Abs(v-0.75) > 1e-9 {
+		t.Fatalf("constant histogram gives %v", v)
+	}
+	// Empty histogram: nominal.
+	if v := m.EffectiveVoltage(nil); v != m.VNominal {
+		t.Fatalf("empty histogram gives %v", v)
+	}
+	// Mixed: between the extremes, and closer to the majority rail.
+	v := m.EffectiveVoltage(map[int]int{900: 20, 700: 80})
+	if v <= 0.70 || v >= 0.90 {
+		t.Fatalf("mixed veff out of range: %v", v)
+	}
+	if v > 0.80 {
+		t.Fatalf("majority-weighted veff should lean low: %v", v)
+	}
+}
+
+func TestEffectiveVoltageEnergyEquivalence(t *testing.T) {
+	// Defining property: running all steps at Veff consumes the same
+	// compute energy as the actual histogram.
+	m := Default()
+	f := func(a, b uint8) bool {
+		na, nb := int(a)%200+1, int(b)%200+1
+		hist := map[int]int{820: na, 660: nb}
+		veff := m.EffectiveVoltage(hist)
+		macs := 1e9
+		var actual float64
+		total := 0
+		for mv, n := range hist {
+			actual += float64(n) * m.ComputeEnergy(macs, float64(mv)/1000)
+			total += n
+		}
+		equiv := float64(total) * m.ComputeEnergy(macs, veff)
+		return math.Abs(actual-equiv)/actual < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownShares(t *testing.T) {
+	m := Default()
+	// JARVIS-1-planner-like workload: compute share ~2/3 (Fig. 18).
+	w := Workload{MACs: 2.67e12, SRAMBytes: 2.67e12 / 64, DRAMBytes: 7.87e9 * 1.2}
+	bd := m.Breakdown(w, timing.VNominal)
+	if s := bd.ComputeShare(); s < 0.55 || s < 0 || s > 0.8 {
+		t.Fatalf("planner compute share %v outside Fig. 18's band", s)
+	}
+	// Controller-like: SRAM-resident weights, compute share ~3/4.
+	wc := Workload{MACs: 51e9, SRAMBytes: 51e9 / 8}
+	bdc := m.Breakdown(wc, timing.VNominal)
+	if s := bdc.ComputeShare(); s < 0.7 || s > 0.9 {
+		t.Fatalf("controller compute share %v outside Fig. 18's band", s)
+	}
+	if bd.Total() <= 0 {
+		t.Fatal("zero total energy")
+	}
+}
+
+func TestEpisodeEnergyComposition(t *testing.T) {
+	m := Default()
+	spec := EpisodeSpec{PlannerMACsPerCall: 1e12, ControllerMACsStep: 1e9}
+	e1 := m.EpisodeEnergy(spec, 1, 900, map[int]int{900: 100})
+	e2 := m.EpisodeEnergy(spec, 2, 900, map[int]int{900: 100})
+	if e2 <= e1 {
+		t.Fatal("more planner calls must cost more")
+	}
+	low := m.EpisodeEnergy(spec, 1, 900, map[int]int{700: 100})
+	if low >= e1 {
+		t.Fatal("lower controller voltage must cost less")
+	}
+	// Predictor runs at nominal regardless of controller rail.
+	spec.PredictorMACsStep = 1e9
+	withPred := m.EpisodeEnergy(spec, 1, 900, map[int]int{700: 100})
+	if withPred <= low {
+		t.Fatal("predictor energy missing")
+	}
+}
+
+func TestBatteryExtension(t *testing.T) {
+	// 35% compute saving at 50% compute share => ~21% longer battery life.
+	got := BatteryExtension(0.35, 0.5)
+	if math.Abs(got-0.2121) > 0.01 {
+		t.Fatalf("battery extension %v", got)
+	}
+	if BatteryExtension(0, 0.5) != 0 {
+		t.Fatal("no saving, no extension")
+	}
+	lo := BatteryExtension(0.33, 0.45)
+	hi := BatteryExtension(0.33, 0.65)
+	// The paper's 15-30% band over realistic compute shares.
+	if lo < 0.12 || hi > 0.35 || lo >= hi {
+		t.Fatalf("battery band [%v, %v] implausible", lo, hi)
+	}
+}
+
+func TestAreaPowerBreakdownOverheads(t *testing.T) {
+	rows := AreaPowerBreakdown()
+	var total, ad, ldo float64
+	for _, r := range rows {
+		switch r.Block {
+		case "Total":
+			total = r.AreaMM2
+		case "AD Unit":
+			ad = r.AreaMM2
+		case "LDO":
+			ldo = r.AreaMM2
+		}
+	}
+	if ad/total > 0.002 || ldo/total > 0.002 {
+		t.Fatalf("AD/LDO area overheads must be ~0.1%%: %v %v of %v", ad, ldo, total)
+	}
+}

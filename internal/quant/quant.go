@@ -1,0 +1,121 @@
+// Package quant implements the symmetric integer quantization used by the
+// simulated accelerator. GEMM inputs are quantized per tensor to INT8 (or
+// INT4, Sec. 6.9 of the paper), multiplied in integer arithmetic with wide
+// accumulators, and results are requantized against an offline-profiled
+// output scale — the same flow SmoothQuant-style INT8 deployments use and the
+// flow the paper's anomaly bound is defined against.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bits selects the quantization grid width.
+type Bits int
+
+// Supported quantization widths.
+const (
+	INT8 Bits = 8
+	INT4 Bits = 4
+)
+
+// QMax returns the largest representable magnitude on the grid, e.g. 127 for
+// INT8 and 7 for INT4.
+func (b Bits) QMax() int32 {
+	switch b {
+	case INT8:
+		return 127
+	case INT4:
+		return 7
+	default:
+		panic(fmt.Sprintf("quant: unsupported width %d", int(b)))
+	}
+}
+
+// Params holds the symmetric (zero-point-free) scale for one tensor.
+type Params struct {
+	Scale float32 // real value represented by one integer step
+	Bits  Bits
+}
+
+// Calibrate derives quantization parameters from the absolute maximum of the
+// calibration data. A zero absmax yields a scale of 1 so that quantization of
+// all-zero tensors stays well defined.
+func Calibrate(data []float32, bits Bits) Params {
+	var absMax float32
+	for _, v := range data {
+		if v < 0 {
+			v = -v
+		}
+		if v > absMax {
+			absMax = v
+		}
+	}
+	if absMax == 0 {
+		return Params{Scale: 1, Bits: bits}
+	}
+	return Params{Scale: absMax / float32(bits.QMax()), Bits: bits}
+}
+
+// ParamsForAbsMax builds quantization parameters directly from a known
+// dynamic range, as an offline profiling pass would.
+func ParamsForAbsMax(absMax float32, bits Bits) Params {
+	if absMax <= 0 {
+		return Params{Scale: 1, Bits: bits}
+	}
+	return Params{Scale: absMax / float32(bits.QMax()), Bits: bits}
+}
+
+// Quantize maps a real value onto the integer grid with round-to-nearest and
+// saturation. Non-finite or out-of-range inputs saturate before the integer
+// conversion so the result is always on the grid.
+func (p Params) Quantize(x float32) int32 {
+	mx := p.Bits.QMax()
+	r := math.RoundToEven(float64(x) / float64(p.Scale))
+	if math.IsNaN(r) {
+		return 0
+	}
+	if r >= float64(mx) {
+		return mx
+	}
+	if r <= float64(-mx) {
+		return -mx
+	}
+	return int32(r)
+}
+
+// Dequantize maps an integer back to the real domain.
+func (p Params) Dequantize(q int32) float32 { return float32(q) * p.Scale }
+
+// QuantizeSlice quantizes src into dst (which must have the same length).
+func (p Params) QuantizeSlice(dst []int32, src []float32) {
+	if len(dst) != len(src) {
+		panic("quant: length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = p.Quantize(v)
+	}
+}
+
+// QuantizeError returns the real-domain error introduced by quantizing x.
+func (p Params) QuantizeError(x float32) float64 {
+	return float64(p.Dequantize(p.Quantize(x))) - float64(x)
+}
+
+// AccumulatorBound returns the anomaly bound for a GEMM whose inputs use
+// params (px, pw) and whose profiled output range is outAbsMax: any
+// accumulator value whose dequantized magnitude exceeds outAbsMax is, by
+// construction, unreachable by correct execution (Sec. 5.1) and is flagged by
+// the AD unit. The bound is expressed in accumulator (integer) domain.
+func AccumulatorBound(px, pw Params, outAbsMax float32) int32 {
+	if outAbsMax <= 0 {
+		return 0
+	}
+	scale := float64(px.Scale) * float64(pw.Scale)
+	b := float64(outAbsMax) / scale
+	if b > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(math.Ceil(b))
+}

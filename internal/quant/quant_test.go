@@ -1,0 +1,122 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQMax(t *testing.T) {
+	if INT8.QMax() != 127 {
+		t.Fatalf("INT8 qmax = %d", INT8.QMax())
+	}
+	if INT4.QMax() != 7 {
+		t.Fatalf("INT4 qmax = %d", INT4.QMax())
+	}
+}
+
+func TestCalibrateZeroData(t *testing.T) {
+	p := Calibrate([]float32{0, 0, 0}, INT8)
+	if p.Scale != 1 {
+		t.Fatalf("zero data should give scale 1, got %v", p.Scale)
+	}
+	if p.Quantize(0) != 0 {
+		t.Fatal("quantize(0) != 0")
+	}
+}
+
+func TestRoundTripBoundedError(t *testing.T) {
+	// Property: for any data within the calibrated range, the quantization
+	// error never exceeds half a step.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float32, 64)
+		for i := range data {
+			data[i] = rng.Float32()*20 - 10
+		}
+		p := Calibrate(data, INT8)
+		for _, v := range data {
+			if math.Abs(p.QuantizeError(v)) > float64(p.Scale)/2+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	p := Params{Scale: 1, Bits: INT8}
+	if q := p.Quantize(1e6); q != 127 {
+		t.Fatalf("positive saturation: %d", q)
+	}
+	if q := p.Quantize(-1e6); q != -127 {
+		t.Fatalf("negative saturation: %d", q)
+	}
+}
+
+func TestQuantizeSymmetry(t *testing.T) {
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true
+		}
+		p := Params{Scale: 0.37, Bits: INT8}
+		return p.Quantize(x) == -p.Quantize(-x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestINT4CoarserThanINT8(t *testing.T) {
+	data := make([]float32, 128)
+	rng := rand.New(rand.NewSource(3))
+	for i := range data {
+		data[i] = rng.Float32()*8 - 4
+	}
+	p8 := Calibrate(data, INT8)
+	p4 := Calibrate(data, INT4)
+	var e8, e4 float64
+	for _, v := range data {
+		e8 += math.Abs(p8.QuantizeError(v))
+		e4 += math.Abs(p4.QuantizeError(v))
+	}
+	if e4 <= e8 {
+		t.Fatalf("INT4 should quantize more coarsely: e4=%v e8=%v", e4, e8)
+	}
+}
+
+func TestAccumulatorBound(t *testing.T) {
+	px := Params{Scale: 0.1, Bits: INT8}
+	pw := Params{Scale: 0.2, Bits: INT8}
+	// outAbsMax 12.7 => bound = 12.7 / 0.02 = 635
+	b := AccumulatorBound(px, pw, 12.7)
+	if b != 635 {
+		t.Fatalf("bound = %d, want 635", b)
+	}
+	if AccumulatorBound(px, pw, 0) != 0 {
+		t.Fatal("zero range should give zero bound")
+	}
+}
+
+func TestAccumulatorBoundAdmitsValidResults(t *testing.T) {
+	// Any correct GEMM result within the profiled output range must sit
+	// within the anomaly bound: the AD unit never clamps correct outputs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		px := Params{Scale: rng.Float32()*0.2 + 0.01, Bits: INT8}
+		pw := Params{Scale: rng.Float32()*0.2 + 0.01, Bits: INT8}
+		outMax := rng.Float32()*50 + 1
+		bound := AccumulatorBound(px, pw, outMax)
+		// A result with dequantized magnitude <= outMax:
+		val := (rng.Float64()*2 - 1) * float64(outMax)
+		acc := int32(val / (float64(px.Scale) * float64(pw.Scale)))
+		return acc <= bound && -acc <= bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

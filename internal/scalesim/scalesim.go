@@ -1,0 +1,113 @@
+// Package scalesim models cycle-level behaviour of the 128x128
+// weight-stationary systolic accelerator — latency, utilization, and memory
+// traffic — in the manner of SCALE-Sim, which the paper uses for the same
+// purpose (Sec. 6.1: "cycle-level behaviors, including inference latency and
+// memory access, are modeled based on SCALE-Sim").
+package scalesim
+
+import "math"
+
+// Array describes the accelerator (Sec. 6.1: 128x128 PEs, 2 ns clock).
+type Array struct {
+	Rows, Cols int
+	ClockNS    float64
+	// HBMBytesPerNS is the off-chip bandwidth (HBM2).
+	HBMBytesPerNS float64
+}
+
+// Default returns the paper's configuration.
+func Default() Array {
+	return Array{Rows: 128, Cols: 128, ClockNS: 2, HBMBytesPerNS: 450}
+}
+
+// PeakTOPS is the array's peak INT8 throughput in tera-operations per
+// second (2 ops per MAC). The default array reaches 16.4 TOPS per clock
+// domain; the paper's 144 TOPS system aggregates multiple such tiles —
+// relative latencies are what the table reproduction tracks.
+func (a Array) PeakTOPS() float64 {
+	return float64(a.Rows) * float64(a.Cols) * 2 / a.ClockNS / 1000
+}
+
+// GEMM is an M x K x N matrix multiplication workload.
+type GEMM struct {
+	M, K, N int
+}
+
+// MACs returns the multiply-accumulate count.
+func (g GEMM) MACs() float64 { return float64(g.M) * float64(g.K) * float64(g.N) }
+
+// Cycles returns the weight-stationary execution cycles: the K and N
+// dimensions fold onto the array rows/cols; each (K-tile, N-tile) pass loads
+// weights (Rows cycles) and streams M inputs with the systolic fill/drain
+// overhead (Rows + Cols - 2 cycles).
+func (a Array) Cycles(g GEMM) float64 {
+	kTiles := math.Ceil(float64(g.K) / float64(a.Rows))
+	nTiles := math.Ceil(float64(g.N) / float64(a.Cols))
+	perPass := float64(a.Rows) + float64(g.M) + float64(a.Rows+a.Cols-2)
+	return kTiles * nTiles * perPass
+}
+
+// Utilization is the fraction of peak MAC slots a workload keeps busy.
+func (a Array) Utilization(g GEMM) float64 {
+	used := g.MACs()
+	slots := a.Cycles(g) * float64(a.Rows) * float64(a.Cols)
+	if slots == 0 {
+		return 0
+	}
+	u := used / slots
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Traffic estimates memory movement for a GEMM: weights and inputs are read
+// from SRAM per pass; outputs written back once.
+type Traffic struct {
+	SRAMBytes float64
+	DRAMBytes float64
+}
+
+// GEMMTraffic returns the SRAM traffic of one weight-stationary GEMM with
+// INT8 operands (weights loaded once per K/N tile pass, inputs streamed per
+// pass, INT32 partial sums kept in-array).
+func (a Array) GEMMTraffic(g GEMM) Traffic {
+	kTiles := math.Ceil(float64(g.K) / float64(a.Rows))
+	nTiles := math.Ceil(float64(g.N) / float64(a.Cols))
+	weights := float64(g.K) * float64(g.N) // each weight byte loaded once
+	inputs := float64(g.M) * float64(g.K) * nTiles
+	outputs := float64(g.M) * float64(g.N)
+	_ = kTiles
+	return Traffic{SRAMBytes: weights + inputs + outputs}
+}
+
+// Latency returns the wall-clock time of a sequence of GEMMs in
+// nanoseconds: compute cycles, bounded below by streaming dramBytes from
+// HBM2 (weight-loading dominates large-model decoding).
+func (a Array) Latency(gemms []GEMM, dramBytes float64) float64 {
+	var cycles float64
+	for _, g := range gemms {
+		cycles += a.Cycles(g)
+	}
+	compute := cycles * a.ClockNS
+	mem := dramBytes / a.HBMBytesPerNS
+	if mem > compute {
+		return mem
+	}
+	return compute
+}
+
+// TransformerGEMMs expands a Transformer inference into its GEMM list:
+// per layer Q/K/V/O (dim x dim) and the MLP pair, over `tokens` rows,
+// repeated `layers` times.
+func TransformerGEMMs(tokens, dim, mlpDim, layers int) []GEMM {
+	var out []GEMM
+	for l := 0; l < layers; l++ {
+		for i := 0; i < 4; i++ {
+			out = append(out, GEMM{M: tokens, K: dim, N: dim})
+		}
+		out = append(out, GEMM{M: tokens, K: dim, N: mlpDim})
+		out = append(out, GEMM{M: tokens, K: mlpDim, N: dim})
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package scalesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPeakTOPS(t *testing.T) {
+	a := Default()
+	// 128*128 MACs * 2 ops at 500 MHz = 16.384 TOPS per tile.
+	if got := a.PeakTOPS(); got < 16.3 || got > 16.5 {
+		t.Fatalf("peak %v TOPS", got)
+	}
+}
+
+func TestCyclesScaleWithTiles(t *testing.T) {
+	a := Default()
+	small := GEMM{M: 64, K: 128, N: 128}
+	doubleK := GEMM{M: 64, K: 256, N: 128}
+	doubleN := GEMM{M: 64, K: 128, N: 256}
+	if a.Cycles(doubleK) != 2*a.Cycles(small) {
+		t.Fatal("K tiling should double passes")
+	}
+	if a.Cycles(doubleN) != 2*a.Cycles(small) {
+		t.Fatal("N tiling should double passes")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	a := Default()
+	f := func(m, k, n uint16) bool {
+		g := GEMM{M: int(m)%512 + 1, K: int(k)%512 + 1, N: int(n)%512 + 1}
+		u := a.Utilization(g)
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Big square GEMMs keep the array busy; tiny ones do not.
+	big := a.Utilization(GEMM{M: 4096, K: 128, N: 128})
+	small := a.Utilization(GEMM{M: 1, K: 128, N: 128})
+	if big < 0.5 {
+		t.Fatalf("large GEMM utilization only %v", big)
+	}
+	if small > 0.1 {
+		t.Fatalf("tiny GEMM utilization %v", small)
+	}
+}
+
+func TestLatencyMemoryBound(t *testing.T) {
+	a := Default()
+	gemms := []GEMM{{M: 1, K: 128, N: 128}}
+	compute := a.Latency(gemms, 0)
+	memBound := a.Latency(gemms, 8e9) // 8 GB of weights
+	if memBound <= compute {
+		t.Fatal("streaming 8GB must dominate a single tiny GEMM")
+	}
+	// The memory bound equals bytes/bandwidth.
+	want := 8e9 / a.HBMBytesPerNS
+	if memBound != want {
+		t.Fatalf("memory-bound latency %v, want %v", memBound, want)
+	}
+}
+
+func TestTransformerGEMMs(t *testing.T) {
+	gemms := TransformerGEMMs(16, 64, 192, 4)
+	if len(gemms) != 4*6 {
+		t.Fatalf("expected 24 GEMMs, got %d", len(gemms))
+	}
+	var macs float64
+	for _, g := range gemms {
+		macs += g.MACs()
+	}
+	// Per layer: 4*16*64*64 + 2*16*64*192 = 655360; times 4 layers.
+	if want := 4.0 * (4*16*64*64 + 2*16*64*192); macs != want {
+		t.Fatalf("MACs %v, want %v", macs, want)
+	}
+}
+
+func TestGEMMTrafficPositive(t *testing.T) {
+	a := Default()
+	tr := a.GEMMTraffic(GEMM{M: 16, K: 256, N: 256})
+	if tr.SRAMBytes <= 0 {
+		t.Fatal("no SRAM traffic")
+	}
+}

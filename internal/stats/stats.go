@@ -1,0 +1,107 @@
+// Package stats provides the statistical helpers the evaluation uses:
+// binomial confidence intervals for success rates (Sec. 6.9 targets a 95 %
+// CI of 3-5 % with >= 100 repetitions), the coefficient of determination for
+// the entropy predictor (Fig. 14), and basic summaries.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// BinomialCI returns the half-width of the 95 % normal-approximation
+// confidence interval for a success rate p measured over n trials.
+func BinomialCI(p float64, n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return 1.96 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// RepetitionsForCI returns the trial count needed to bound the 95 % CI
+// half-width by w at worst-case p = 0.5 — the rationale behind the paper's
+// ">= 100 repetitions" rule.
+func RepetitionsForCI(w float64) int {
+	if w <= 0 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(1.96 * 1.96 * 0.25 / (w * w)))
+}
+
+// R2 returns the coefficient of determination of predictions against
+// targets (Fig. 14(a) reports R^2 = 0.92 for the entropy predictor).
+func R2(pred, target []float64) float64 {
+	if len(pred) != len(target) || len(pred) == 0 {
+		return 0
+	}
+	mu := Mean(target)
+	var ssRes, ssTot float64
+	for i := range pred {
+		r := target[i] - pred[i]
+		ssRes += r * r
+		d := target[i] - mu
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Pearson returns the linear correlation coefficient.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MSE returns the mean squared error.
+func MSE(pred, target []float64) float64 {
+	if len(pred) != len(target) || len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}

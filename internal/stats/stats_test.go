@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("variance %v", Variance(xs))
+	}
+	if Std(xs) != 2 {
+		t.Fatalf("std %v", Std(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty inputs")
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	// p=0.9, n=100: 1.96*sqrt(0.09/100) ~ 0.0588 — inside the paper's
+	// "3-5%" claim region once n >= 100 for typical success rates.
+	ci := BinomialCI(0.9, 100)
+	if math.Abs(ci-0.0588) > 0.001 {
+		t.Fatalf("ci %v", ci)
+	}
+	if BinomialCI(0.5, 0) != 1 {
+		t.Fatal("zero trials should be vacuous")
+	}
+	if BinomialCI(0.9, 400) >= ci {
+		t.Fatal("more trials must shrink the CI")
+	}
+}
+
+func TestRepetitionsForCI(t *testing.T) {
+	// Worst case p=0.5: +-5% needs ~385 trials; +-10% needs ~97.
+	if n := RepetitionsForCI(0.10); n < 90 || n > 105 {
+		t.Fatalf("n for 10%% = %d", n)
+	}
+	if n := RepetitionsForCI(0.05); n < 380 || n > 400 {
+		t.Fatalf("n for 5%% = %d", n)
+	}
+}
+
+func TestR2PerfectAndMean(t *testing.T) {
+	target := []float64{1, 2, 3, 4}
+	if r := R2(target, target); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect prediction R2 %v", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := R2(mean, target); math.Abs(r) > 1e-12 {
+		t.Fatalf("mean prediction R2 %v", r)
+	}
+}
+
+func TestR2MatchesNoiseLevel(t *testing.T) {
+	// Gaussian predictions with noise variance q of the target variance
+	// give R2 ~ 1-q.
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	target := make([]float64, n)
+	pred := make([]float64, n)
+	for i := range target {
+		target[i] = rng.NormFloat64() * 2
+		pred[i] = target[i] + rng.NormFloat64()*0.6 // q = 0.09
+	}
+	r := R2(pred, target)
+	if math.Abs(r-0.91) > 0.02 {
+		t.Fatalf("R2 %v, want ~0.91", r)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if p := Pearson(xs, ys); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("pearson %v", p)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if p := Pearson(xs, neg); math.Abs(p+1) > 1e-12 {
+		t.Fatalf("pearson %v", p)
+	}
+	if Pearson(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("constant series should correlate 0")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	if m := MSE([]float64{1, 2}, []float64{1, 4}); m != 2 {
+		t.Fatalf("mse %v", m)
+	}
+	if MSE(nil, nil) != 0 {
+		t.Fatal("empty mse")
+	}
+}

@@ -1,0 +1,166 @@
+// Package systolic simulates the INT8 systolic-array GEMM datapath the paper
+// deploys embodied AI systems on (Sec. 2.2, Sec. 6.1): weights stationary in
+// the PEs, inputs streamed horizontally, partial sums accumulated down the
+// columns into 24-bit accumulators, results requantized at the bottom.
+//
+// The package is the injection site for timing errors (bit flips on the
+// accumulator outputs, before requantization) and hosts the circuit-level
+// CREATE technique: a row of anomaly-detection (AD) units — one comparator
+// plus multiplexer per column — that clamps any out-of-bound result to zero
+// (Sec. 5.1, Fig. 8(b)).
+package systolic
+
+import (
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/inject"
+	"github.com/embodiedai/create/internal/quant"
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+// Engine executes quantized GEMMs with optional error injection and anomaly
+// clearance. The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	// Bits selects INT8 or INT4 operand quantization.
+	Bits quant.Bits
+	// Injector models voltage-induced bit flips on accumulator outputs.
+	// Nil means error-free execution.
+	Injector inject.Injector
+	// AD enables the anomaly detection and clearance unit row.
+	AD bool
+	// ADBoundScale loosens (>1) or tightens (<1) the profiled anomaly bound.
+	// 1 reproduces the paper's "127 x output scaling factor" rule; weight
+	// rotation lets the bound tighten because rotated activations are
+	// outlier free (Sec. 5.2).
+	ADBoundScale float64
+	// Rng drives the stochastic injection. Never nil after NewEngine.
+	Rng *rand.Rand
+
+	// Stats accumulate across calls until ResetStats.
+	Stats Stats
+}
+
+// Stats counts datapath events across GEMM calls.
+type Stats struct {
+	GEMMs      int   // number of GEMM invocations
+	MACs       int64 // multiply-accumulate operations executed
+	Outputs    int64 // accumulator results produced
+	Flips      int   // bit flips injected
+	Anomalies  int   // results clamped to zero by the AD units
+	OutOfRange int64 // results outside the profiled output range (clamped only when AD is on)
+}
+
+// NewEngine returns an INT8 engine with deterministic seeding and no
+// injection. Callers override fields as needed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		Bits:         quant.INT8,
+		Injector:     inject.None{},
+		ADBoundScale: 1,
+		Rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (e *Engine) ResetStats() { e.Stats = Stats{} }
+
+// MatMul computes x*w on the simulated datapath:
+//
+//  1. quantize x and w symmetrically per tensor,
+//  2. integer matmul into 24-bit accumulators,
+//  3. inject bit flips into the accumulator outputs,
+//  4. (optional) AD: clamp |acc| above the profiled bound to zero,
+//  5. dequantize back to float32.
+//
+// outAbsMax is the offline-profiled output dynamic range the anomaly bound
+// derives from; pass 0 in profiling mode (no bound known yet). Faulty values
+// are deliberately NOT saturated on the way out: as in the paper's error
+// model, an un-cleared high-bit flip flows downstream at full magnitude —
+// that is precisely the failure mode AD exists to stop (Fig. 4(b)).
+func (e *Engine) MatMul(x, w *tensor.Mat, outAbsMax float32) *tensor.Mat {
+	if x.Cols != w.Rows {
+		panic("systolic: shape mismatch")
+	}
+	px := quant.Calibrate(x.Data, e.Bits)
+	pw := quant.Calibrate(w.Data, e.Bits)
+
+	xq := make([]int32, len(x.Data))
+	wq := make([]int32, len(w.Data))
+	px.QuantizeSlice(xq, x.Data)
+	pw.QuantizeSlice(wq, w.Data)
+
+	acc := make([]int32, x.Rows*w.Cols)
+	integerMatMul(acc, xq, wq, x.Rows, x.Cols, w.Cols)
+
+	e.Stats.GEMMs++
+	e.Stats.MACs += int64(x.Rows) * int64(x.Cols) * int64(w.Cols)
+	e.Stats.Outputs += int64(len(acc))
+
+	if e.Injector != nil {
+		e.Stats.Flips += e.Injector.Inject(acc, e.Rng)
+	}
+
+	var bound int32
+	if outAbsMax > 0 {
+		bound = quant.AccumulatorBound(px, pw, outAbsMax)
+		if e.ADBoundScale != 1 && e.ADBoundScale > 0 {
+			bound = int32(float64(bound) * e.ADBoundScale)
+		}
+	}
+	if bound > 0 {
+		for i, v := range acc {
+			if v > bound || v < -bound {
+				e.Stats.OutOfRange++
+				if e.AD {
+					acc[i] = 0
+					e.Stats.Anomalies++
+				}
+			}
+		}
+	}
+
+	out := tensor.NewMat(x.Rows, w.Cols)
+	scale := px.Scale * pw.Scale
+	for i, v := range acc {
+		out.Data[i] = float32(v) * scale
+	}
+	return out
+}
+
+// integerMatMul computes the int32 accumulator matrix for xq (r x k) times
+// wq (k x c).
+func integerMatMul(acc, xq, wq []int32, r, k, c int) {
+	for i := 0; i < r; i++ {
+		xrow := xq[i*k : (i+1)*k]
+		arow := acc[i*c : (i+1)*c]
+		for kk := 0; kk < k; kk++ {
+			xv := xrow[kk]
+			if xv == 0 {
+				continue
+			}
+			wrow := wq[kk*c : (kk+1)*c]
+			for j := 0; j < c; j++ {
+				arow[j] += xv * wrow[j]
+			}
+		}
+	}
+}
+
+// Accumulate runs only steps 1-4 of the datapath and returns the raw
+// accumulator values plus the input scales. The characterization harness
+// uses this to look at error magnitudes in the accumulator domain (Fig. 4(b),
+// Fig. 8(a)).
+func (e *Engine) Accumulate(x, w *tensor.Mat) (acc []int32, scale float32) {
+	px := quant.Calibrate(x.Data, e.Bits)
+	pw := quant.Calibrate(w.Data, e.Bits)
+	xq := make([]int32, len(x.Data))
+	wq := make([]int32, len(w.Data))
+	px.QuantizeSlice(xq, x.Data)
+	pw.QuantizeSlice(wq, w.Data)
+	acc = make([]int32, x.Rows*w.Cols)
+	integerMatMul(acc, xq, wq, x.Rows, x.Cols, w.Cols)
+	if e.Injector != nil {
+		e.Stats.Flips += e.Injector.Inject(acc, e.Rng)
+	}
+	return acc, px.Scale * pw.Scale
+}

@@ -1,0 +1,206 @@
+package systolic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/embodiedai/create/internal/inject"
+	"github.com/embodiedai/create/internal/quant"
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+func randMat(rng *rand.Rand, r, c int, scale float32) *tensor.Mat {
+	m := tensor.NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return m
+}
+
+func TestErrorFreeGEMMCloseToFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMat(rng, 8, 32, 1)
+	w := randMat(rng, 32, 16, 1)
+	e := NewEngine(1)
+	got := e.MatMul(x, w, 0)
+	want := tensor.MatMul(x, w)
+	// INT8 quantization error on a K=32 dot product stays small relative to
+	// the output range.
+	if d := tensor.MaxAbsDiff(got, want); d > 0.5 {
+		t.Fatalf("quantized GEMM too far from float: %v", d)
+	}
+}
+
+func TestGEMMStatsAccounting(t *testing.T) {
+	e := NewEngine(2)
+	rng := rand.New(rand.NewSource(2))
+	e.MatMul(randMat(rng, 4, 8, 1), randMat(rng, 8, 3, 1), 0)
+	if e.Stats.GEMMs != 1 {
+		t.Fatalf("gemms = %d", e.Stats.GEMMs)
+	}
+	if e.Stats.MACs != 4*8*3 {
+		t.Fatalf("macs = %d", e.Stats.MACs)
+	}
+	if e.Stats.Outputs != 12 {
+		t.Fatalf("outputs = %d", e.Stats.Outputs)
+	}
+	e.ResetStats()
+	if e.Stats.GEMMs != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestInjectionCorruptsOutputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randMat(rng, 16, 64, 1)
+	w := randMat(rng, 64, 64, 1)
+	clean := NewEngine(7).MatMul(x, w, 0)
+	e := NewEngine(7)
+	e.Injector = inject.Uniform{BER: 1e-3}
+	dirty := e.MatMul(x, w, 0)
+	if e.Stats.Flips == 0 {
+		t.Fatal("no flips injected at BER 1e-3")
+	}
+	if tensor.MaxAbsDiff(clean, dirty) == 0 {
+		t.Fatal("injection had no observable effect")
+	}
+}
+
+func TestADClampsHighBitErrors(t *testing.T) {
+	// With AD on, a high-bit flip that pushes a result far outside the
+	// profiled output range must be cleared to zero rather than surviving.
+	rng := rand.New(rand.NewSource(4))
+	x := randMat(rng, 16, 64, 1)
+	w := randMat(rng, 64, 64, 1)
+
+	clean := NewEngine(5).MatMul(x, w, 0)
+	outMax := tensor.AbsMax(clean.Data) * 1.05
+
+	mkEngine := func(ad bool) *Engine {
+		e := NewEngine(5)
+		e.Injector = inject.Uniform{BER: 2e-4}
+		e.AD = ad
+		return e
+	}
+
+	noAD := mkEngine(false)
+	outNoAD := noAD.MatMul(x, w, outMax)
+	withAD := mkEngine(true)
+	outAD := withAD.MatMul(x, w, outMax)
+
+	if withAD.Stats.Anomalies == 0 {
+		t.Fatal("AD never fired despite high-bit flips")
+	}
+	// The worst-case deviation from the clean result must shrink under AD:
+	// out-of-range garbage becomes a zero, whose deviation is bounded by the
+	// clean magnitude.
+	devNoAD := tensor.MaxAbsDiff(outNoAD, clean)
+	devAD := tensor.MaxAbsDiff(outAD, clean)
+	if devAD >= devNoAD {
+		t.Fatalf("AD did not reduce worst-case deviation: %v vs %v", devAD, devNoAD)
+	}
+	if devAD > float64(outMax)*2.01 {
+		t.Fatalf("AD deviation %v exceeds clamp guarantee %v", devAD, outMax*2)
+	}
+}
+
+func TestADDoesNotFireOnCleanExecution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randMat(rng, 4, 16, 1)
+		w := randMat(rng, 16, 8, 1)
+		clean := NewEngine(seed).MatMul(x, w, 0)
+		outMax := tensor.AbsMax(clean.Data)
+		if outMax == 0 {
+			return true
+		}
+		e := NewEngine(seed)
+		e.AD = true
+		e.MatMul(x, w, outMax*1.01)
+		return e.Stats.Anomalies == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADBoundScaleTightens(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randMat(rng, 16, 64, 1)
+	w := randMat(rng, 64, 64, 1)
+	clean := NewEngine(8).MatMul(x, w, 0)
+	outMax := tensor.AbsMax(clean.Data)
+
+	run := func(scale float64) int {
+		e := NewEngine(8)
+		e.Injector = inject.Uniform{BER: 5e-4}
+		e.AD = true
+		e.ADBoundScale = scale
+		e.MatMul(x, w, outMax)
+		return e.Stats.Anomalies
+	}
+	loose, tight := run(1.0), run(0.25)
+	if tight <= loose {
+		t.Fatalf("tighter bound should clamp more: tight=%d loose=%d", tight, loose)
+	}
+}
+
+func TestFaultyValuesFlowUnsaturatedWithoutAD(t *testing.T) {
+	// The paper's error model: an un-cleared high-bit flip flows downstream
+	// at full magnitude. Out-of-range results are counted but not modified
+	// unless AD is enabled.
+	rng := rand.New(rand.NewSource(9))
+	x := randMat(rng, 16, 64, 1)
+	w := randMat(rng, 64, 64, 1)
+	clean := NewEngine(5).MatMul(x, w, 0)
+	outMax := tensor.AbsMax(clean.Data) * 1.05
+
+	e := NewEngine(5)
+	e.Injector = inject.Uniform{BER: 2e-4}
+	out := e.MatMul(x, w, outMax)
+	if e.Stats.OutOfRange == 0 {
+		t.Fatal("expected out-of-range results from high-bit flips")
+	}
+	if e.Stats.Anomalies != 0 {
+		t.Fatal("AD must not clamp when disabled")
+	}
+	escaped := 0
+	for _, v := range out.Data {
+		if v > outMax || v < -outMax {
+			escaped++
+		}
+	}
+	if escaped == 0 {
+		t.Fatal("faulty values should escape the profiled range when AD is off")
+	}
+}
+
+func TestINT4Engine(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := randMat(rng, 8, 32, 1)
+	w := randMat(rng, 32, 8, 1)
+	e8, e4 := NewEngine(1), NewEngine(1)
+	e4.Bits = quant.INT4
+	want := tensor.MatMul(x, w)
+	d8 := tensor.MaxAbsDiff(e8.MatMul(x, w, 0), want)
+	d4 := tensor.MaxAbsDiff(e4.MatMul(x, w, 0), want)
+	if d4 <= d8 {
+		t.Fatalf("INT4 should be coarser than INT8: %v vs %v", d4, d8)
+	}
+}
+
+func TestAccumulateScaleConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := randMat(rng, 4, 16, 1)
+	w := randMat(rng, 16, 4, 1)
+	e := NewEngine(1)
+	acc, scale := e.Accumulate(x, w)
+	out := e.MatMul(x, w, 0)
+	for i, a := range acc {
+		if math.Abs(float64(float32(a)*scale-out.Data[i])) > 1e-6 {
+			t.Fatalf("acc*scale mismatch at %d", i)
+		}
+	}
+}

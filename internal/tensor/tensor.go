@@ -1,0 +1,268 @@
+// Package tensor provides the dense float32 matrix and vector primitives the
+// rest of the simulator is built on. It is intentionally small: row-major 2-D
+// matrices, a float matmul reference, and the statistics helpers the
+// resilience characterization needs (means, deviations, histograms).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major float32 matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat returns a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equally sized rows.
+func FromRows(rows [][]float32) *Mat {
+	if len(rows) == 0 {
+		return NewMat(0, 0)
+	}
+	m := NewMat(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (m *Mat) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// MatMul computes a*b with float32 accumulation (the error-free reference
+// datapath; the systolic package provides the quantized, injectable one).
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := ar[k]
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j := 0; j < b.Cols; j++ {
+				or[j] += av * br[j]
+			}
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b element-wise into m.
+func (m *Mat) AddInPlace(b *Mat) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("tensor: add shape mismatch")
+	}
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Mat) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Transpose returns a new transposed matrix.
+func (m *Mat) Transpose() *Mat {
+	t := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// AbsMax returns the maximum absolute value in xs (0 for empty input).
+func AbsMax(xs []float32) float32 {
+	var mx float32
+	for _, v := range xs {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += float64(v)
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := float64(v) - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Histogram bins xs into bins equal-width buckets over [lo, hi]. Values
+// outside the range are clamped into the edge buckets so no sample is lost.
+func Histogram(xs []float32, lo, hi float64, bins int) []int {
+	if bins <= 0 || hi <= lo {
+		panic("tensor: invalid histogram spec")
+	}
+	h := make([]int, bins)
+	w := (hi - lo) / float64(bins)
+	for _, v := range xs {
+		b := int((float64(v) - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h[b]++
+	}
+	return h
+}
+
+// Softmax returns the softmax of logits as a fresh slice, computed with the
+// usual max-subtraction trick for numerical stability.
+func Softmax(logits []float32) []float32 {
+	out := make([]float32, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	mx := logits[0]
+	for _, v := range logits[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - mx))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1.0 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy in nats of a probability vector.
+// Zero-probability entries contribute nothing.
+func Entropy(probs []float32) float64 {
+	var h float64
+	for _, p := range probs {
+		if p > 0 {
+			h -= float64(p) * math.Log(float64(p))
+		}
+	}
+	return h
+}
+
+// EntropyOfLogits is the entropy of Softmax(logits).
+func EntropyOfLogits(logits []float32) float64 { return Entropy(Softmax(logits)) }
+
+// ArgMax returns the index of the largest element (-1 for empty input).
+// Ties resolve to the lowest index.
+func ArgMax(xs []float32) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Dot returns the float64 dot product of a and b.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of xs.
+func L2Norm(xs []float32) float64 {
+	var s float64
+	for _, v := range xs {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between two
+// equally shaped matrices; used by equivalence tests (e.g. weight rotation).
+func MaxAbsDiff(a, b *Mat) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: diff shape mismatch")
+	}
+	var mx float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}

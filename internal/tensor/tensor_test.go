@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if d := MaxAbsDiff(c, want); d != 0 {
+		t.Fatalf("matmul wrong by %v", d)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMat(7, 7)
+	id := NewMat(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+		for j := 0; j < 7; j++ {
+			a.Set(i, j, rng.Float32()*4-2)
+		}
+	}
+	if d := MaxAbsDiff(MatMul(a, id), a); d > 1e-6 {
+		t.Fatalf("A*I != A (diff %v)", d)
+	}
+	if d := MaxAbsDiff(MatMul(id, a), a); d > 1e-6 {
+		t.Fatalf("I*A != A (diff %v)", d)
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMat(2, 3), NewMat(4, 2))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMat(1+rng.Intn(8), 1+rng.Intn(8))
+		for i := range m.Data {
+			m.Data[i] = rng.Float32()
+		}
+		return MaxAbsDiff(m.Transpose().Transpose(), m) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		logits := make([]float32, 1+rng.Intn(20))
+		for i := range logits {
+			logits[i] = rng.Float32()*20 - 10
+		}
+		p := Softmax(logits)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	logits := []float32{1, 2, 3, 4}
+	shifted := []float32{101, 102, 103, 104}
+	a, b := Softmax(logits), Softmax(shifted)
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > 1e-6 {
+			t.Fatalf("softmax not shift invariant at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	uniform := []float32{0.25, 0.25, 0.25, 0.25}
+	if h := Entropy(uniform); math.Abs(h-math.Log(4)) > 1e-6 {
+		t.Fatalf("uniform entropy = %v, want ln(4)", h)
+	}
+	peaked := []float32{1, 0, 0, 0}
+	if h := Entropy(peaked); h != 0 {
+		t.Fatalf("one-hot entropy = %v, want 0", h)
+	}
+	// Entropy of any distribution is within [0, ln(n)].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		logits := make([]float32, 2+rng.Intn(30))
+		for i := range logits {
+			logits[i] = rng.Float32()*8 - 4
+		}
+		h := EntropyOfLogits(logits)
+		return h >= 0 && h <= math.Log(float64(len(logits)))+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float32, 1000)
+	for i := range xs {
+		xs[i] = rng.Float32()*30 - 15 // some outside [-10, 10]
+	}
+	h := Histogram(xs, -10, 10, 16)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram lost samples: %d != %d", total, len(xs))
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(nil) != -1 {
+		t.Fatal("empty argmax should be -1")
+	}
+	if got := ArgMax([]float32{1, 5, 3, 5}); got != 1 {
+		t.Fatalf("tie should resolve low: got %d", got)
+	}
+}
+
+func TestStatsKnownValues(t *testing.T) {
+	xs := []float32{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := Std(xs); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("std = %v", s)
+	}
+	if mx := AbsMax([]float32{-9, 3}); mx != 9 {
+		t.Fatalf("absmax = %v", mx)
+	}
+}
+
+func TestRowAliasesStorage(t *testing.T) {
+	m := NewMat(3, 4)
+	m.Row(1)[2] = 42
+	if m.At(1, 2) != 42 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}
+
+func TestL2NormAndDot(t *testing.T) {
+	if n := L2Norm([]float32{3, 4}); math.Abs(n-5) > 1e-9 {
+		t.Fatalf("l2 = %v", n)
+	}
+	if d := Dot([]float32{1, 2, 3}, []float32{4, 5, 6}); d != 32 {
+		t.Fatalf("dot = %v", d)
+	}
+}

@@ -1,0 +1,181 @@
+// Package timing models voltage-underscaling-induced timing errors in the
+// accelerator's 24-bit accumulators (paper Sec. 3.1, Fig. 4).
+//
+// The paper derives its error surface from Synopsys PrimeTime/HSPICE analysis
+// of an 8-bit-multiplier / 24-bit-accumulator systolic array in a commercial
+// 22 nm PDK. That toolchain is unavailable here, so this package provides an
+// analytic surface with the same structure the paper reports and that prior
+// silicon measurements corroborate:
+//
+//   - higher accumulator bits sit at the end of longer carry chains, so they
+//     violate timing first and most often as voltage drops;
+//   - the aggregate bit error rate (BER) grows roughly exponentially as the
+//     supply scales from the nominal 0.9 V down to 0.6 V, sweeping about
+//     seven orders of magnitude.
+//
+// Everything downstream consumes only the (voltage, bit) -> error-rate
+// surface, so the substitution preserves system behaviour.
+package timing
+
+import (
+	"math"
+)
+
+// Hardware constants of the synthesized array (paper Sec. 6.1).
+const (
+	VNominal = 0.90 // nominal supply voltage (V)
+	VMin     = 0.60 // lowest LDO output (V)
+	AccBits  = 24   // accumulator width the errors are injected into
+)
+
+// Model is the calibrated voltage -> per-bit timing-error-rate surface. The
+// aggregate BER follows a two-segment log-linear curve: a steep onset just
+// below nominal (the first critical paths start violating timing) followed
+// by a flatter growth down to VMin — the shape Fig. 4(a) and prior silicon
+// measurements report.
+type Model struct {
+	// BERMin is the aggregate BER at the nominal voltage: nominal operation
+	// is effectively error free (guard-banded).
+	BERMin float64
+	// VBreak/BERBreak is the elbow between the steep onset and the flatter
+	// deep-underscaling segment.
+	VBreak   float64
+	BERBreak float64
+	// BERMax is the aggregate BER at VMin.
+	BERMax float64
+	// Beta0 controls how concentrated errors are on the high bits near
+	// nominal voltage; the concentration relaxes as voltage drops and more
+	// carry chains start failing.
+	Beta0 float64
+}
+
+// Default returns the model calibrated against the shape of Fig. 4(a):
+// effectively clean at 0.90 V, BER ~1e-8 at 0.86 V, ~2e-2 at 0.60 V.
+func Default() *Model {
+	return &Model{BERMin: 1e-12, VBreak: 0.86, BERBreak: 1e-8, BERMax: 2e-2, Beta0: 9}
+}
+
+// BER returns the aggregate (bit-averaged) error rate at voltage v. Voltages
+// above nominal keep the nominal floor; voltages below VMin saturate.
+func (m *Model) BER(v float64) float64 {
+	if v >= VNominal {
+		return m.BERMin
+	}
+	if v <= VMin {
+		return m.BERMax
+	}
+	interp := func(vHi, vLo, berHi, berLo float64) float64 {
+		frac := (vHi - v) / (vHi - vLo)
+		lg := math.Log10(berHi) + frac*(math.Log10(berLo)-math.Log10(berHi))
+		return math.Pow(10, lg)
+	}
+	if v >= m.VBreak {
+		return interp(VNominal, m.VBreak, m.BERMin, m.BERBreak)
+	}
+	return interp(m.VBreak, VMin, m.BERBreak, m.BERMax)
+}
+
+// beta is the bit-concentration exponent at voltage v: large near nominal
+// (only the longest carry chains fail), smaller at low voltage (errors spread
+// to mid bits). It never drops below 1.5 so high bits always dominate, as in
+// Fig. 4(a).
+func (m *Model) beta(v float64) float64 {
+	if v > VNominal {
+		v = VNominal
+	}
+	if v < VMin {
+		v = VMin
+	}
+	frac := (VNominal - v) / (VNominal - VMin) // 0 at nominal, 1 at VMin
+	b := m.Beta0 * (1 - 0.75*frac)
+	if b < 1.5 {
+		b = 1.5
+	}
+	return b
+}
+
+// BitErrorRate returns the flip probability of accumulator bit `bit`
+// (0 = LSB, AccBits-1 = MSB) per output at voltage v. The per-bit rates
+// average to BER(v) across the accumulator, with a power-law share that
+// concentrates errors on the high bits.
+func (m *Model) BitErrorRate(v float64, bit int) float64 {
+	if bit < 0 || bit >= AccBits {
+		return 0
+	}
+	shares := m.bitShares(v)
+	p := shares[bit] * m.BER(v) * AccBits
+	if p > 0.5 {
+		p = 0.5
+	}
+	return p
+}
+
+// BitRates returns the per-bit error rates for all AccBits bits at voltage v.
+func (m *Model) BitRates(v float64) []float64 {
+	rates := make([]float64, AccBits)
+	for b := range rates {
+		rates[b] = m.BitErrorRate(v, b)
+	}
+	return rates
+}
+
+// bitShares returns the normalized share of errors falling on each bit.
+func (m *Model) bitShares(v float64) []float64 {
+	beta := m.beta(v)
+	shares := make([]float64, AccBits)
+	var sum float64
+	for b := 0; b < AccBits; b++ {
+		w := math.Pow(float64(b+1)/AccBits, beta)
+		shares[b] = w
+		sum += w
+	}
+	for b := range shares {
+		shares[b] /= sum
+	}
+	return shares
+}
+
+// VoltageForBER returns the lowest voltage whose aggregate BER does not
+// exceed target, in 1 mV resolution; it answers "how far can I underscale
+// for a given error budget" and is the inverse used by the voltage-scaling
+// policies.
+func (m *Model) VoltageForBER(target float64) float64 {
+	if target <= m.BERMin {
+		return VNominal
+	}
+	if target >= m.BERMax {
+		return VMin
+	}
+	lo, hi := VMin, VNominal
+	for hi-lo > 0.0005 {
+		mid := (lo + hi) / 2
+		if m.BER(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Round(hi*1000) / 1000
+}
+
+// LUTEntry is one row of the voltage -> per-bit-rate lookup table the
+// evaluation harness uses (paper Sec. 3.2: "we build a look-up table based on
+// Fig. 4(a)").
+type LUTEntry struct {
+	Voltage  float64
+	BER      float64
+	BitRates []float64
+}
+
+// LUT samples the model every stepMV millivolts from VMin to VNominal.
+func (m *Model) LUT(stepMV int) []LUTEntry {
+	if stepMV <= 0 {
+		stepMV = 10
+	}
+	var out []LUTEntry
+	for mv := int(VMin * 1000); mv <= int(VNominal*1000); mv += stepMV {
+		v := float64(mv) / 1000
+		out = append(out, LUTEntry{Voltage: v, BER: m.BER(v), BitRates: m.BitRates(v)})
+	}
+	return out
+}

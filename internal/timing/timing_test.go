@@ -1,0 +1,139 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBERMonotoneInVoltage(t *testing.T) {
+	m := Default()
+	prev := math.Inf(1)
+	for mv := 600; mv <= 900; mv += 10 {
+		v := float64(mv) / 1000
+		b := m.BER(v)
+		if b > prev {
+			t.Fatalf("BER not monotone: BER(%v)=%v > BER(prev)=%v", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBERCalibrationAnchors(t *testing.T) {
+	m := Default()
+	if b := m.BER(VNominal); b != m.BERMin {
+		t.Fatalf("nominal BER = %v, want %v", b, m.BERMin)
+	}
+	if b := m.BER(VMin); b != m.BERMax {
+		t.Fatalf("vmin BER = %v, want %v", b, m.BERMax)
+	}
+	// Fig. 4(a) shape: mid-range voltages land in the 1e-7..1e-4 band.
+	if b := m.BER(0.75); b < 1e-7 || b > 1e-4 {
+		t.Fatalf("BER(0.75) = %v outside plausible band", b)
+	}
+}
+
+func TestHigherBitsFailMore(t *testing.T) {
+	m := Default()
+	for _, v := range []float64{0.65, 0.75, 0.85} {
+		rates := m.BitRates(v)
+		for b := 1; b < AccBits; b++ {
+			if rates[b] < rates[b-1] {
+				t.Fatalf("at %vV bit %d rate %v < bit %d rate %v; higher bits must fail more",
+					v, b, rates[b], b-1, rates[b-1])
+			}
+		}
+	}
+}
+
+func TestBitRatesAverageToBER(t *testing.T) {
+	m := Default()
+	for _, v := range []float64{0.62, 0.7, 0.8, 0.88} {
+		rates := m.BitRates(v)
+		var sum float64
+		for _, r := range rates {
+			sum += r
+		}
+		avg := sum / AccBits
+		if rel := math.Abs(avg-m.BER(v)) / m.BER(v); rel > 0.01 {
+			t.Fatalf("at %vV mean bit rate %v != BER %v", v, avg, m.BER(v))
+		}
+	}
+}
+
+func TestErrorConcentrationRelaxesAtLowVoltage(t *testing.T) {
+	// Near nominal, errors concentrate on the top bits; at low voltage the
+	// lower bits take a larger share (Fig. 4(a)).
+	m := Default()
+	shareTop := func(v float64) float64 {
+		rates := m.BitRates(v)
+		var top, all float64
+		for b, r := range rates {
+			all += r
+			if b >= AccBits-4 {
+				top += r
+			}
+		}
+		return top / all
+	}
+	if shareTop(0.88) <= shareTop(0.62) {
+		t.Fatalf("top-bit share should shrink as voltage drops: %v vs %v",
+			shareTop(0.88), shareTop(0.62))
+	}
+}
+
+func TestVoltageForBERInvertsBER(t *testing.T) {
+	m := Default()
+	f := func(seed int64) bool {
+		// Targets spanning the calibrated range.
+		k := seed % 60
+		if k < 0 {
+			k = -k
+		}
+		exp := -8.5 + float64(k)/10 // 1e-8.5 .. 1e-2.6
+		target := math.Pow(10, exp)
+		v := m.VoltageForBER(target)
+		if v < VMin || v > VNominal {
+			return false
+		}
+		// The returned voltage must satisfy the budget (within LUT rounding).
+		return m.BER(v) <= target*1.05
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.VoltageForBER(1e-12); v != VNominal {
+		t.Fatalf("unreachably low target should return nominal, got %v", v)
+	}
+	if v := m.VoltageForBER(1); v != VMin {
+		t.Fatalf("huge budget should return VMin, got %v", v)
+	}
+}
+
+func TestLUTCoversRange(t *testing.T) {
+	m := Default()
+	lut := m.LUT(10)
+	if len(lut) != 31 {
+		t.Fatalf("10mV LUT should have 31 entries, got %d", len(lut))
+	}
+	if lut[0].Voltage != VMin || lut[len(lut)-1].Voltage != VNominal {
+		t.Fatalf("LUT endpoints wrong: %v .. %v", lut[0].Voltage, lut[len(lut)-1].Voltage)
+	}
+	for _, e := range lut {
+		if len(e.BitRates) != AccBits {
+			t.Fatalf("entry at %vV has %d bit rates", e.Voltage, len(e.BitRates))
+		}
+	}
+}
+
+func TestBitRatesCapped(t *testing.T) {
+	m := Default()
+	for _, r := range m.BitRates(VMin) {
+		if r > 0.5 {
+			t.Fatalf("bit rate %v exceeds 0.5 cap", r)
+		}
+	}
+	if m.BitErrorRate(0.75, -1) != 0 || m.BitErrorRate(0.75, AccBits) != 0 {
+		t.Fatal("out-of-range bits must have zero rate")
+	}
+}

@@ -1,0 +1,273 @@
+package world
+
+import (
+	"math/rand"
+
+	"github.com/embodiedai/create/internal/tensor"
+)
+
+// Phase classifies a step's criticality (Sec. 4.2, Fig. 7): exploration
+// tolerates almost any action, approach tolerates detours, execution demands
+// precise sequential actions.
+type Phase int
+
+// Step phases.
+const (
+	PhaseExplore Phase = iota
+	PhaseApproach
+	PhaseExecute
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseExplore:
+		return "explore"
+	case PhaseApproach:
+		return "approach"
+	default:
+		return "execute"
+	}
+}
+
+// Decision is the expert policy's output for one step: a full action-logit
+// vector (what a trained controller's policy head would emit), the desired
+// action, and the phase. Logit sharpness tracks phase criticality, which is
+// exactly the signal the entropy predictor learns to anticipate (Sec. 5.3).
+type Decision struct {
+	Logits  []float32
+	Desired Action
+	Phase   Phase
+	// Goal is the item the world's craft/smelt resolution should target.
+	Goal Item
+}
+
+// Entropy returns the Shannon entropy of the decision's action distribution.
+func (d Decision) Entropy() float64 { return tensor.EntropyOfLogits(d.Logits) }
+
+// Expert is the scripted controller policy: it grounds a subtask into
+// per-step action logits. It stands in for the trained STEVE-1 controller,
+// whose behavioural structure (directed when a target is engaged, diffuse
+// when searching) is what the resilience dynamics depend on.
+type Expert struct {
+	rng         *rand.Rand
+	exploreMove Move
+	exploreLeft int
+}
+
+// NewExpert returns an expert with its own deterministic stream.
+func NewExpert(seed int64) *Expert {
+	return &Expert{rng: rand.New(rand.NewSource(seed)), exploreMove: MoveN}
+}
+
+// Logit sharpness per phase, tuned so execution entropy sits well below 1
+// nat, approach around 1.5-2.5, exploration around 3-4 (Fig. 10's range with
+// a 63-action space).
+const (
+	logitExecute    = 9.0
+	logitStochastic = 5.0
+	logitApproach   = 3.2
+	logitRelated    = 2.2
+	logitExplore    = 3.0
+	logitMove       = 2.0
+	logitFloor      = 0.3
+)
+
+// Decide produces the expert's decision for the current world state and
+// subtask.
+func (e *Expert) Decide(w *World, st Subtask) Decision {
+	switch st.Kind {
+	case MineLog:
+		return e.mine(w, st, Tree)
+	case MineStone:
+		return e.mine(w, st, Stone)
+	case MineCoal:
+		return e.mine(w, st, CoalOre)
+	case MineIron:
+		return e.mine(w, st, IronOre)
+	case CraftItem:
+		return e.craft(w, st)
+	case PlaceTable:
+		return e.place(w, st, CraftingTable)
+	case PlaceFurnace:
+		return e.place(w, st, Furnace)
+	case SmeltItem:
+		return e.smelt(w, st)
+	case HuntChicken:
+		return e.hunt(w, st)
+	case ShearWool:
+		return e.shear(w, st)
+	case CollectSeeds:
+		return e.gather(w, st)
+	default: // Nonsense and anything unknown: the controller flounders.
+		return e.explore(w, st)
+	}
+}
+
+func (e *Expert) mine(w *World, st Subtask, kind Block) Decision {
+	// Required tool missing (a corrupted or mis-ordered plan): nothing
+	// useful to do but wander.
+	if _, _, tool := mineSpec(kind); tool != NoItem && w.Count(tool) == 0 {
+		return e.explore(w, st)
+	}
+	if x, y, ok := w.NearestBlock(kind); ok {
+		if w.AdjacentTo(x, y) {
+			return e.execute(MakeAction(MoveNone, IntAttack), st, true)
+		}
+		return e.approach(w, st, x, y)
+	}
+	return e.explore(w, st)
+}
+
+func (e *Expert) craft(w *World, st Subtask) Decision {
+	r, ok := Recipes[st.Item]
+	if !ok {
+		return e.explore(w, st)
+	}
+	if _, craftable := nextCraft(w, st.Item); craftable {
+		return e.execute(MakeAction(MoveNone, IntCraft), st, true)
+	}
+	// The chain is blocked on the table: walk to one if visible.
+	if r.NeedsTable && !w.adjacentBlock(TableBlock) {
+		if x, y, ok := w.NearestBlock(TableBlock); ok {
+			return e.approach(w, st, x, y)
+		}
+	}
+	// Missing raw materials: a well-formed plan acquired them in earlier
+	// subtasks, so this is the corrupted-plan dead end.
+	return e.explore(w, st)
+}
+
+func (e *Expert) place(w *World, st Subtask, item Item) Decision {
+	if w.Count(item) > 0 {
+		return e.execute(MakeAction(MoveNone, IntPlace), st, true)
+	}
+	return e.explore(w, st)
+}
+
+func (e *Expert) smelt(w *World, st Subtask) Decision {
+	r, ok := SmeltRecipes[st.Item]
+	if !ok || w.Count(r.In) == 0 || !w.hasFuel() {
+		return e.explore(w, st)
+	}
+	if w.adjacentBlock(FurnaceBlock) {
+		return e.execute(MakeAction(MoveNone, IntSmelt), st, true)
+	}
+	if x, y, ok := w.NearestBlock(FurnaceBlock); ok {
+		return e.approach(w, st, x, y)
+	}
+	return e.explore(w, st)
+}
+
+func (e *Expert) hunt(w *World, st Subtask) Decision {
+	if i, ok := w.NearestMob(Chicken, false); ok {
+		m := w.Mobs[i]
+		if chebyshev(w.AgentX, w.AgentY, m.X, m.Y) == 1 {
+			return e.execute(MakeAction(MoveNone, IntAttack), st, false)
+		}
+		return e.approach(w, st, m.X, m.Y)
+	}
+	return e.explore(w, st)
+}
+
+func (e *Expert) shear(w *World, st Subtask) Decision {
+	if i, ok := w.NearestMob(Sheep, true); ok {
+		m := w.Mobs[i]
+		if chebyshev(w.AgentX, w.AgentY, m.X, m.Y) == 1 {
+			return e.execute(MakeAction(MoveNone, IntUse), st, false)
+		}
+		return e.approach(w, st, m.X, m.Y)
+	}
+	return e.explore(w, st)
+}
+
+func (e *Expert) gather(w *World, st Subtask) Decision {
+	if x, y, ok := w.NearestBlock(Grass); ok {
+		if w.AdjacentTo(x, y) || (x == w.AgentX && y == w.AgentY) {
+			return e.execute(MakeAction(MoveNone, IntUse), st, false)
+		}
+		return e.approach(w, st, x, y)
+	}
+	return e.explore(w, st)
+}
+
+// execute builds a sharply peaked decision. Deterministic chains get the
+// sharpest logits; stochastic interactions (hunting, shearing) are
+// moderately peaked, reflecting their tolerance (Fig. 6).
+func (e *Expert) execute(desired Action, st Subtask, deterministic bool) Decision {
+	peak := logitExecute
+	if !deterministic {
+		peak = logitStochastic
+	}
+	logits := make([]float32, NumActions)
+	logits[desired] = float32(peak)
+	return Decision{Logits: logits, Desired: desired, Phase: PhaseExecute, Goal: st.Item}
+}
+
+// approach builds a medium-entropy decision: the distance-reducing moves are
+// all plausible, the best one preferred.
+func (e *Expert) approach(w *World, st Subtask, tx, ty int) Decision {
+	logits := make([]float32, NumActions)
+	d0 := chebyshev(w.AgentX, w.AgentY, tx, ty)
+	best := MoveNone
+	bestD := d0
+	for m := MoveN; m < NumMoves; m++ {
+		dx, dy := m.Delta()
+		nx, ny := w.AgentX+dx, w.AgentY+dy
+		if w.At(nx, ny).Solid() {
+			continue
+		}
+		nd := chebyshev(nx, ny, tx, ty)
+		if nd < d0 {
+			logits[MakeAction(m, IntNone)] = logitRelated
+		}
+		if nd < bestD {
+			bestD, best = nd, m
+		}
+	}
+	desired := MakeAction(best, IntNone)
+	logits[desired] = logitApproach
+	return Decision{Logits: logits, Desired: desired, Phase: PhaseApproach, Goal: st.Item}
+}
+
+// explore builds a high-entropy decision: a persistent drift direction with
+// every movement plausible — the searching behaviour of Fig. 7(a).
+func (e *Expert) explore(w *World, st Subtask) Decision {
+	e.exploreLeft--
+	if e.exploreLeft <= 0 || e.blocked(w, e.exploreMove) {
+		e.exploreMove = Move(1 + e.rng.Intn(int(NumMoves)-1))
+		e.exploreLeft = 8 + e.rng.Intn(10)
+	}
+	logits := make([]float32, NumActions)
+	for i := range logits {
+		logits[i] = logitFloor
+	}
+	for m := MoveN; m < NumMoves; m++ {
+		if !e.blocked(w, m) {
+			logits[MakeAction(m, IntNone)] = logitMove
+		}
+	}
+	desired := MakeAction(e.exploreMove, IntNone)
+	logits[desired] = logitExplore
+	return Decision{Logits: logits, Desired: desired, Phase: PhaseExplore, Goal: st.Item}
+}
+
+func (e *Expert) blocked(w *World, m Move) bool {
+	dx, dy := m.Delta()
+	return w.At(w.AgentX+dx, w.AgentY+dy).Solid()
+}
+
+// Sample draws an action from the decision's softmax distribution — the
+// controller "samples actions based on its output action logits" (Sec. 2.1).
+func (d Decision) Sample(rng *rand.Rand) Action {
+	probs := tensor.Softmax(d.Logits)
+	r := rng.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += float64(p)
+		if r < cum {
+			return Action(i)
+		}
+	}
+	return Action(len(probs) - 1)
+}

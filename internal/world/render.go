@@ -1,0 +1,79 @@
+package world
+
+import "github.com/embodiedai/create/internal/nn"
+
+// ViewCells is the side length of the agent-centred square the observation
+// image covers (chosen to cover the expert's VisionRange so phase is
+// inferable from pixels); ViewScale blows each cell up to 2x2 pixels,
+// yielding the 64x64 RGB input of the entropy predictor (Table 9,
+// Fig. 11(a)).
+const (
+	ViewCells = 32
+	ViewScale = 2
+	ViewSize  = ViewCells * ViewScale
+)
+
+// blockColor maps a block to an RGB triple in [0, 1].
+func blockColor(b Block) (float32, float32, float32) {
+	switch b {
+	case Bedrock:
+		return 0.1, 0.1, 0.1
+	case Tree:
+		return 0.1, 0.6, 0.1
+	case Stone:
+		return 0.5, 0.5, 0.5
+	case CoalOre:
+		return 0.25, 0.25, 0.3
+	case IronOre:
+		return 0.8, 0.7, 0.6
+	case Grass:
+		return 0.4, 0.8, 0.3
+	case TableBlock:
+		return 0.7, 0.5, 0.2
+	case FurnaceBlock:
+		return 0.6, 0.3, 0.3
+	default: // Air
+		return 0.9, 0.9, 0.8
+	}
+}
+
+// RenderView rasterizes the agent-centred neighborhood into a 3x64x64 CHW
+// volume — the "observed image" input of the entropy predictor.
+func (w *World) RenderView() *nn.Vol {
+	img := nn.NewVol(3, ViewSize, ViewSize)
+	half := ViewCells / 2
+	for cy := 0; cy < ViewCells; cy++ {
+		for cx := 0; cx < ViewCells; cx++ {
+			gx, gy := w.AgentX-half+cx, w.AgentY-half+cy
+			r, g, b := blockColor(w.At(gx, gy))
+			if gx == w.AgentX && gy == w.AgentY {
+				r, g, b = 1, 0.2, 0.2 // agent marker
+			} else if m := w.mobColorAt(gx, gy); m != nil {
+				r, g, b = m[0], m[1], m[2]
+			}
+			for py := 0; py < ViewScale; py++ {
+				for px := 0; px < ViewScale; px++ {
+					x, y := cx*ViewScale+px, cy*ViewScale+py
+					img.Set(0, y, x, r)
+					img.Set(1, y, x, g)
+					img.Set(2, y, x, b)
+				}
+			}
+		}
+	}
+	return img
+}
+
+func (w *World) mobColorAt(x, y int) *[3]float32 {
+	for i := range w.Mobs {
+		m := &w.Mobs[i]
+		if !m.Alive || m.X != x || m.Y != y {
+			continue
+		}
+		if m.Kind == Chicken {
+			return &[3]float32{1, 1, 0.3}
+		}
+		return &[3]float32{1, 1, 1}
+	}
+	return nil
+}

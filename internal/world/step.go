@@ -1,0 +1,381 @@
+package world
+
+// Recipe describes one crafting output.
+type Recipe struct {
+	Out        Item
+	OutCount   int
+	In         map[Item]int
+	NeedsTable bool
+}
+
+// Recipes is the crafting book, ordered from raw to refined.
+var Recipes = map[Item]Recipe{
+	Planks:        {Out: Planks, OutCount: 4, In: map[Item]int{Log: 1}},
+	Sticks:        {Out: Sticks, OutCount: 4, In: map[Item]int{Planks: 2}},
+	CraftingTable: {Out: CraftingTable, OutCount: 1, In: map[Item]int{Planks: 4}},
+	WoodenPickaxe: {Out: WoodenPickaxe, OutCount: 1, In: map[Item]int{Planks: 3, Sticks: 2}, NeedsTable: true},
+	Furnace:       {Out: Furnace, OutCount: 1, In: map[Item]int{Cobblestone: 8}, NeedsTable: true},
+	StonePickaxe:  {Out: StonePickaxe, OutCount: 1, In: map[Item]int{Cobblestone: 3, Sticks: 2}, NeedsTable: true},
+	IronSword:     {Out: IronSword, OutCount: 1, In: map[Item]int{IronIngot: 2, Sticks: 1}, NeedsTable: true},
+}
+
+// SmeltRecipe describes one furnace output. Each smelt consumes the input
+// plus fuel and takes SmeltHits consecutive Smelt actions at the furnace —
+// a fragile execution chain like mining.
+type SmeltRecipe struct {
+	Out Item
+	In  Item
+}
+
+// SmeltRecipes is the furnace book.
+var SmeltRecipes = map[Item]SmeltRecipe{
+	Charcoal:      {Out: Charcoal, In: Log},
+	IronIngot:     {Out: IronIngot, In: RawIron},
+	CookedChicken: {Out: CookedChicken, In: RawChicken},
+}
+
+// fuelItems are consumed one unit per smelt, tried in order.
+var fuelItems = []Item{Planks, Coal, Charcoal, Log}
+
+// CanCraft reports whether the recipe's inputs are in the inventory and the
+// table requirement is met.
+func (w *World) CanCraft(r Recipe) bool {
+	if r.NeedsTable && !w.adjacentBlock(TableBlock) {
+		return false
+	}
+	for item, n := range r.In {
+		if w.Inventory[item] < n {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *World) adjacentBlock(b Block) bool {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if w.At(w.AgentX+dx, w.AgentY+dy) == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Step advances the world by one tick with the agent performing action a in
+// pursuit of goal (the item the current subtask wants; crafting and smelting
+// resolve against the goal's prerequisite chain).
+func (w *World) Step(a Action, goal Item) {
+	w.Steps++
+	mv, in := a.Parts()
+
+	attackedChain := false
+	switch in {
+	case IntAttack:
+		attackedChain = w.doAttack()
+	case IntUse:
+		w.doUse()
+	case IntCraft:
+		w.doCraft(goal)
+	case IntPlace:
+		w.doPlace()
+	case IntSmelt:
+		attackedChain = w.doSmelt(goal)
+	}
+
+	if !attackedChain {
+		// Interrupted chains decay: mining progress bleeds off and the
+		// smelting sequence resets — the mechanism behind stage-specific
+		// fragility (Fig. 7(b)).
+		if w.mineHits > 0 {
+			w.mineHits -= MineDecay
+			if w.mineHits < 0 {
+				w.mineHits = 0
+			}
+		}
+		w.smeltHits = 0
+	}
+
+	if dx, dy := mv.Delta(); dx != 0 || dy != 0 {
+		nx, ny := w.AgentX+dx, w.AgentY+dy
+		if !w.At(nx, ny).Solid() && !w.mobAt(nx, ny) {
+			w.AgentX, w.AgentY = nx, ny
+		}
+	}
+
+	w.stepMobs()
+}
+
+func (w *World) mobAt(x, y int) bool {
+	for i := range w.Mobs {
+		if w.Mobs[i].Alive && w.Mobs[i].X == x && w.Mobs[i].Y == y {
+			return true
+		}
+	}
+	return false
+}
+
+// doAttack progresses a mining chain or strikes an adjacent mob. It returns
+// whether a mining chain advanced (so decay is skipped).
+func (w *World) doAttack() bool {
+	// Mobs take priority if adjacent (hunting).
+	if i := w.adjacentMob(); i >= 0 {
+		m := &w.Mobs[i]
+		m.HP--
+		if m.HP <= 0 {
+			m.Alive = false
+			if m.Kind == Chicken {
+				w.Inventory[RawChicken]++
+			}
+		}
+		return false
+	}
+	x, y, b := w.adjacentMineable()
+	if b == Air {
+		return false
+	}
+	hits, drop, tool := mineSpec(b)
+	if tool != NoItem && w.Inventory[tool] == 0 {
+		return false // wrong tool: no progress, like Minecraft
+	}
+	if x != w.mineX || y != w.mineY {
+		w.mineX, w.mineY, w.mineHits = x, y, 0
+	}
+	w.mineHits++
+	if w.mineHits >= hits {
+		w.set(x, y, Air)
+		w.Inventory[drop]++
+		w.mineX, w.mineY, w.mineHits = -1, -1, 0
+	}
+	return true
+}
+
+// mineSpec returns the chain length, drop, and required tool for a block.
+func mineSpec(b Block) (hits int, drop Item, tool Item) {
+	switch b {
+	case Tree:
+		return TreeHits, Log, NoItem
+	case Stone:
+		return StoneHits, Cobblestone, WoodenPickaxe
+	case CoalOre:
+		return CoalHits, Coal, WoodenPickaxe
+	case IronOre:
+		return IronHits, RawIron, StonePickaxe
+	default:
+		return 0, NoItem, NoItem
+	}
+}
+
+// adjacentMineable returns the first adjacent mineable block, preferring the
+// block already under attack so chains continue naturally.
+func (w *World) adjacentMineable() (int, int, Block) {
+	if w.mineX >= 0 && w.AdjacentTo(w.mineX, w.mineY) {
+		if b := w.At(w.mineX, w.mineY); mineable(b) {
+			return w.mineX, w.mineY, b
+		}
+	}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			x, y := w.AgentX+dx, w.AgentY+dy
+			if b := w.At(x, y); mineable(b) {
+				return x, y, b
+			}
+		}
+	}
+	return 0, 0, Air
+}
+
+func mineable(b Block) bool {
+	switch b {
+	case Tree, Stone, CoalOre, IronOre:
+		return true
+	default:
+		return false
+	}
+}
+
+// doUse shears an adjacent sheep or harvests adjacent grass for seeds
+// (stochastic interactions, Fig. 6's error-tolerant subtask family).
+func (w *World) doUse() {
+	if i := w.adjacentMobOfKind(Sheep, true); i >= 0 {
+		w.Mobs[i].Sheared = true
+		w.Inventory[Wool]++
+		return
+	}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, y := w.AgentX+dx, w.AgentY+dy
+			if w.At(x, y) == Grass {
+				w.set(x, y, Air)
+				if w.rng.Float64() < 0.5 {
+					w.Inventory[WheatSeeds]++
+				}
+				return
+			}
+		}
+	}
+}
+
+func (w *World) adjacentMob() int {
+	for i := range w.Mobs {
+		m := &w.Mobs[i]
+		if m.Alive && chebyshev(w.AgentX, w.AgentY, m.X, m.Y) == 1 {
+			return i
+		}
+	}
+	return -1
+}
+
+func (w *World) adjacentMobOfKind(kind MobKind, needUnsheared bool) int {
+	for i := range w.Mobs {
+		m := &w.Mobs[i]
+		if m.Alive && m.Kind == kind && chebyshev(w.AgentX, w.AgentY, m.X, m.Y) == 1 {
+			if needUnsheared && m.Sheared {
+				continue
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// doCraft crafts the deepest missing prerequisite of the goal item.
+func (w *World) doCraft(goal Item) {
+	r, ok := nextCraft(w, goal)
+	if !ok {
+		return
+	}
+	for item, n := range r.In {
+		w.Inventory[item] -= n
+	}
+	w.Inventory[r.Out] += r.OutCount
+}
+
+// nextCraft walks the goal's prerequisite chain and returns the first recipe
+// that is currently craftable and still needed.
+func nextCraft(w *World, goal Item) (Recipe, bool) {
+	r, ok := Recipes[goal]
+	if !ok {
+		return Recipe{}, false
+	}
+	if w.Inventory[goal] > 0 && goal != Planks && goal != Sticks {
+		return Recipe{}, false // already have the tool
+	}
+	// Depth-first: craft missing inputs before the goal itself.
+	for item, n := range r.In {
+		if w.Inventory[item] < n {
+			if sub, ok := nextCraft(w, item); ok {
+				return sub, true
+			}
+			return Recipe{}, false // missing raw material; crafting can't help
+		}
+	}
+	if !w.CanCraft(r) {
+		return Recipe{}, false
+	}
+	return r, true
+}
+
+// doPlace places a crafting table or furnace from the inventory into an
+// adjacent free cell (table first — the order tasks need them).
+func (w *World) doPlace() {
+	place := func(item Item, block Block) bool {
+		if w.Inventory[item] == 0 || w.adjacentBlock(block) {
+			return false
+		}
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				x, y := w.AgentX+dx, w.AgentY+dy
+				if w.At(x, y) == Air && !w.mobAt(x, y) {
+					w.set(x, y, block)
+					w.Inventory[item]--
+					if block == TableBlock {
+						w.TableX, w.TableY = x, y
+					} else {
+						w.FurnaceX, w.FurnaceY = x, y
+					}
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if place(CraftingTable, TableBlock) {
+		return
+	}
+	place(Furnace, FurnaceBlock)
+}
+
+// doSmelt progresses a smelting chain at an adjacent furnace. Returns
+// whether the chain advanced.
+func (w *World) doSmelt(goal Item) bool {
+	r, ok := SmeltRecipes[goal]
+	if !ok || !w.adjacentBlock(FurnaceBlock) || w.Inventory[r.In] == 0 {
+		return false
+	}
+	if !w.hasFuel() {
+		return false
+	}
+	if w.smeltGoal != goal {
+		w.smeltGoal, w.smeltHits = goal, 0
+	}
+	w.smeltHits++
+	if w.smeltHits >= SmeltHits {
+		w.Inventory[r.In]--
+		w.consumeFuel()
+		w.Inventory[r.Out]++
+		w.smeltHits = 0
+	}
+	return true
+}
+
+func (w *World) hasFuel() bool {
+	for _, f := range fuelItems {
+		if w.Inventory[f] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *World) consumeFuel() {
+	for _, f := range fuelItems {
+		if w.Inventory[f] > 0 {
+			w.Inventory[f]--
+			return
+		}
+	}
+}
+
+// stepMobs moves animals: chickens flee an adjacent agent, everything else
+// drifts randomly every other tick.
+func (w *World) stepMobs() {
+	for i := range w.Mobs {
+		m := &w.Mobs[i]
+		if !m.Alive {
+			continue
+		}
+		var dx, dy int
+		d := chebyshev(w.AgentX, w.AgentY, m.X, m.Y)
+		switch {
+		case m.Kind == Chicken && d <= 2 && w.rng.Float64() < 0.6:
+			dx, dy = sign(m.X-w.AgentX), sign(m.Y-w.AgentY)
+		case w.Steps%2 == 0:
+			dx, dy = w.rng.Intn(3)-1, w.rng.Intn(3)-1
+		}
+		nx, ny := m.X+dx, m.Y+dy
+		if (dx != 0 || dy != 0) && !w.At(nx, ny).Solid() && !w.mobAt(nx, ny) &&
+			(nx != w.AgentX || ny != w.AgentY) {
+			m.X, m.Y = nx, ny
+		}
+	}
+}

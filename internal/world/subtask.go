@@ -1,0 +1,123 @@
+package world
+
+import "fmt"
+
+// SubtaskKind is one of the basic subtask families the planner decomposes
+// tasks into.
+type SubtaskKind int
+
+// Subtask families. Nonsense is what a fault-corrupted plan step degenerates
+// to: an instruction the controller cannot ground, burning steps until the
+// replan limit (Sec. 4.1: the faulty planner produces "irrelevant or
+// nonsense text that hinders the controller").
+const (
+	MineLog SubtaskKind = iota
+	MineStone
+	MineCoal
+	MineIron
+	CraftItem
+	PlaceTable
+	PlaceFurnace
+	SmeltItem
+	HuntChicken
+	ShearWool
+	CollectSeeds
+	Nonsense
+	numSubtaskKinds
+)
+
+// Subtask is one plan step: acquire Count of Item via the Kind's mechanic.
+type Subtask struct {
+	Kind  SubtaskKind
+	Item  Item
+	Count int
+}
+
+// String renders the subtask like a plan line.
+func (s Subtask) String() string {
+	switch s.Kind {
+	case PlaceTable:
+		return "place crafting_table"
+	case PlaceFurnace:
+		return "place furnace"
+	case Nonsense:
+		return "<corrupted instruction>"
+	case CraftItem:
+		return fmt.Sprintf("craft %d %s", s.Count, s.Item)
+	case SmeltItem:
+		return fmt.Sprintf("smelt %d %s", s.Count, s.Item)
+	default:
+		return fmt.Sprintf("obtain %d %s", s.Count, s.Item)
+	}
+}
+
+// Done reports whether the subtask's goal condition holds in w.
+func (s Subtask) Done(w *World) bool {
+	switch s.Kind {
+	case PlaceTable:
+		return w.adjacentBlock(TableBlock)
+	case PlaceFurnace:
+		return w.adjacentBlock(FurnaceBlock)
+	case Nonsense:
+		return false // never completes; only the replan limit ends it
+	default:
+		return w.Count(s.Item) >= s.Count
+	}
+}
+
+// Deterministic reports whether the subtask's execution phase is a fragile
+// sequential chain (mining, smelting, crafting) as opposed to a stochastic
+// interaction (hunting, shearing, gathering) — the structural property
+// behind the subtask-resilience diversity of Fig. 6.
+func (s Subtask) Deterministic() bool {
+	switch s.Kind {
+	case HuntChicken, ShearWool, CollectSeeds, Nonsense:
+		return false
+	default:
+		return true
+	}
+}
+
+// TaskName identifies one of the paper's evaluation tasks (Table 10,
+// abbreviated teletype names).
+type TaskName string
+
+// The nine Minecraft tasks of Table 10.
+const (
+	TaskWooden   TaskName = "wooden"
+	TaskStone    TaskName = "stone"
+	TaskCharcoal TaskName = "charcoal"
+	TaskChicken  TaskName = "chicken"
+	TaskCoal     TaskName = "coal"
+	TaskIron     TaskName = "iron"
+	TaskWool     TaskName = "wool"
+	TaskSeed     TaskName = "seed"
+	TaskLog      TaskName = "log"
+)
+
+// AllTasks lists the evaluation tasks in the paper's order.
+var AllTasks = []TaskName{
+	TaskWooden, TaskStone, TaskCharcoal, TaskChicken,
+	TaskCoal, TaskIron, TaskWool, TaskSeed, TaskLog,
+}
+
+// TaskSpec describes a task's goal and environment.
+type TaskSpec struct {
+	Name  TaskName
+	Goal  Item
+	Count int
+	Biome Biome
+}
+
+// Specs maps each task to its goal item and biome (Table 10).
+var Specs = map[TaskName]TaskSpec{
+	TaskWooden:   {TaskWooden, WoodenPickaxe, 1, Jungle},
+	TaskStone:    {TaskStone, StonePickaxe, 1, Plains},
+	TaskCharcoal: {TaskCharcoal, Charcoal, 1, Plains},
+	TaskChicken:  {TaskChicken, CookedChicken, 1, Plains},
+	TaskCoal:     {TaskCoal, Coal, 1, Savanna},
+	TaskIron:     {TaskIron, IronSword, 1, Plains},
+	TaskWool:     {TaskWool, Wool, 5, Plains},
+	TaskSeed:     {TaskSeed, WheatSeeds, 10, Savanna},
+	TaskLog:      {TaskLog, Log, 10, ForestBiome},
+}

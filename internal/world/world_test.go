@@ -1,0 +1,369 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, b := New(Plains, 5), New(Plains, 5)
+	for i := range a.grid {
+		if a.grid[i] != b.grid[i] {
+			t.Fatal("same seed must generate identical worlds")
+		}
+	}
+	c := New(Plains, 6)
+	same := true
+	for i := range a.grid {
+		if a.grid[i] != c.grid[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestWorldBordersAreBedrock(t *testing.T) {
+	w := New(Jungle, 1)
+	for i := 0; i < w.Size; i++ {
+		if w.At(i, 0) != Bedrock || w.At(0, i) != Bedrock ||
+			w.At(i, w.Size-1) != Bedrock || w.At(w.Size-1, i) != Bedrock {
+			t.Fatal("border must be bedrock")
+		}
+	}
+	if w.At(-5, 3) != Bedrock || w.At(3, 99) != Bedrock {
+		t.Fatal("out of range must read as bedrock")
+	}
+}
+
+func TestSpawnAreaCleared(t *testing.T) {
+	w := New(ForestBiome, 2)
+	for dy := -9; dy <= 9; dy++ {
+		for dx := -9; dx <= 9; dx++ {
+			b := w.At(w.AgentX+dx, w.AgentY+dy)
+			if b == Tree || b == Stone || b == CoalOre || b == IronOre {
+				t.Fatalf("resource %v inside cleared spawn at (%d,%d)", b, dx, dy)
+			}
+		}
+	}
+}
+
+func TestMovementRespectsSolidity(t *testing.T) {
+	w := New(Plains, 3)
+	// Surround agent with stone except east.
+	for _, d := range [][2]int{{0, -1}, {0, 1}, {-1, 0}, {1, -1}, {-1, -1}, {-1, 1}, {1, 1}} {
+		w.set(w.AgentX+d[0], w.AgentY+d[1], Stone)
+	}
+	x, y := w.AgentX, w.AgentY
+	w.Step(MakeAction(MoveN, IntNone), NoItem)
+	if w.AgentX != x || w.AgentY != y {
+		t.Fatal("moved into solid block")
+	}
+	w.Step(MakeAction(MoveE, IntNone), NoItem)
+	if w.AgentX != x+1 {
+		t.Fatal("failed to move into open cell")
+	}
+}
+
+func TestMiningChainAndDecay(t *testing.T) {
+	w := New(Plains, 4)
+	w.Mobs = nil // animals would soak up attacks
+	w.set(w.AgentX+1, w.AgentY, Tree)
+	attack := MakeAction(MoveNone, IntAttack)
+	noop := MakeAction(MoveNone, IntNone)
+
+	for i := 0; i < TreeHits-1; i++ {
+		w.Step(attack, Log)
+	}
+	if _, _, hits := w.MineProgress(); hits != TreeHits-1 {
+		t.Fatalf("chain progress %d", hits)
+	}
+	// Interrupt: progress decays.
+	w.Step(noop, Log)
+	if _, _, hits := w.MineProgress(); hits != TreeHits-1-MineDecay {
+		t.Fatalf("decay wrong: %d", hits)
+	}
+	// Finish the chain.
+	for i := 0; i < MineDecay+1; i++ {
+		w.Step(attack, Log)
+	}
+	if w.Count(Log) != 1 {
+		t.Fatalf("log not collected: %d", w.Count(Log))
+	}
+	if w.At(w.AgentX+1, w.AgentY) != Air {
+		t.Fatal("tree not removed")
+	}
+}
+
+func TestMiningRequiresTool(t *testing.T) {
+	w := New(Plains, 5)
+	w.Mobs = nil
+	w.set(w.AgentX+1, w.AgentY, Stone)
+	attack := MakeAction(MoveNone, IntAttack)
+	for i := 0; i < StoneHits*2; i++ {
+		w.Step(attack, Cobblestone)
+	}
+	if w.Count(Cobblestone) != 0 {
+		t.Fatal("mined stone without a pickaxe")
+	}
+	w.Inventory[WoodenPickaxe] = 1
+	for i := 0; i < StoneHits; i++ {
+		w.Step(attack, Cobblestone)
+	}
+	if w.Count(Cobblestone) != 1 {
+		t.Fatal("failed to mine stone with pickaxe")
+	}
+}
+
+func TestCraftChainToWoodenPickaxe(t *testing.T) {
+	w := New(Jungle, 6)
+	w.Inventory[Log] = 3
+	craft := MakeAction(MoveNone, IntCraft)
+	place := MakeAction(MoveNone, IntPlace)
+
+	// Craft the table (auto-chains planks), place it, craft the pickaxe.
+	for i := 0; i < 4 && w.Count(CraftingTable) == 0; i++ {
+		w.Step(craft, CraftingTable)
+	}
+	if w.Count(CraftingTable) != 1 {
+		t.Fatal("crafting table chain failed")
+	}
+	w.Step(place, CraftingTable)
+	if w.TableX < 0 {
+		t.Fatal("table not placed / landmark not recorded")
+	}
+	for i := 0; i < 6 && w.Count(WoodenPickaxe) == 0; i++ {
+		w.Step(craft, WoodenPickaxe)
+	}
+	if w.Count(WoodenPickaxe) != 1 {
+		t.Fatal("wooden pickaxe chain failed")
+	}
+}
+
+func TestCraftNeedsTableAdjacency(t *testing.T) {
+	w := New(Jungle, 7)
+	w.Inventory[Planks] = 3
+	w.Inventory[Sticks] = 2
+	w.Step(MakeAction(MoveNone, IntCraft), WoodenPickaxe)
+	if w.Count(WoodenPickaxe) != 0 {
+		t.Fatal("crafted a pickaxe without a table")
+	}
+}
+
+func TestSmeltChain(t *testing.T) {
+	w := New(Plains, 8)
+	w.set(w.AgentX+1, w.AgentY, FurnaceBlock)
+	w.Inventory[Log] = 1
+	w.Inventory[Planks] = 1
+	smelt := MakeAction(MoveNone, IntSmelt)
+	for i := 0; i < SmeltHits; i++ {
+		w.Step(smelt, Charcoal)
+	}
+	if w.Count(Charcoal) != 1 {
+		t.Fatalf("smelt failed: %d", w.Count(Charcoal))
+	}
+	if w.Count(Log) != 0 || w.Count(Planks) != 0 {
+		t.Fatal("smelt did not consume input and fuel")
+	}
+}
+
+func TestSmeltInterruptionResets(t *testing.T) {
+	w := New(Plains, 9)
+	w.set(w.AgentX+1, w.AgentY, FurnaceBlock)
+	w.Inventory[Log] = 1
+	w.Inventory[Planks] = 1
+	smelt := MakeAction(MoveNone, IntSmelt)
+	for i := 0; i < SmeltHits-1; i++ {
+		w.Step(smelt, Charcoal)
+	}
+	w.Step(MakeAction(MoveNone, IntNone), Charcoal) // interruption
+	if _, hits := w.SmeltProgress(); hits != 0 {
+		t.Fatalf("smelt chain should reset, got %d", hits)
+	}
+}
+
+func TestHuntChicken(t *testing.T) {
+	w := New(Plains, 10)
+	w.Mobs = []Mob{{Kind: Chicken, X: w.AgentX + 1, Y: w.AgentY, HP: ChickenHP, Alive: true}}
+	attack := MakeAction(MoveNone, IntAttack)
+	for i := 0; i < 40 && w.Count(RawChicken) == 0; i++ {
+		// Chase: step toward the chicken then strike when adjacent.
+		m := w.Mobs[0]
+		if chebyshev(w.AgentX, w.AgentY, m.X, m.Y) == 1 {
+			w.Step(attack, RawChicken)
+		} else {
+			w.Step(MakeAction(MoveToward(w.AgentX, w.AgentY, m.X, m.Y), IntNone), RawChicken)
+		}
+	}
+	if w.Count(RawChicken) != 1 {
+		t.Fatal("hunt failed")
+	}
+}
+
+func TestShearAndSeeds(t *testing.T) {
+	w := New(Plains, 11)
+	w.Mobs = []Mob{{Kind: Sheep, X: w.AgentX + 1, Y: w.AgentY, HP: 8, Alive: true}}
+	w.Step(MakeAction(MoveNone, IntUse), Wool)
+	if w.Count(Wool) != 1 || !w.Mobs[0].Sheared {
+		t.Fatal("shear failed")
+	}
+	// Sheared sheep yields nothing more.
+	w.Step(MakeAction(MoveNone, IntUse), Wool)
+	if w.Count(Wool) != 1 {
+		t.Fatal("sheared twice")
+	}
+
+	w2 := New(Savanna, 12)
+	w2.set(w2.AgentX+1, w2.AgentY, Grass)
+	got := 0
+	for i := 0; i < 50 && got == 0; i++ {
+		w2.set(w2.AgentX+1, w2.AgentY, Grass)
+		w2.Step(MakeAction(MoveNone, IntUse), WheatSeeds)
+		got = w2.Count(WheatSeeds)
+	}
+	if got == 0 {
+		t.Fatal("no seeds after 50 grass harvests (p=0.5 each)")
+	}
+}
+
+func TestActionEncodingRoundTrip(t *testing.T) {
+	f := func(m, i uint8) bool {
+		mv := Move(m % uint8(NumMoves))
+		in := Interact(i % uint8(NumInteracts))
+		gm, gi := MakeAction(mv, in).Parts()
+		return gm == mv && gi == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if NumActions != int(NumMoves)*int(NumInteracts) {
+		t.Fatal("action space size wrong")
+	}
+}
+
+func TestExpertPhaseEntropyOrdering(t *testing.T) {
+	// The expert's logit entropy must satisfy execute < approach < explore
+	// (Fig. 7 / Fig. 10 structure).
+	w := New(Plains, 13)
+	e := NewExpert(1)
+	st := Subtask{Kind: MineLog, Item: Log, Count: 1}
+
+	// Execution: tree adjacent.
+	w.set(w.AgentX+1, w.AgentY, Tree)
+	exec := e.Decide(w, st)
+	if exec.Phase != PhaseExecute {
+		t.Fatalf("expected execute, got %v", exec.Phase)
+	}
+	// Approach: tree visible but not adjacent.
+	w.set(w.AgentX+1, w.AgentY, Air)
+	w.set(w.AgentX+6, w.AgentY, Tree)
+	app := e.Decide(w, st)
+	if app.Phase != PhaseApproach {
+		t.Fatalf("expected approach, got %v", app.Phase)
+	}
+	// Exploration: nothing visible.
+	w.set(w.AgentX+6, w.AgentY, Air)
+	for yy := 0; yy < w.Size; yy++ {
+		for xx := 0; xx < w.Size; xx++ {
+			if w.At(xx, yy) == Tree {
+				w.set(xx, yy, Air)
+			}
+		}
+	}
+	exp := e.Decide(w, st)
+	if exp.Phase != PhaseExplore {
+		t.Fatalf("expected explore, got %v", exp.Phase)
+	}
+
+	he, ha, hx := exec.Entropy(), app.Entropy(), exp.Entropy()
+	if !(he < ha && ha < hx) {
+		t.Fatalf("entropy ordering violated: exec %.2f approach %.2f explore %.2f", he, ha, hx)
+	}
+	if he > 1 {
+		t.Fatalf("execute entropy too high: %v", he)
+	}
+	if hx < 2.5 {
+		t.Fatalf("explore entropy too low: %v", hx)
+	}
+}
+
+func TestExpertNonsenseNeverCompletes(t *testing.T) {
+	w := New(Plains, 14)
+	e := NewExpert(2)
+	st := Subtask{Kind: Nonsense}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		dec := e.Decide(w, st)
+		w.Step(dec.Sample(rng), dec.Goal)
+	}
+	if st.Done(w) {
+		t.Fatal("nonsense subtask must never complete")
+	}
+}
+
+func TestDecisionSampleDistribution(t *testing.T) {
+	// Sampling a sharply peaked decision must pick the desired action the
+	// vast majority of the time.
+	w := New(Plains, 15)
+	w.set(w.AgentX+1, w.AgentY, Tree)
+	e := NewExpert(3)
+	dec := e.Decide(w, Subtask{Kind: MineLog, Item: Log, Count: 1})
+	rng := rand.New(rand.NewSource(4))
+	hit := 0
+	for i := 0; i < 1000; i++ {
+		if dec.Sample(rng) == dec.Desired {
+			hit++
+		}
+	}
+	if hit < 950 {
+		t.Fatalf("critical decision sampled desired only %d/1000", hit)
+	}
+}
+
+func TestRenderViewShapeAndAgentMarker(t *testing.T) {
+	w := New(Plains, 16)
+	img := w.RenderView()
+	if img.C != 3 || img.H != ViewSize || img.W != ViewSize {
+		t.Fatalf("render shape %dx%dx%d", img.C, img.H, img.W)
+	}
+	// Agent marker at the center block: red channel 1.
+	c := ViewSize / 2
+	if img.At(0, c, c) != 1 {
+		t.Fatal("agent marker missing")
+	}
+	for _, v := range img.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel out of range: %v", v)
+		}
+	}
+}
+
+func TestNearestBlockVisionLimitAndLandmark(t *testing.T) {
+	w := New(Plains, 17)
+	// Wipe everything, then place a table landmark far away.
+	for yy := 1; yy < w.Size-1; yy++ {
+		for xx := 1; xx < w.Size-1; xx++ {
+			w.set(xx, yy, Air)
+		}
+	}
+	w.set(2, 2, Tree)
+	if _, _, ok := w.NearestBlock(Tree); ok {
+		t.Fatal("tree beyond vision range should be invisible")
+	}
+	w.set(2, 2, TableBlock)
+	w.TableX, w.TableY = 2, 2
+	if _, _, ok := w.NearestBlock(TableBlock); !ok {
+		t.Fatal("placed table landmark must be remembered beyond vision")
+	}
+}
+
+func TestSubtaskDeterministicClassification(t *testing.T) {
+	det := Subtask{Kind: MineLog}
+	sto := Subtask{Kind: HuntChicken}
+	if !det.Deterministic() || sto.Deterministic() {
+		t.Fatal("subtask structural classification wrong")
+	}
+}
