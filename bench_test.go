@@ -172,12 +172,30 @@ func BenchmarkFig15_UpdateInterval(b *testing.B) {
 }
 
 // BenchmarkFig16_Overall regenerates the overall task evaluation
-// (Fig. 16(a)/(b)).
+// (Fig. 16(a)/(b)) with the default all-cores fan-out.
 func BenchmarkFig16_Overall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opt := experiments.Options{Trials: 4, Seed: 2026}
 		experiments.Fig16Reliability(benchEnv, opt)
 		experiments.Fig16Efficiency(benchEnv, opt)
+	}
+}
+
+// BenchmarkFig16_OverallSerial is the Workers: 1 baseline for the parallel
+// engine — compare against BenchmarkFig16_OverallParallel to measure the
+// speedup on this host (the outputs are bit-identical by construction).
+func BenchmarkFig16_OverallSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := experiments.Options{Trials: 4, Seed: 2026, Workers: 1}
+		experiments.Fig16Reliability(benchEnv, opt)
+	}
+}
+
+// BenchmarkFig16_OverallParallel fans the same workload out over all cores.
+func BenchmarkFig16_OverallParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := experiments.Options{Trials: 4, Seed: 2026, Workers: 0}
+		experiments.Fig16Reliability(benchEnv, opt)
 	}
 }
 

@@ -1,7 +1,11 @@
 // Command create-bench regenerates the paper's tables and figures on the
 // simulated substrate. Select an experiment with -exp (or run everything):
 //
-//	create-bench -exp fig16 -trials 100
+//	create-bench -exp fig16 -trials 100 -workers 8
+//
+// Monte-Carlo trials and sweep grid points fan out over -workers goroutines
+// (0 = one per core) with deterministic, order-preserving aggregation, so
+// -workers only changes wall-clock time, never the printed numbers.
 //
 // Experiment identifiers follow the paper: fig1, fig4, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig12, fig13, fig14, fig15, fig16, fig17, fig18,
@@ -25,9 +29,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig1..fig21, table2..table6, all)")
 	trials := flag.Int("trials", 48, "episode repetitions per data point")
 	seed := flag.Int64("seed", 2026, "base random seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all cores, 1 = serial); results are identical either way")
 	flag.Parse()
 
-	opt := experiments.Options{Trials: *trials, Seed: *seed}
+	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
 	env := experiments.NewEnv()
 
 	runners := map[string]func(){

@@ -14,9 +14,10 @@ import (
 func main() {
 	trials := flag.Int("trials", 48, "episode repetitions per data point")
 	seed := flag.Int64("seed", 2026, "base random seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all cores, 1 = serial)")
 	flag.Parse()
 
-	opt := experiments.Options{Trials: *trials, Seed: *seed}
+	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
 	env := experiments.NewEnv()
 
 	experiments.RenderResilience(os.Stdout,

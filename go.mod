@@ -1,0 +1,3 @@
+module github.com/embodiedai/create
+
+go 1.24

@@ -16,6 +16,7 @@ import (
 
 	"github.com/embodiedai/create/internal/bridge"
 	"github.com/embodiedai/create/internal/planner"
+	"github.com/embodiedai/create/internal/sim"
 	"github.com/embodiedai/create/internal/timing"
 	"github.com/embodiedai/create/internal/world"
 )
@@ -277,16 +278,28 @@ type Summary struct {
 	Results               []Result
 }
 
-// RunMany executes trials episodes with distinct seeds and aggregates them.
+// RunMany executes trials episodes with distinct seeds and aggregates them,
+// fanning trials out over all schedulable cores. Per-trial seeds are pure
+// functions of the trial index (cfg.Seed + t*7919), so the parallel schedule
+// cannot perturb any episode, and aggregation runs over the index-ordered
+// result slice — the Summary is bit-for-bit identical to a serial loop (see
+// TestRunManyParallelDeterminism).
 func RunMany(cfg Config, trials int) Summary {
+	return RunManyWorkers(cfg, trials, 0)
+}
+
+// RunManyWorkers is RunMany with an explicit parallelism knob: workers <= 0
+// selects runtime.GOMAXPROCS(0), workers == 1 is the fully serial path.
+func RunManyWorkers(cfg Config, trials, workers int) Summary {
 	s := Summary{Trials: trials, StepsAtMV: make(map[int]int)}
-	successes := 0
-	var stepSum, planSum float64
-	for t := 0; t < trials; t++ {
+	s.Results = sim.Map(trials, workers, func(t int) Result {
 		c := cfg
 		c.Seed = cfg.Seed + int64(t)*7919
-		r := Run(c)
-		s.Results = append(s.Results, r)
+		return Run(c)
+	})
+	successes := 0
+	var stepSum, planSum float64
+	for t, r := range s.Results {
 		if r.Success {
 			successes++
 			stepSum += float64(r.Steps)
@@ -295,7 +308,14 @@ func RunMany(cfg Config, trials int) Summary {
 		for mv, n := range r.StepsAtMV {
 			s.StepsAtMV[mv] += n
 		}
-		s.PlannerVoltageMV = r.PlannerVoltageMV
+		// The planner supply is a config-level property shared by every
+		// trial; set it once and assert the invariant rather than letting
+		// whichever trial aggregates last win.
+		if t == 0 {
+			s.PlannerVoltageMV = r.PlannerVoltageMV
+		} else if r.PlannerVoltageMV != s.PlannerVoltageMV {
+			panic("agent: PlannerVoltageMV diverged across trials of one config")
+		}
 	}
 	s.SuccessRate = float64(successes) / float64(trials)
 	if successes > 0 {

@@ -4,6 +4,7 @@ import (
 	"github.com/embodiedai/create/internal/agent"
 	"github.com/embodiedai/create/internal/bridge"
 	"github.com/embodiedai/create/internal/policy"
+	"github.com/embodiedai/create/internal/sim"
 	"github.com/embodiedai/create/internal/timing"
 	"github.com/embodiedai/create/internal/world"
 )
@@ -67,22 +68,25 @@ func Fig13AblationPlanner(e *Env, opt Options) []ProtectionPoint {
 }
 
 func protSweep(e *Env, opt Options, bers []float64, hitPlanner bool, prot bridge.Protection) []ProtectionPoint {
-	var out []ProtectionPoint
-	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
-		for _, ber := range bers {
-			cfg := agent.Config{UniformBER: ber}
-			if hitPlanner {
-				cfg.Planner = e.Planner
-				cfg.PlannerProt = prot
-			} else {
-				cfg.Controller = e.Controller
-				cfg.ControlProt = prot
-			}
-			s := e.runTask(task, cfg, opt)
-			out = append(out, ProtectionPoint{ber, task, protLabel(prot), s.SuccessRate, s.AvgSteps})
+	tasks := []world.TaskName{world.TaskWooden, world.TaskStone}
+	// Grid points are independent trials sweeps; fan them out with ordered
+	// collection so the row order matches the serial task-major loop. The
+	// Workers budget is split between the grid and the per-point trial
+	// loops so nesting can't exceed it.
+	gridW, opt := opt.split(len(tasks) * len(bers))
+	return sim.Map(len(tasks)*len(bers), gridW, func(i int) ProtectionPoint {
+		task, ber := tasks[i/len(bers)], bers[i%len(bers)]
+		cfg := agent.Config{UniformBER: ber}
+		if hitPlanner {
+			cfg.Planner = e.Planner
+			cfg.PlannerProt = prot
+		} else {
+			cfg.Controller = e.Controller
+			cfg.ControlProt = prot
 		}
-	}
-	return out
+		s := e.runTask(task, cfg, opt)
+		return ProtectionPoint{ber, task, protLabel(prot), s.SuccessRate, s.AvgSteps}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -105,21 +109,32 @@ type VSPoint struct {
 // adaptive policies advance the success-vs-effective-voltage frontier, and
 // AD shifts the whole frontier to lower voltages.
 func Fig13VS(e *Env, opt Options) []VSPoint {
-	var out []VSPoint
+	type vsJob struct {
+		task   world.TaskName
+		name   string
+		prot   bridge.Protection
+		vs     func(float64) float64
+		constV float64
+	}
+	var jobs []vsJob
 	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
 		for _, ad := range []bool{false, true} {
 			prot := bridge.Protection{AD: ad}
 			// Constant-voltage baselines.
 			for _, v := range []float64{0.90, 0.85, 0.80, 0.75, 0.70, 0.65} {
-				out = append(out, e.vsPoint(task, "const", prot, nil, v, opt))
+				jobs = append(jobs, vsJob{task, "const", prot, nil, v})
 			}
 			// Adaptive policies A-F.
 			for _, m := range policy.Selected {
-				out = append(out, e.vsPoint(task, m.Name, prot, m.Func(), 0, opt))
+				jobs = append(jobs, vsJob{task, m.Name, prot, m.Func(), 0})
 			}
 		}
 	}
-	return out
+	gridW, opt := opt.split(len(jobs))
+	return sim.Map(len(jobs), gridW, func(i int) VSPoint {
+		j := jobs[i]
+		return e.vsPoint(j.task, j.name, j.prot, j.vs, j.constV, opt)
+	})
 }
 
 func (e *Env) vsPoint(task world.TaskName, name string, prot bridge.Protection,
@@ -209,14 +224,13 @@ var Fig16Tasks = []world.TaskName{
 // supply (Fig. 16(a)): unprotected operation collapses, AD recovers most
 // success, AD+WR approaches error-free quality, VS adds no degradation.
 func Fig16Reliability(e *Env, opt Options) []OverallPoint {
-	var out []OverallPoint
-	for _, task := range Fig16Tasks {
-		for _, name := range Fig16Configs {
-			s := e.runOverall(task, name, 0.75, opt)
-			out = append(out, OverallPoint{task, name, s.SuccessRate, s.AvgSteps, e.EpisodeEnergy(s, name == "AD+WR+VS")})
-		}
-	}
-	return out
+	gridW, opt := opt.split(len(Fig16Tasks) * len(Fig16Configs))
+	return sim.Map(len(Fig16Tasks)*len(Fig16Configs), gridW, func(i int) OverallPoint {
+		task := Fig16Tasks[i/len(Fig16Configs)]
+		name := Fig16Configs[i%len(Fig16Configs)]
+		s := e.runOverall(task, name, 0.75, opt)
+		return OverallPoint{task, name, s.SuccessRate, s.AvgSteps, e.EpisodeEnergy(s, name == "AD+WR+VS")}
+	})
 }
 
 // runOverall runs one Fig. 16 configuration. For "AD+WR+VS" the controller
@@ -270,9 +284,14 @@ type EfficiencyPoint struct {
 // preserving success, and the resulting computational energy saving
 // (Fig. 16(b): 40.6 % average for full CREATE).
 func Fig16Efficiency(e *Env, opt Options) []EfficiencyPoint {
-	var out []EfficiencyPoint
 	voltages := []float64{0.90, 0.875, 0.85, 0.825, 0.80, 0.775, 0.75, 0.725, 0.70, 0.675, 0.65}
-	for _, task := range Fig16Tasks {
+	// Parallelize across tasks only: the per-config voltage descent must
+	// stay serial because it early-exits at the first quality-violating
+	// supply, and that exit decides which runs exist at all.
+	gridW, opt := opt.split(len(Fig16Tasks))
+	return sim.FlatMap(len(Fig16Tasks), gridW, func(i int) []EfficiencyPoint {
+		task := Fig16Tasks[i]
+		var out []EfficiencyPoint
 		clean := e.runOverall(task, "none", timing.VNominal, opt)
 		target := clean.SuccessRate * 0.9
 		nominalEnergy := e.EpisodeEnergy(clean, false)
@@ -293,8 +312,8 @@ func Fig16Efficiency(e *Env, opt Options) []EfficiencyPoint {
 			best.SavingVsNominal = 1 - best.EnergyJ/nominalEnergy
 			out = append(out, best)
 		}
-	}
-	return out
+		return out
+	})
 }
 
 // AverageSaving aggregates Fig. 16(b) rows for one configuration.
@@ -328,14 +347,21 @@ type ErrorModelPoint struct {
 // the uniform abstraction (Sec. 4) and the voltage-profiled LUT (Sec. 6):
 // trends agree despite slight numerical differences (Sec. 6.9).
 func Fig19ErrorModels(e *Env, opt Options) []ErrorModelPoint {
-	var out []ErrorModelPoint
+	type emJob struct {
+		ber    float64
+		target string
+	}
+	var jobs []emJob
 	for _, ber := range BERSweep(1e-9, 1e-7) {
-		out = append(out, e.errorModelPoint(ber, "planner", opt)...)
+		jobs = append(jobs, emJob{ber, "planner"})
 	}
 	for _, ber := range BERSweep(1e-6, 1e-3) {
-		out = append(out, e.errorModelPoint(ber, "controller", opt)...)
+		jobs = append(jobs, emJob{ber, "controller"})
 	}
-	return out
+	gridW, opt := opt.split(len(jobs))
+	return sim.FlatMap(len(jobs), gridW, func(i int) []ErrorModelPoint {
+		return e.errorModelPoint(jobs[i].ber, jobs[i].target, opt)
+	})
 }
 
 func (e *Env) errorModelPoint(ber float64, target string, opt Options) []ErrorModelPoint {

@@ -15,6 +15,7 @@ import (
 	"github.com/embodiedai/create/internal/bridge"
 	"github.com/embodiedai/create/internal/platforms"
 	"github.com/embodiedai/create/internal/power"
+	"github.com/embodiedai/create/internal/sim"
 	"github.com/embodiedai/create/internal/timing"
 	"github.com/embodiedai/create/internal/world"
 )
@@ -23,7 +24,25 @@ import (
 // 100 times (Sec. 6.9); Quick mode trades confidence for wall-clock time.
 type Options struct {
 	Trials int
-	Seed   int64
+	// Seed is the base seed applied to every data point; all grid points
+	// derive their per-trial seeds from it, so any value — including 0 — is
+	// a valid, reproducible choice.
+	Seed int64
+	// Workers bounds the parallel fan-out of both the per-point trial loop
+	// and the sweep grids: 0 (the default) uses runtime.GOMAXPROCS(0),
+	// 1 forces the fully serial path. Results are identical either way —
+	// the engine's ordered collection keeps aggregation deterministic.
+	Workers int
+}
+
+// split divides the Workers budget between a sweep grid of n points and the
+// trial loops nested inside each point, returning the grid-level worker
+// count and an Options carrying the per-point remainder. Keeps total
+// concurrent episodes within Workers instead of multiplying to Workers^2.
+func (o Options) split(n int) (int, Options) {
+	gridW, trialW := sim.Split(o.Workers, n)
+	o.Workers = trialW
+	return gridW, o
 }
 
 // DefaultOptions reproduces the paper's repetition count.
@@ -71,16 +90,16 @@ func (e *Env) EpisodeEnergy(s agent.Summary, vsActive bool) float64 {
 	return total / float64(s.Trials)
 }
 
-// runTask is the shared episode sweep helper.
+// runTask is the shared episode sweep helper. The base seed always comes
+// from Options — callers pass fault/voltage configs, never seeds — so
+// Options{Seed: 0} is honoured instead of being mistaken for "unset".
 func (e *Env) runTask(task world.TaskName, cfg agent.Config, opt Options) agent.Summary {
 	cfg.Task = task
-	if cfg.Seed == 0 {
-		cfg.Seed = opt.Seed
-	}
+	cfg.Seed = opt.Seed
 	if cfg.Timing == nil {
 		cfg.Timing = e.Timing
 	}
-	return agent.RunMany(cfg, opt.Trials)
+	return agent.RunManyWorkers(cfg, opt.Trials, opt.Workers)
 }
 
 // BERSweep is the standard characterization BER grid.

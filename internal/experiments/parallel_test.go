@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/world"
+)
+
+// TestSweepParallelDeterminism locks the sweep-layer contract: a figure's
+// rows — values and order — must not depend on the Workers knob, at either
+// the grid or the trial fan-out level.
+func TestSweepParallelDeterminism(t *testing.T) {
+	e := NewEnv()
+	serial := Options{Trials: 4, Seed: 2026, Workers: 1}
+	parallel := Options{Trials: 4, Seed: 2026, Workers: 4}
+
+	if a, b := Fig16Reliability(e, serial), Fig16Reliability(e, parallel); !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig16Reliability diverged between serial and parallel:\n%+v\n%+v", a, b)
+	}
+	if a, b := Fig19ErrorModels(e, serial), Fig19ErrorModels(e, parallel); !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig19ErrorModels diverged between serial and parallel:\n%+v\n%+v", a, b)
+	}
+	if a, b := Fig13WR(e, serial), Fig13WR(e, parallel); !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig13WR diverged between serial and parallel:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSeedZeroHonoured guards the runTask bugfix: Options{Seed: 0} is a
+// legitimate base seed, not "unset", so it must produce a run distinct from
+// (and as reproducible as) any other seed.
+func TestSeedZeroHonoured(t *testing.T) {
+	e := NewEnv()
+	zero := Options{Trials: 4, Seed: 0}
+	other := Options{Trials: 4, Seed: 2026}
+
+	a := e.runTask(world.TaskWooden, agent.Config{UniformBER: 0}, zero)
+	b := e.runTask(world.TaskWooden, agent.Config{UniformBER: 0}, zero)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("seed 0 is not reproducible")
+	}
+	c := e.runTask(world.TaskWooden, agent.Config{UniformBER: 0}, other)
+	if reflect.DeepEqual(a.Results, c.Results) {
+		t.Fatal("seed 0 produced the same episodes as seed 2026 — it was replaced as 'unset'")
+	}
+	if a.Results[0].Steps == 0 {
+		t.Fatal("seed-0 run produced no steps")
+	}
+}

@@ -1,0 +1,114 @@
+// Package sim is the deterministic parallel execution engine behind the
+// Monte-Carlo evaluation suite. Every paper figure repeats independent
+// trials over an independent (task, config, voltage/BER) grid; this package
+// fans that work out over a bounded worker pool while keeping result
+// collection strictly index-ordered, so aggregation downstream is
+// bit-for-bit identical to a serial loop.
+//
+// Determinism contract: fn must derive all randomness from its index (the
+// callers seed per-trial RNGs as pure functions of i) and must not touch
+// shared mutable state. Under that contract Map(n, w, fn) returns the same
+// slice for every w, and the only observable effect of Workers is
+// wall-clock time.
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select
+// runtime.GOMAXPROCS(0) (one worker per schedulable core), and the count is
+// clamped to n so short grids don't spawn idle goroutines.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS) and returns the results in index order.
+// With workers == 1 it degenerates to a plain serial loop on the calling
+// goroutine — no goroutines, no synchronization — so the serial path stays
+// exactly the pre-engine code shape.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	// Bounded fan-out: workers pull indices from a shared atomic counter
+	// (cheaper and fairer than pre-chunking when per-item cost varies, as
+	// episode lengths do by orders of magnitude). Each result lands at its
+	// own index, so collection is ordered by construction and lock-free.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Split divides a workers budget between an outer fan-out of n jobs and the
+// nested fan-out inside each job, so two stacked Map calls stay within the
+// budget instead of multiplying to workers^2: outer*inner <= workers, with
+// the outer level saturated first (grid points are the coarser, better-
+// balanced unit of work).
+func Split(workers, n int) (outer, inner int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outer = workers
+	if n > 0 && outer > n {
+		outer = n
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
+
+// FlatMap runs fn(i) for every i in [0, n) in parallel and concatenates the
+// resulting slices in index order — the shape of the sweep helpers, where
+// one grid job emits several output rows.
+func FlatMap[T any](n, workers int, fn func(i int) []T) []T {
+	chunks := Map(n, workers, fn)
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]T, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}

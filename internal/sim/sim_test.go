@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want clamp to n=3", got)
+	}
+	if got := Workers(5, 0); got != 1 {
+		t.Fatalf("Workers(5, 0) = %d, want floor of 1", got)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		got := Map(100, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(0, ...) = %v, want nil", got)
+	}
+}
+
+// TestMapBoundedFanOut asserts the pool never runs more than the requested
+// number of fn invocations concurrently.
+func TestMapBoundedFanOut(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	Map(64, workers, func(i int) int {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		for k := 0; k < 1000; k++ {
+			_ = k * k // keep the worker busy long enough to overlap
+		}
+		inFlight.Add(-1)
+		return i
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent invocations, want <= %d", p, workers)
+	}
+}
+
+func TestSplitStaysWithinBudget(t *testing.T) {
+	cases := []struct {
+		workers, n, outer, inner int
+	}{
+		{4, 32, 4, 1}, // wide grid: all budget to the outer level
+		{64, 8, 8, 8}, // narrow grid: leftover budget goes inside
+		{2, 32, 2, 1}, // tight budget: no nested parallelism
+		{1, 10, 1, 1}, // serial stays serial at both levels
+		{5, 2, 2, 2},  // uneven split rounds down, 2*2 <= 5
+		{3, 0, 3, 1},  // degenerate grid: unclamped outer, no inner boost
+	}
+	for _, c := range cases {
+		outer, inner := Split(c.workers, c.n)
+		if outer != c.outer || inner != c.inner {
+			t.Errorf("Split(%d, %d) = (%d, %d), want (%d, %d)",
+				c.workers, c.n, outer, inner, c.outer, c.inner)
+		}
+		if c.workers >= 1 && outer*inner > c.workers {
+			t.Errorf("Split(%d, %d): %d*%d exceeds the budget",
+				c.workers, c.n, outer, inner)
+		}
+	}
+	outer, inner := Split(0, 4)
+	if outer < 1 || inner < 1 {
+		t.Fatalf("Split(0, 4) = (%d, %d), want >= 1 each", outer, inner)
+	}
+}
+
+func TestFlatMapOrderAndContent(t *testing.T) {
+	got := FlatMap(10, 4, func(i int) []int { return []int{i * 10, i*10 + 1} })
+	want := 20
+	if len(got) != want {
+		t.Fatalf("len = %d, want %d", len(got), want)
+	}
+	for i, v := range got {
+		exp := (i/2)*10 + i%2
+		if v != exp {
+			t.Fatalf("out[%d] = %d, want %d", i, v, exp)
+		}
+	}
+}

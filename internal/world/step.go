@@ -1,5 +1,7 @@
 package world
 
+import "sort"
+
 // Recipe describes one crafting output.
 type Recipe struct {
 	Out        Item
@@ -267,9 +269,13 @@ func nextCraft(w *World, goal Item) (Recipe, bool) {
 	if w.Inventory[goal] > 0 && goal != Planks && goal != Sticks {
 		return Recipe{}, false // already have the tool
 	}
-	// Depth-first: craft missing inputs before the goal itself.
-	for item, n := range r.In {
-		if w.Inventory[item] < n {
+	// Depth-first: craft missing inputs before the goal itself. Iterate in
+	// item order, NOT map order — which missing input we descend into picks
+	// the next craft, and randomized map iteration here made whole episodes
+	// irreproducible for a fixed seed (caught by the parallel-engine
+	// determinism tests).
+	for _, item := range inputOrder(r) {
+		if w.Inventory[item] < r.In[item] {
 			if sub, ok := nextCraft(w, item); ok {
 				return sub, true
 			}
@@ -281,6 +287,25 @@ func nextCraft(w *World, goal Item) (Recipe, bool) {
 	}
 	return r, true
 }
+
+// inputOrders caches each recipe's input items in ascending Item order:
+// the recipe book is static, and nextCraft sits in the per-step hot path.
+var inputOrders = func() map[Item][]Item {
+	m := make(map[Item][]Item, len(Recipes))
+	for out, r := range Recipes {
+		items := make([]Item, 0, len(r.In))
+		for item := range r.In {
+			items = append(items, item)
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		m[out] = items
+	}
+	return m
+}()
+
+// inputOrder returns a recipe's input items in ascending Item order, giving
+// map-backed recipes a deterministic traversal.
+func inputOrder(r Recipe) []Item { return inputOrders[r.Out] }
 
 // doPlace places a crafting table or furnace from the inventory into an
 // adjacent free cell (table first — the order tasks need them).
