@@ -7,6 +7,17 @@
 // (0 = one per core) with deterministic, order-preserving aggregation, so
 // -workers only changes wall-clock time, never the printed numbers.
 //
+// Sweeps reuse identical grid points through a content-addressed Summary
+// cache: always in-process, and across runs/machines when -cache-dir is
+// set. -shard k/n partitions every sweep grid by stable point index (this
+// process computes only its own points; the printed output is partial
+// scaffolding), and -merge unions shard cache directories into -cache-dir
+// before running, so a merged replay reproduces the unsharded output byte
+// for byte:
+//
+//	create-bench -exp all -trials 8 -shard 2/3 -cache-dir out   # one of 3 shards
+//	create-bench -exp all -trials 8 -merge s1,s2,s3 -cache-dir merged
+//
 // Experiment identifiers follow the paper: fig1, fig4, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig12, fig13, fig14, fig15, fig16, fig17, fig18,
 // fig19, fig20, fig21, table2, table3, table4, table5, table6.
@@ -19,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
 	"github.com/embodiedai/create/internal/platforms"
 	"github.com/embodiedai/create/internal/policy"
@@ -30,10 +42,36 @@ func main() {
 	trials := flag.Int("trials", 48, "episode repetitions per data point")
 	seed := flag.Int64("seed", 2026, "base random seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores, 1 = serial); results are identical either way")
+	shardSel := flag.String("shard", "", "compute only sweep grid points of shard k/n (1-based, e.g. 2/3); output is partial until merged")
+	cacheDir := flag.String("cache-dir", "", "persist the content-addressed summary cache to this directory (empty = in-memory only)")
+	merge := flag.String("merge", "", "comma-separated shard cache dirs to union into -cache-dir before running")
 	flag.Parse()
 
 	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
+	shard, numShards, store, err := experiments.OpenShardedCache(*shardSel, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt.Shard, opt.NumShards = shard, numShards
+	if *merge != "" {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "-merge requires -cache-dir as the destination")
+			os.Exit(2)
+		}
+		n, err := cache.MergeDirs(*cacheDir, strings.Split(*merge, ",")...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "merging shard caches: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "merged %d cache entries into %s\n", n, *cacheDir)
+	}
 	env := experiments.NewEnv()
+	env.Cache = store
+	defer func() {
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d points resident\n",
+			store.Hits(), store.Misses(), store.Len())
+	}()
 
 	runners := map[string]func(){
 		"fig1":   func() { fig1(env, opt) },

@@ -15,10 +15,19 @@ func main() {
 	trials := flag.Int("trials", 48, "episode repetitions per data point")
 	seed := flag.Int64("seed", 2026, "base random seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores, 1 = serial)")
+	shardSel := flag.String("shard", "", "compute only sweep grid points of shard k/n (1-based, e.g. 2/3); output is partial until merged")
+	cacheDir := flag.String("cache-dir", "", "persist the content-addressed summary cache to this directory (empty = in-memory only)")
 	flag.Parse()
 
 	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
+	shard, numShards, store, err := experiments.OpenShardedCache(*shardSel, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt.Shard, opt.NumShards = shard, numShards
 	env := experiments.NewEnv()
+	env.Cache = store
 
 	experiments.RenderResilience(os.Stdout,
 		"Planner resilience (Fig 5a/b): success plunges near BER 2e-8",

@@ -2,6 +2,7 @@ package bridge
 
 import (
 	"math"
+	"strconv"
 
 	"github.com/embodiedai/create/internal/quant"
 	"github.com/embodiedai/create/internal/timing"
@@ -127,6 +128,14 @@ func NewControllerFaultModel(shape Shape) *FaultModel {
 	m.opScale = JARVIS1ControllerShape.OutputsPerUnit / shape.OutputsPerUnit
 	m.severity = func(p Protection) Severity { return ControllerSeverityFor(p, "", m.bits) }
 	return m
+}
+
+// ID canonically identifies this fault model for content-addressed result
+// caching: the platform shape plus operand width. Severity-function
+// overrides (SetSeverityFunc, a test/component-study hook) are deliberately
+// not part of the identity — call sites using them must not cache.
+func (m *FaultModel) ID() string {
+	return m.Shape.Name + "/INT" + strconv.Itoa(int(m.bits))
 }
 
 // SetQuantBits switches the per-bit weighting measurements to a different

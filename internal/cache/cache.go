@@ -1,0 +1,251 @@
+// Package cache is the content-addressed evaluation-reuse layer of the
+// Monte-Carlo suite. Every cacheable grid point of the experiments layer is
+// described by a Point — the canonical fingerprint of one runTask
+// invocation: task, fault-model identities, protection labels, error
+// condition, voltages, VS policy, trials and seed. Identical fingerprints
+// are guaranteed (by the engine's determinism contract) to produce
+// bit-identical agent.Summary values, so a Summary computed once can be
+// replayed anywhere: within one process (Fig. 16's reliability and
+// efficiency sweeps share dozens of runOverall points), across processes
+// (warm -cache-dir reruns), and across machines (sharded sweeps whose cache
+// directories are merged back into the full result set).
+//
+// On disk a store is a directory of content-addressed JSON entries,
+// <dir>/<key[:2]>/<key>.json, where key = SHA-256(fingerprint). Each entry
+// records the full fingerprint alongside the Summary, so files are
+// self-describing, collisions are detectable, and shard directories can be
+// merged by plain file union (MergeDirs): determinism makes same-key files
+// byte-identical, so union order cannot matter.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/embodiedai/create/internal/agent"
+)
+
+// Point is the canonical fingerprint of one Monte-Carlo grid point. Its
+// fields must fully determine the agent.Config (plus trial count and base
+// seed) of the run it names; call sites whose configs contain function
+// values the fingerprint cannot inspect (VS policies, corruption overrides)
+// identify them through the Policy and Override names.
+type Point struct {
+	Task string
+	// Planner and Controller identify the attached fault models
+	// (bridge.FaultModel.ID); "" means error-free on that side.
+	Planner    string
+	Controller string
+	// PlannerProt and ControlProt are protection labels ("none", "AD",
+	// "WR", "AD+WR").
+	PlannerProt string
+	ControlProt string
+	// ErrorModel is "uniform" (BER-driven, BER set, voltages irrelevant to
+	// corruption but still metered for energy) or "voltage" (timing-model
+	// driven at PlannerV/ControllerV).
+	ErrorModel  string
+	BER         float64
+	PlannerV    float64
+	ControllerV float64
+	// Policy names the VS policy when cfg.VSPolicy is set ("" = constant
+	// voltage); Override names corruption-override hooks (baselines).
+	Policy     string
+	VSInterval int
+	Override   string
+	Trials     int
+	Seed       int64
+}
+
+// Fingerprint renders the canonical identity string. Field values are
+// plain platform/policy names and never contain the separator.
+func (p Point) Fingerprint() string {
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	return strings.Join([]string{
+		"task=" + p.Task,
+		"planner=" + p.Planner,
+		"controller=" + p.Controller,
+		"pprot=" + p.PlannerProt,
+		"cprot=" + p.ControlProt,
+		"errmodel=" + p.ErrorModel,
+		"ber=" + f(p.BER),
+		"pv=" + f(p.PlannerV),
+		"cv=" + f(p.ControllerV),
+		"policy=" + p.Policy,
+		"vsint=" + strconv.Itoa(p.VSInterval),
+		"override=" + p.Override,
+		"trials=" + strconv.Itoa(p.Trials),
+		"seed=" + strconv.FormatInt(p.Seed, 10),
+	}, "|")
+}
+
+// Key is the content address of the point: SHA-256 of the fingerprint.
+func (p Point) Key() string {
+	sum := sha256.Sum256([]byte(p.Fingerprint()))
+	return hex.EncodeToString(sum[:])
+}
+
+// entry is the on-disk record: the fingerprint makes the file
+// self-describing and lets Get reject key collisions and stale layouts.
+type entry struct {
+	Fingerprint string        `json:"fingerprint"`
+	Summary     agent.Summary `json:"summary"`
+}
+
+// Store is a goroutine-safe Summary cache: an in-memory map in front of an
+// optional on-disk directory. A dir of "" is a process-local memory cache.
+type Store struct {
+	dir string
+
+	mu  sync.RWMutex
+	mem map[string]agent.Summary
+
+	hits, misses atomic.Int64
+}
+
+// New opens (creating if needed) a store rooted at dir, or a memory-only
+// store when dir is empty.
+func New(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir, mem: make(map[string]agent.Summary)}, nil
+}
+
+// Dir returns the backing directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get returns the cached Summary for p. Memory is consulted first, then
+// disk (promoting the entry to memory). Every call counts as exactly one
+// hit or one miss.
+func (s *Store) Get(p Point) (agent.Summary, bool) {
+	key := p.Key()
+	s.mu.RLock()
+	sum, ok := s.mem[key]
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+		return sum, true
+	}
+	if s.dir != "" {
+		if data, err := os.ReadFile(s.path(key)); err == nil {
+			var e entry
+			if json.Unmarshal(data, &e) == nil && e.Fingerprint == p.Fingerprint() {
+				s.mu.Lock()
+				s.mem[key] = e.Summary
+				s.mu.Unlock()
+				s.hits.Add(1)
+				return e.Summary, true
+			}
+		}
+	}
+	s.misses.Add(1)
+	return agent.Summary{}, false
+}
+
+// Put stores the Summary for p in memory and, for disk-backed stores,
+// persists it atomically (temp file + rename) so concurrent sweep workers
+// and crashed runs can never leave a torn entry.
+func (s *Store) Put(p Point, sum agent.Summary) error {
+	key := p.Key()
+	s.mu.Lock()
+	s.mem[key] = sum
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(entry{Fingerprint: p.Fingerprint(), Summary: sum})
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(s.path(key), data)
+}
+
+// writeFileAtomic lands data at path via temp file + rename, so concurrent
+// writers and crashed runs can never leave a torn entry.
+func writeFileAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Hits and Misses report Get accounting; Len is the number of distinct
+// points resident in memory (every Put and every promoted disk hit).
+func (s *Store) Hits() int64   { return s.hits.Load() }
+func (s *Store) Misses() int64 { return s.misses.Load() }
+
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.mem)
+}
+
+// MergeDirs unions shard cache directories into dst and returns the number
+// of entries copied. Entries already present in dst are skipped: identical
+// fingerprints hold byte-identical summaries (the engine's determinism
+// contract), so a union is the complete merge — no conflict resolution
+// exists to get wrong.
+func MergeDirs(dst string, srcs ...string) (int, error) {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return 0, err
+	}
+	copied := 0
+	for _, src := range srcs {
+		err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".json") {
+				return nil
+			}
+			rel, err := filepath.Rel(src, path)
+			if err != nil {
+				return err
+			}
+			target := filepath.Join(dst, rel)
+			if _, err := os.Stat(target); err == nil {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if err := writeFileAtomic(target, data); err != nil {
+				return err
+			}
+			copied++
+			return nil
+		})
+		if err != nil {
+			return copied, err
+		}
+	}
+	return copied, nil
+}

@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/world"
+)
+
+func testPoint() Point {
+	return Point{
+		Task:        "wooden_pickaxe",
+		Controller:  "JARVIS-1 controller/INT8",
+		PlannerProt: "none",
+		ControlProt: "AD",
+		ErrorModel:  "uniform",
+		BER:         1e-5,
+		PlannerV:    0.9,
+		ControllerV: 0.9,
+		VSInterval:  5,
+		Trials:      4,
+		Seed:        2026,
+	}
+}
+
+// testSummary is a real aggregated run, so the round-trip tests exercise the
+// exact value shapes (maps, nested results) the experiments layer caches.
+func testSummary(trials int, seed int64) agent.Summary {
+	return agent.RunManyWorkers(agent.Config{
+		Task: world.TaskWooden, UniformBER: 0, Seed: seed,
+	}, trials, 1)
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	s, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPoint()
+	if _, ok := s.Get(p); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	if s.Hits() != 0 || s.Misses() != 1 {
+		t.Fatalf("want 0 hits / 1 miss, got %d/%d", s.Hits(), s.Misses())
+	}
+	sum := testSummary(3, 2026)
+	if err := s.Put(p, sum); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(p)
+	if !ok || !reflect.DeepEqual(got, sum) {
+		t.Fatal("stored summary not returned intact")
+	}
+	if s.Hits() != 1 || s.Misses() != 1 {
+		t.Fatalf("want 1 hit / 1 miss, got %d/%d", s.Hits(), s.Misses())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store should hold one point, holds %d", s.Len())
+	}
+}
+
+// TestDistinctKeys guards the fingerprint against collisions between grid
+// points that differ in exactly one evaluation-relevant dimension.
+func TestDistinctKeys(t *testing.T) {
+	base := testPoint()
+	variants := map[string]func(p Point) Point{
+		"seed":        func(p Point) Point { p.Seed = 7; return p },
+		"trials":      func(p Point) Point { p.Trials = 100; return p },
+		"error model": func(p Point) Point { p.ErrorModel = "voltage"; p.BER = 0; return p },
+		"BER":         func(p Point) Point { p.BER = 3e-5; return p },
+		"task":        func(p Point) Point { p.Task = "stone_pickaxe"; return p },
+		"protection":  func(p Point) Point { p.ControlProt = "none"; return p },
+		"fault model": func(p Point) Point { p.Controller = "JARVIS-1 controller/INT4"; return p },
+		"voltage":     func(p Point) Point { p.ControllerV = 0.75; return p },
+		"policy":      func(p Point) Point { p.Policy = "C"; return p },
+	}
+	seen := map[string]string{base.Key(): "base"}
+	for name, mutate := range variants {
+		k := mutate(base).Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("point differing only in %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+	if base.Key() != testPoint().Key() {
+		t.Fatal("identical points must share a key")
+	}
+}
+
+// TestDiskRoundTrip persists a real Summary and reloads it through a fresh
+// store: the replayed value must be indistinguishable from the computed one.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := testPoint()
+	sum := testSummary(4, 2026)
+
+	s1, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(p, sum); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(p)
+	if !ok {
+		t.Fatal("persisted entry not found by a fresh store")
+	}
+	if !reflect.DeepEqual(got, sum) {
+		t.Fatalf("round-trip changed the summary:\nwant %+v\ngot  %+v", sum, got)
+	}
+	if s2.Hits() != 1 || s2.Misses() != 0 {
+		t.Fatalf("disk hit miscounted: %d hits / %d misses", s2.Hits(), s2.Misses())
+	}
+
+	// A different seed is a different address — the fresh store must miss.
+	other := p
+	other.Seed = 1
+	if _, ok := s2.Get(other); ok {
+		t.Fatal("differing seed must not resolve to the persisted entry")
+	}
+}
+
+func TestMergeDirs(t *testing.T) {
+	root := t.TempDir()
+	a := filepath.Join(root, "a")
+	b := filepath.Join(root, "b")
+	dst := filepath.Join(root, "merged")
+
+	pa, pb := testPoint(), testPoint()
+	pb.Seed = 31
+	sa, sb := testSummary(2, 2026), testSummary(2, 31)
+
+	storeA, _ := New(a)
+	storeB, _ := New(b)
+	if err := storeA.Put(pa, sa); err != nil {
+		t.Fatal(err)
+	}
+	// The overlapping point lands in both shards, as happens when two
+	// shards' sweeps share a grid point; the union must not double-copy.
+	if err := storeB.Put(pa, sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeB.Put(pb, sb); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := MergeDirs(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("want 2 entries copied, got %d", n)
+	}
+
+	merged, _ := New(dst)
+	if got, ok := merged.Get(pa); !ok || !reflect.DeepEqual(got, sa) {
+		t.Fatal("merged store missing shard A's entry")
+	}
+	if got, ok := merged.Get(pb); !ok || !reflect.DeepEqual(got, sb) {
+		t.Fatal("merged store missing shard B's entry")
+	}
+
+	// Idempotent: re-merging copies nothing new.
+	if n, err = MergeDirs(dst, a, b); err != nil || n != 0 {
+		t.Fatalf("re-merge should be a no-op, copied %d (err %v)", n, err)
+	}
+}
+
+// TestCorruptEntryIsMiss: a torn or foreign file at a key's path must read
+// as a miss, not poison the run.
+func TestCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	p := testPoint()
+	s, _ := New(dir)
+	if err := s.Put(p, testSummary(2, 2026)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, p.Key()[:2], p.Key()+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := New(dir)
+	if _, ok := fresh.Get(p); ok {
+		t.Fatal("corrupt entry returned as a hit")
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/embodiedai/create/internal/cache"
+)
+
+// cachedOptions keeps trials small: these tests assert reuse accounting and
+// replay identity, not statistical quality.
+func cachedOptions() Options { return Options{Trials: 4, Seed: 2026} }
+
+// TestFig16CacheComputesEachPointOnce is the acceptance gate for the reuse
+// layer: across the whole fig16 workload (reliability at 0.75 V plus the
+// per-task voltage descent), each unique (task, config, voltage, trials,
+// seed) point is computed exactly once, and the overlap between the two
+// sweeps — the descent re-evaluates the supplies reliability already ran —
+// is served from cache.
+func TestFig16CacheComputesEachPointOnce(t *testing.T) {
+	e := NewEnv()
+	store, err := cache.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Cache = store
+	opt := cachedOptions()
+
+	rel := Fig16Reliability(e, opt)
+	eff := Fig16Efficiency(e, opt)
+
+	if got, want := store.Misses(), int64(store.Len()); got != want {
+		t.Fatalf("%d misses for %d unique points: some point was computed more than once", got, want)
+	}
+	// The efficiency sweep's clean baseline runs at the nominal supply,
+	// which is also each descent's first grid voltage — so cross-sweep
+	// hits are guaranteed, beyond whatever depth the descents reach.
+	if store.Hits() == 0 {
+		t.Fatal("Fig16Reliability and Fig16Efficiency share runOverall points; expected cache hits")
+	}
+
+	// A replay is pure hits and reproduces identical rows.
+	misses := store.Misses()
+	rel2 := Fig16Reliability(e, opt)
+	eff2 := Fig16Efficiency(e, opt)
+	if store.Misses() != misses {
+		t.Fatalf("replay recomputed %d points", store.Misses()-misses)
+	}
+	if !reflect.DeepEqual(rel, rel2) {
+		t.Fatal("cached replay of Fig16Reliability diverged")
+	}
+	if !reflect.DeepEqual(eff, eff2) {
+		t.Fatal("cached replay of Fig16Efficiency diverged")
+	}
+}
+
+// TestCachedSweepsMatchUncached: attaching a cache must never change a
+// result — first runs go through the compute path and replays through the
+// decode path, and both must equal the cache-free rows.
+func TestCachedSweepsMatchUncached(t *testing.T) {
+	opt := cachedOptions()
+	plain := NewEnv()
+	cached := NewEnv()
+	store, _ := cache.New(t.TempDir())
+	cached.Cache = store
+
+	if a, b := Fig13WR(plain, opt), Fig13WR(cached, opt); !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig13WR diverged with a cache attached:\n%+v\n%+v", a, b)
+	}
+	if a, b := Fig19ErrorModels(plain, opt), Fig19ErrorModels(cached, opt); !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig19ErrorModels diverged with a cache attached:\n%+v\n%+v", a, b)
+	}
+	if a, b := Fig15Interval(plain, opt), Fig15Interval(cached, opt); !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig15Interval diverged with a cache attached:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestShardedRunsMergeToUnshardedResults is the library-level determinism
+// gate behind the CI matrix: three sharded runs, each persisting only its
+// own grid points, merge into a cache whose replay (a) recomputes nothing
+// and (b) is indistinguishable from a cache-free unsharded run.
+func TestShardedRunsMergeToUnshardedResults(t *testing.T) {
+	base := t.TempDir()
+	opt := cachedOptions()
+	const numShards = 3
+
+	shardDirs := make([]string, numShards)
+	for k := 0; k < numShards; k++ {
+		shardDirs[k] = filepath.Join(base, fmt.Sprintf("shard%d", k))
+		store, err := cache.New(shardDirs[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEnv()
+		e.Cache = store
+		so := opt
+		so.Shard, so.NumShards = k, numShards
+		Fig16Reliability(e, so)
+		Fig13WR(e, so)
+		Fig19ErrorModels(e, so)
+		Fig6Subtasks(e, so)
+	}
+
+	merged := filepath.Join(base, "merged")
+	if _, err := cache.MergeDirs(merged, shardDirs...); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := cache.New(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEnv()
+	e.Cache = store
+	rel := Fig16Reliability(e, opt)
+	wr := Fig13WR(e, opt)
+	em := Fig19ErrorModels(e, opt)
+	sub := Fig6Subtasks(e, opt)
+	if store.Misses() != 0 {
+		t.Fatalf("merged replay recomputed %d points: shards did not cover the grid", store.Misses())
+	}
+
+	plain := NewEnv()
+	if want := Fig16Reliability(plain, opt); !reflect.DeepEqual(rel, want) {
+		t.Fatal("merged Fig16Reliability diverged from the unsharded run")
+	}
+	if want := Fig13WR(plain, opt); !reflect.DeepEqual(wr, want) {
+		t.Fatal("merged Fig13WR diverged from the unsharded run")
+	}
+	if want := Fig19ErrorModels(plain, opt); !reflect.DeepEqual(em, want) {
+		t.Fatal("merged Fig19ErrorModels diverged from the unsharded run")
+	}
+	if want := Fig6Subtasks(plain, opt); !reflect.DeepEqual(sub, want) {
+		t.Fatal("merged Fig6Subtasks diverged from the unsharded run")
+	}
+}
+
+// TestShardsPartitionTheGrid: every grid point is owned by exactly one
+// shard, so concatenating the shards' non-zero rows covers the unsharded
+// row set exactly once.
+func TestShardsPartitionTheGrid(t *testing.T) {
+	opt := cachedOptions()
+	e := NewEnv()
+	full := Fig16Reliability(e, opt)
+
+	owned := 0
+	for k := 0; k < 3; k++ {
+		so := opt
+		so.Shard, so.NumShards = k, 3
+		pts := Fig16Reliability(e, so)
+		if len(pts) != len(full) {
+			t.Fatalf("sharded grid changed shape: %d vs %d rows", len(pts), len(full))
+		}
+		for i, p := range pts {
+			if p.Task == "" { // skipped scaffolding row
+				continue
+			}
+			owned++
+			if !reflect.DeepEqual(p, full[i]) {
+				t.Fatalf("shard %d row %d diverged: %+v vs %+v", k, i, p, full[i])
+			}
+		}
+	}
+	if owned != len(full) {
+		t.Fatalf("shards covered %d of %d points", owned, len(full))
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in       string
+		shard, n int
+		wantErr  bool
+	}{
+		{"", 0, 0, false},
+		{"1/3", 0, 3, false},
+		{"3/3", 2, 3, false},
+		{"1/1", 0, 1, false},
+		{"0/3", 0, 0, true},
+		{"4/3", 0, 0, true},
+		{"x/3", 0, 0, true},
+		{"2", 0, 0, true},
+		{"2/", 0, 0, true},
+	}
+	for _, c := range cases {
+		shard, n, err := ParseShard(c.in)
+		if (err != nil) != c.wantErr {
+			t.Fatalf("ParseShard(%q) err=%v, wantErr=%v", c.in, err, c.wantErr)
+		}
+		if err == nil && (shard != c.shard || n != c.n) {
+			t.Fatalf("ParseShard(%q) = %d,%d want %d,%d", c.in, shard, n, c.shard, c.n)
+		}
+	}
+}
+
+// TestOptionsSplitNeverZero is the regression test for the nested-worker
+// clamp: a 0 at either level would select GOMAXPROCS downstream (<= 0 means
+// "all cores" throughout the engine) and blow the concurrency budget.
+func TestOptionsSplitNeverZero(t *testing.T) {
+	for w := -2; w <= 16; w++ {
+		for n := 0; n <= 48; n++ {
+			gridW, opt := Options{Trials: 1, Workers: w}.split(n)
+			if gridW < 1 || opt.Workers < 1 {
+				t.Fatalf("split(workers=%d, n=%d) handed out a starved level: grid=%d trial=%d",
+					w, n, gridW, opt.Workers)
+			}
+			if w >= 1 && gridW*opt.Workers > w && gridW > 1 {
+				t.Fatalf("split(workers=%d, n=%d) exceeds the budget: grid=%d trial=%d",
+					w, n, gridW, opt.Workers)
+			}
+		}
+	}
+}

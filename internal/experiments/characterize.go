@@ -143,8 +143,14 @@ func Fig5Controller(e *Env, opt Options) []ResiliencePoint {
 func resilienceSweep(e *Env, opt Options, bers []float64, hitPlanner, hitController bool,
 	pProt, cProt bridge.Protection) []ResiliencePoint {
 	var out []ResiliencePoint
+	idx := 0
 	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
 		for _, ber := range bers {
+			if !opt.owns(idx) {
+				idx++
+				continue
+			}
+			idx++
 			cfg := agent.Config{UniformBER: ber, PlannerProt: pProt, ControlProt: cProt}
 			if hitPlanner {
 				cfg.Planner = e.Planner
@@ -152,7 +158,7 @@ func resilienceSweep(e *Env, opt Options, bers []float64, hitPlanner, hitControl
 			if hitController {
 				cfg.Controller = e.Controller
 			}
-			s := e.runTask(task, cfg, opt)
+			s := e.runTaskCached(task, cfg, opt, "", "")
 			out = append(out, ResiliencePoint{ber, task, s.SuccessRate, s.AvgSteps})
 		}
 	}
@@ -291,10 +297,16 @@ var Fig6Tasks = []world.TaskName{
 // stochastic interactions (chicken, wool) degrade gradually.
 func Fig6Subtasks(e *Env, opt Options) []ResiliencePoint {
 	var out []ResiliencePoint
+	idx := 0
 	for _, task := range Fig6Tasks {
 		for _, ber := range BERSweep(1e-6, 1e-2) {
+			if !opt.owns(idx) {
+				idx++
+				continue
+			}
+			idx++
 			cfg := agent.Config{Controller: e.Controller, UniformBER: ber}
-			s := e.runTask(task, cfg, opt)
+			s := e.runTaskCached(task, cfg, opt, "", "")
 			out = append(out, ResiliencePoint{ber, task, s.SuccessRate, s.AvgSteps})
 		}
 	}

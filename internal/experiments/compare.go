@@ -32,8 +32,14 @@ var Fig20Voltages = []float64{0.90, 0.85, 0.80, 0.75, 0.70, 0.65}
 // energy (Sec. 6.10: 35.0 % / 33.8 % savings over the best baseline).
 func Fig20Baselines(e *Env, opt Options) []ComparisonPoint {
 	var out []ComparisonPoint
+	idx := 0
 	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
 		for _, v := range Fig20Voltages {
+			if !opt.owns(idx) {
+				idx++
+				continue
+			}
+			idx++
 			out = append(out, e.createPoint(task, v, opt))
 			for _, b := range baselines.All {
 				out = append(out, e.baselinePoint(task, b, v, opt))
@@ -55,15 +61,12 @@ func (e *Env) createPoint(task world.TaskName, v float64, opt Options) Compariso
 		Timing:      e.Timing,
 	}
 	cfg.PlannerVoltage = v
-	base := policy.Default
-	cfg.VSPolicy = func(h float64) float64 {
-		pv := base.Voltage(h)
-		if pv > v {
-			pv = v
-		}
-		return pv
-	}
-	s := e.runTask(task, cfg, opt)
+	// The shared ceiling-at-supply policy of runOverall's "AD+WR+VS": same
+	// closure, same cache identity, so matching (task, v, trials, seed)
+	// points are shared with the Fig. 16 sweeps outright.
+	vs, policyID := ceiledPolicy(v)
+	cfg.VSPolicy = vs
+	s := e.runTaskCached(task, cfg, opt, policyID, "")
 	return ComparisonPoint{
 		Technique: "CREATE", Task: task, Voltage: v,
 		SuccessRate: s.SuccessRate, AvgSteps: s.AvgSteps,
@@ -86,7 +89,9 @@ func (e *Env) baselinePoint(task world.TaskName, b baselines.Baseline, v float64
 			return b.ControllerCorrupt(e.Timing, cv)
 		},
 	}
-	s := e.runTask(task, cfg, opt)
+	// The override hooks are pure functions of (technique, voltage), so the
+	// baseline's name plus the voltage fields fingerprint them exactly.
+	s := e.runTaskCached(task, cfg, opt, "", b.Name)
 	energy := e.EpisodeEnergy(s, false) * b.EnergyFactor(e.Timing, v)
 	return ComparisonPoint{
 		Technique: b.Name, Task: task, Voltage: v,

@@ -78,7 +78,7 @@ func Fig17CrossPlatform(e *Env, opt Options) []CrossPoint {
 // Minecraft task and reports the saving.
 func (e *Env) jarvisPlannerPoint(task world.TaskName, opt Options) CrossPoint {
 	prot := bridge.Protection{AD: true, WR: true}
-	clean := e.runTask(task, agent.Config{UniformBER: 0}, opt)
+	clean := e.runTaskCached(task, agent.Config{UniformBER: 0}, opt, "", "")
 	target := clean.SuccessRate * 0.9
 	best := timing.VNominal
 	var bestRate float64 = clean.SuccessRate
@@ -87,7 +87,7 @@ func (e *Env) jarvisPlannerPoint(task world.TaskName, opt Options) CrossPoint {
 			Planner: e.Planner, PlannerProt: prot,
 			UniformBER: agent.VoltageMode, Timing: e.Timing, PlannerVoltage: v,
 		}
-		s := e.runTask(task, cfg, opt)
+		s := e.runTaskCached(task, cfg, opt, "", "")
 		if s.SuccessRate < target {
 			break
 		}
@@ -107,7 +107,7 @@ func (e *Env) jarvisControllerPoint(task world.TaskName, opt Options) CrossPoint
 		UniformBER: agent.VoltageMode, Timing: e.Timing,
 		VSPolicy: policy.PolicyF.Func(),
 	}
-	s := e.runTask(task, cfg, opt)
+	s := e.runTaskCached(task, cfg, opt, policy.PolicyF.Name, "")
 	veff := e.Power.EffectiveVoltage(s.StepsAtMV)
 	return CrossPoint{
 		Platform: platforms.JARVIS1Controller.Name, Task: string(task),

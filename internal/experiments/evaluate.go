@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"strconv"
+
 	"github.com/embodiedai/create/internal/agent"
 	"github.com/embodiedai/create/internal/bridge"
 	"github.com/embodiedai/create/internal/policy"
@@ -75,6 +77,9 @@ func protSweep(e *Env, opt Options, bers []float64, hitPlanner bool, prot bridge
 	// loops so nesting can't exceed it.
 	gridW, opt := opt.split(len(tasks) * len(bers))
 	return sim.Map(len(tasks)*len(bers), gridW, func(i int) ProtectionPoint {
+		if !opt.owns(i) {
+			return ProtectionPoint{}
+		}
 		task, ber := tasks[i/len(bers)], bers[i%len(bers)]
 		cfg := agent.Config{UniformBER: ber}
 		if hitPlanner {
@@ -84,7 +89,7 @@ func protSweep(e *Env, opt Options, bers []float64, hitPlanner bool, prot bridge
 			cfg.Controller = e.Controller
 			cfg.ControlProt = prot
 		}
-		s := e.runTask(task, cfg, opt)
+		s := e.runTaskCached(task, cfg, opt, "", "")
 		return ProtectionPoint{ber, task, protLabel(prot), s.SuccessRate, s.AvgSteps}
 	})
 }
@@ -132,6 +137,9 @@ func Fig13VS(e *Env, opt Options) []VSPoint {
 	}
 	gridW, opt := opt.split(len(jobs))
 	return sim.Map(len(jobs), gridW, func(i int) VSPoint {
+		if !opt.owns(i) {
+			return VSPoint{}
+		}
 		j := jobs[i]
 		return e.vsPoint(j.task, j.name, j.prot, j.vs, j.constV, opt)
 	})
@@ -145,12 +153,14 @@ func (e *Env) vsPoint(task world.TaskName, name string, prot bridge.Protection,
 		UniformBER:  agent.VoltageMode,
 		Timing:      e.Timing,
 	}
+	policyID := ""
 	if vs != nil {
 		cfg.VSPolicy = vs
+		policyID = name
 	} else {
 		cfg.ControllerVoltage = constV
 	}
-	s := e.runTask(task, cfg, opt)
+	s := e.runTaskCached(task, cfg, opt, policyID, "")
 	return VSPoint{
 		Task:             task,
 		Policy:           name,
@@ -178,8 +188,14 @@ type IntervalPoint struct {
 // overhead than 1 (Sec. 6.5).
 func Fig15Interval(e *Env, opt Options) []IntervalPoint {
 	var out []IntervalPoint
+	idx := 0
 	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
 		for _, interval := range []int{1, 5, 10, 20} {
+			if !opt.owns(idx) {
+				idx++
+				continue
+			}
+			idx++
 			cfg := agent.Config{
 				Controller:  e.Controller,
 				ControlProt: bridge.Protection{AD: true},
@@ -188,7 +204,7 @@ func Fig15Interval(e *Env, opt Options) []IntervalPoint {
 				VSPolicy:    policy.Default.Func(),
 				VSInterval:  interval,
 			}
-			s := e.runTask(task, cfg, opt)
+			s := e.runTaskCached(task, cfg, opt, policy.Default.Name, "")
 			// Slower updates leave the voltage stale across phase changes;
 			// per-update predictor/LDO overhead favours 5 over 1.
 			energy := e.EpisodeEnergy(s, true)
@@ -226,6 +242,9 @@ var Fig16Tasks = []world.TaskName{
 func Fig16Reliability(e *Env, opt Options) []OverallPoint {
 	gridW, opt := opt.split(len(Fig16Tasks) * len(Fig16Configs))
 	return sim.Map(len(Fig16Tasks)*len(Fig16Configs), gridW, func(i int) OverallPoint {
+		if !opt.owns(i) {
+			return OverallPoint{}
+		}
 		task := Fig16Tasks[i/len(Fig16Configs)]
 		name := Fig16Configs[i%len(Fig16Configs)]
 		s := e.runOverall(task, name, 0.75, opt)
@@ -255,16 +274,33 @@ func (e *Env) runOverall(task world.TaskName, name string, v float64, opt Option
 	case "AD+WR+VS":
 		cfg.PlannerProt = bridge.Protection{AD: true, WR: true}
 		cfg.ControlProt = bridge.Protection{AD: true}
-		base := policy.Default
-		cfg.VSPolicy = func(h float64) float64 {
-			pv := base.Voltage(h)
-			if pv > v {
-				pv = v // never above the scenario's supply budget
-			}
-			return pv
-		}
+		cfg.VSPolicy, _ = ceiledPolicy(v)
 	}
-	return e.runTask(task, cfg, opt)
+	policyID := ""
+	if cfg.VSPolicy != nil {
+		_, policyID = ceiledPolicy(v)
+	}
+	return e.runTaskCached(task, cfg, opt, policyID, "")
+}
+
+// ceiledPolicy returns the default VS mapping ceilinged at supply v (never
+// above the scenario's budget) together with its cache identity. runOverall
+// and Fig. 20's createPoint share this exact closure and therefore its
+// fingerprint — keeping both in one place is what makes that sharing safe:
+// the behaviour and the identity cannot drift apart. The ceiling is spelled
+// into the identity rather than inferred from the voltage fields, so the
+// fingerprint stays correct even for call sites whose planner supply
+// differs from the ceiling.
+func ceiledPolicy(v float64) (func(float64) float64, string) {
+	base := policy.Default
+	vs := func(h float64) float64 {
+		pv := base.Voltage(h)
+		if pv > v {
+			pv = v
+		}
+		return pv
+	}
+	return vs, base.Name + "<=" + strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // EfficiencyPoint is one task's minimal-voltage energy for a configuration
@@ -288,8 +324,13 @@ func Fig16Efficiency(e *Env, opt Options) []EfficiencyPoint {
 	// Parallelize across tasks only: the per-config voltage descent must
 	// stay serial because it early-exits at the first quality-violating
 	// supply, and that exit decides which runs exist at all.
+	// Sharding also follows the task grain: the descent's early exit makes
+	// its inner points data-dependent, so only the outer index is stable.
 	gridW, opt := opt.split(len(Fig16Tasks))
 	return sim.FlatMap(len(Fig16Tasks), gridW, func(i int) []EfficiencyPoint {
+		if !opt.owns(i) {
+			return nil
+		}
 		task := Fig16Tasks[i]
 		var out []EfficiencyPoint
 		clean := e.runOverall(task, "none", timing.VNominal, opt)
@@ -360,6 +401,9 @@ func Fig19ErrorModels(e *Env, opt Options) []ErrorModelPoint {
 	}
 	gridW, opt := opt.split(len(jobs))
 	return sim.FlatMap(len(jobs), gridW, func(i int) []ErrorModelPoint {
+		if !opt.owns(i) {
+			return nil
+		}
 		return e.errorModelPoint(jobs[i].ber, jobs[i].target, opt)
 	})
 }
@@ -381,7 +425,7 @@ func (e *Env) errorModelPoint(ber float64, target string, opt Options) []ErrorMo
 		} else {
 			cfg.Controller = e.Controller
 		}
-		s := e.runTask(world.TaskWooden, cfg, opt)
+		s := e.runTaskCached(world.TaskWooden, cfg, opt, "", "")
 		out = append(out, ErrorModelPoint{ber, modelName, target, s.SuccessRate})
 	}
 	return out

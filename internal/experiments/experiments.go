@@ -9,10 +9,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"github.com/embodiedai/create/internal/agent"
 	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/platforms"
 	"github.com/embodiedai/create/internal/power"
 	"github.com/embodiedai/create/internal/sim"
@@ -33,6 +35,22 @@ type Options struct {
 	// 1 forces the fully serial path. Results are identical either way —
 	// the engine's ordered collection keeps aggregation deterministic.
 	Workers int
+	// Shard/NumShards partition every sweep grid by stable point index:
+	// with NumShards = n > 1, this process computes only points whose grid
+	// index i satisfies i % n == Shard (0-based). Skipped points yield
+	// zero rows, so a sharded run's printed output is partial scaffolding;
+	// the full result set is reassembled by merging the shards' cache
+	// directories and replaying with sharding off (create-bench -merge).
+	// Sharding is deliberately NOT part of the cache fingerprint: a point
+	// computed by any shard replays identically everywhere.
+	Shard     int
+	NumShards int
+}
+
+// owns reports whether this process's shard is responsible for computing
+// grid point i. NumShards <= 1 means no sharding: every point is owned.
+func (o Options) owns(i int) bool {
+	return o.NumShards <= 1 || i%o.NumShards == o.Shard
 }
 
 // split divides the Workers budget between a sweep grid of n points and the
@@ -41,8 +59,65 @@ type Options struct {
 // concurrent episodes within Workers instead of multiplying to Workers^2.
 func (o Options) split(n int) (int, Options) {
 	gridW, trialW := sim.Split(o.Workers, n)
+	// Clamp both levels to at least one worker. A zero at either level
+	// would not mean "serial": Workers <= 0 selects GOMAXPROCS throughout
+	// the engine, so a 0 handed to the nested trial loop when the grid is
+	// larger than the budget would silently blow the budget to
+	// grid * cores concurrent episodes (see TestOptionsSplitNeverZero).
+	if gridW < 1 {
+		gridW = 1
+	}
+	if trialW < 1 {
+		trialW = 1
+	}
 	o.Workers = trialW
 	return gridW, o
+}
+
+// ParseShard parses a "k/n" shard selector (1-based k, as in -shard 2/3)
+// into the 0-based Shard and the NumShards Options fields. An empty
+// selector disables sharding.
+func ParseShard(s string) (shard, numShards int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	k, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard selector %q is not of the form k/n", s)
+	}
+	ki, err := strconv.Atoi(strings.TrimSpace(k))
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard selector %q: bad shard index: %v", s, err)
+	}
+	ni, err := strconv.Atoi(strings.TrimSpace(n))
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard selector %q: bad shard count: %v", s, err)
+	}
+	if ni < 1 || ki < 1 || ki > ni {
+		return 0, 0, fmt.Errorf("shard selector %q: want 1 <= k <= n", s)
+	}
+	return ki - 1, ni, nil
+}
+
+// OpenShardedCache handles the -shard/-cache-dir pair both CLIs share:
+// parse the selector, refuse sharded runs that would not persist their
+// points (a sharded run's stdout is partial scaffolding — without a cache
+// dir the computed points die with the process and nothing merges), and
+// open the store. Disk entries are only read lazily on Get, so callers may
+// still merge shard directories into cacheDir after this returns.
+func OpenShardedCache(shardSel, cacheDir string) (shard, numShards int, store *cache.Store, err error) {
+	shard, numShards, err = ParseShard(shardSel)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if numShards > 1 && cacheDir == "" {
+		return 0, 0, nil, fmt.Errorf("-shard requires -cache-dir to persist the shard's points")
+	}
+	store, err = cache.New(cacheDir)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("opening cache %s: %w", cacheDir, err)
+	}
+	return shard, numShards, store, nil
 }
 
 // DefaultOptions reproduces the paper's repetition count.
@@ -57,6 +132,11 @@ type Env struct {
 	Power      *power.Model
 	Planner    *bridge.FaultModel
 	Controller *bridge.FaultModel
+	// Cache, when set, transparently reuses agent.Summary results across
+	// identical grid points — within one process (Fig. 16's reliability
+	// and efficiency sweeps share runOverall points), across warm reruns
+	// (disk-backed stores), and across sharded machines (merged stores).
+	Cache *cache.Store
 }
 
 // NewEnv builds the default JARVIS-1 environment.
@@ -100,6 +180,79 @@ func (e *Env) runTask(task world.TaskName, cfg agent.Config, opt Options) agent.
 		cfg.Timing = e.Timing
 	}
 	return agent.RunManyWorkers(cfg, opt.Trials, opt.Workers)
+}
+
+// cachePoint derives the canonical content-address of a runTask invocation.
+// Every field of agent.Config that the episode outcome depends on is either
+// mapped mechanically (task, fault-model identities, protections, error
+// condition, voltages, trials, seed) or — for the two function-valued hooks
+// a fingerprint cannot inspect — named by the caller: policyID identifies
+// cfg.VSPolicy and override identifies corruption-override hooks. Call
+// sites with unnamed function hooks or custom entropy predictors must use
+// runTask directly instead of the cached path.
+func cachePoint(task world.TaskName, cfg agent.Config, opt Options, policyID, override string) cache.Point {
+	p := cache.Point{
+		Task:        string(task),
+		PlannerProt: protLabel(cfg.PlannerProt),
+		ControlProt: protLabel(cfg.ControlProt),
+		Policy:      policyID,
+		VSInterval:  cfg.VSInterval,
+		Override:    override,
+		Trials:      opt.Trials,
+		Seed:        opt.Seed,
+	}
+	if cfg.Planner != nil {
+		p.Planner = cfg.Planner.ID()
+	}
+	if cfg.Controller != nil {
+		p.Controller = cfg.Controller.ID()
+	}
+	// Normalize the defaults agent.Run applies, so a caller leaving a knob
+	// at zero shares the point of one spelling the default out.
+	if p.VSInterval == 0 {
+		p.VSInterval = agent.DefaultVSInterval
+	}
+	p.PlannerV, p.ControllerV = cfg.PlannerVoltage, cfg.ControllerVoltage
+	if p.PlannerV == 0 {
+		p.PlannerV = timing.VNominal
+	}
+	if p.ControllerV == 0 || cfg.VSPolicy != nil {
+		// An active VS policy owns the controller supply outright (the
+		// episode starts at nominal until the first prediction), so the
+		// constant-voltage knob is canonicalized away.
+		p.ControllerV = timing.VNominal
+	}
+	if cfg.UniformBER >= 0 {
+		p.ErrorModel = "uniform"
+		p.BER = cfg.UniformBER
+	} else {
+		p.ErrorModel = "voltage"
+	}
+	return p
+}
+
+// runTaskCached is runTask behind the content-addressed cache: identical
+// grid points — same fingerprint per cachePoint — are computed once and
+// replayed everywhere else. With no cache attached it is exactly runTask.
+//
+// Cached summaries carry no per-trial Results: the sweeps only read the
+// aggregates, and persisting trials-many Result structs would inflate every
+// entry (disk and resident memory) by the trial count. The slice is dropped
+// on the compute path too, so hits and misses return the same shape.
+func (e *Env) runTaskCached(task world.TaskName, cfg agent.Config, opt Options, policyID, override string) agent.Summary {
+	if e.Cache == nil {
+		return e.runTask(task, cfg, opt)
+	}
+	p := cachePoint(task, cfg, opt, policyID, override)
+	if s, ok := e.Cache.Get(p); ok {
+		return s
+	}
+	s := e.runTask(task, cfg, opt)
+	s.Results = nil
+	// A Put failure (e.g. an unwritable cache dir) must not fail the
+	// sweep: the computed summary is still correct, only reuse is lost.
+	_ = e.Cache.Put(p, s)
+	return s
 }
 
 // BERSweep is the standard characterization BER grid.

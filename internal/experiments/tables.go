@@ -73,7 +73,9 @@ func Table6Quantization(e *Env, opt Options) []Table6Row {
 				PlannerProt: bridge.Protection{AD: true, WR: true},
 				UniformBER:  ber,
 			}
-			s := e.runTask(world.TaskStone, cfg, opt)
+			// fm.ID() separates the INT4 variant; the INT8 rows share the
+			// Fig. 13 ablation's points where the BER grids overlap.
+			s := e.runTaskCached(world.TaskStone, cfg, opt, "", "")
 			out = append(out, Table6Row{Bits: bits, BER: ber, SuccessRate: s.SuccessRate})
 		}
 	}

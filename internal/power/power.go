@@ -6,6 +6,7 @@ package power
 
 import (
 	"math"
+	"sort"
 
 	"github.com/embodiedai/create/internal/timing"
 )
@@ -86,7 +87,11 @@ func (m *Model) Breakdown(w Workload, v float64) Breakdown {
 func (m *Model) EffectiveVoltage(stepsAtMV map[int]int) float64 {
 	var num float64
 	total := 0
-	for mv, n := range stepsAtMV {
+	// Accumulate in sorted-key order: float sums over Go's randomized map
+	// iteration can differ in the last ulp between runs, and the CI
+	// determinism gate byte-diffs outputs built from this value.
+	for _, mv := range sortedMV(stepsAtMV) {
+		n := stepsAtMV[mv]
 		v := float64(mv) / 1000
 		num += float64(n) * v * v
 		total += n
@@ -95,6 +100,17 @@ func (m *Model) EffectiveVoltage(stepsAtMV map[int]int) float64 {
 		return m.VNominal
 	}
 	return math.Sqrt(num / float64(total))
+}
+
+// sortedMV returns the histogram's keys in ascending order, making every
+// float accumulation over a voltage histogram order-stable.
+func sortedMV(stepsAtMV map[int]int) []int {
+	keys := make([]int, 0, len(stepsAtMV))
+	for mv := range stepsAtMV {
+		keys = append(keys, mv)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // EpisodeEnergy sums the computational energy of an episode: planner
@@ -112,7 +128,8 @@ type EpisodeSpec struct {
 func (m *Model) EpisodeEnergy(spec EpisodeSpec, plannerCalls float64, plannerMV int, stepsAtMV map[int]int) float64 {
 	e := plannerCalls * m.ComputeEnergy(spec.PlannerMACsPerCall, float64(plannerMV)/1000)
 	steps := 0
-	for mv, n := range stepsAtMV {
+	for _, mv := range sortedMV(stepsAtMV) {
+		n := stepsAtMV[mv]
 		e += float64(n) * m.ComputeEnergy(spec.ControllerMACsStep, float64(mv)/1000)
 		steps += n
 	}
