@@ -1,5 +1,8 @@
 // Command create-bench regenerates the paper's tables and figures on the
-// simulated substrate. Select an experiment with -exp (or run everything):
+// simulated substrate. Experiments are dispatched through the typed
+// registry (internal/registry) — the same descriptors the create-serve
+// daemon executes, so CLI output and served results are byte-identical.
+// Select an experiment with -exp (or run everything):
 //
 //	create-bench -exp fig16 -trials 100 -workers 8
 //
@@ -9,11 +12,14 @@
 //
 // Sweeps reuse identical grid points through a content-addressed Summary
 // cache: always in-process, and across runs/machines when -cache-dir is
-// set. -shard k/n partitions every sweep grid by stable point index (this
-// process computes only its own points; the printed output is partial
-// scaffolding), and -merge unions shard cache directories into -cache-dir
-// before running, so a merged replay reproduces the unsharded output byte
-// for byte:
+// set (-cache-max-mb caps the directory, evicting least-recently-used
+// entries). -plan probes the cache without running anything and prints,
+// per experiment, how many grid points are already resident versus still
+// to compute. -shard k/n partitions every sweep grid by stable point index
+// (this process computes only its own points; the printed output is
+// partial scaffolding), and -merge unions shard cache directories into
+// -cache-dir before running, so a merged replay reproduces the unsharded
+// output byte for byte:
 //
 //	create-bench -exp all -trials 8 -shard 2/3 -cache-dir out   # one of 3 shards
 //	create-bench -exp all -trials 8 -merge s1,s2,s3 -cache-dir merged
@@ -27,14 +33,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
-	"github.com/embodiedai/create/internal/platforms"
-	"github.com/embodiedai/create/internal/policy"
-	"github.com/embodiedai/create/internal/world"
+	"github.com/embodiedai/create/internal/registry"
 )
 
 func main() {
@@ -44,7 +47,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores, 1 = serial); results are identical either way")
 	shardSel := flag.String("shard", "", "compute only sweep grid points of shard k/n (1-based, e.g. 2/3); output is partial until merged")
 	cacheDir := flag.String("cache-dir", "", "persist the content-addressed summary cache to this directory (empty = in-memory only)")
+	cacheMaxMB := flag.Int("cache-max-mb", 0, "cap the disk cache at this many MiB, evicting least-recently-used entries (0 = unbounded)")
 	merge := flag.String("merge", "", "comma-separated shard cache dirs to union into -cache-dir before running")
+	plan := flag.Bool("plan", false, "plan only: probe the cache and print per-experiment points to compute, without running")
 	flag.Parse()
 
 	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
@@ -66,293 +71,66 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "merged %d cache entries into %s\n", n, *cacheDir)
 	}
+	// Arm the size cap after any merge: SetMaxBytes scans the directory, so
+	// merged-in entries are indexed and the cap is enforced over them too.
+	if *cacheMaxMB > 0 {
+		if err := store.SetMaxBytes(int64(*cacheMaxMB) << 20); err != nil {
+			fmt.Fprintf(os.Stderr, "arming cache size cap: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	env := experiments.NewEnv()
 	env.Cache = store
+
+	var selection []registry.Descriptor
+	if *exp == "all" {
+		selection = registry.All()
+	} else {
+		d, ok := registry.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (registered: %s, all)\n",
+				*exp, strings.Join(registry.Names(), ", "))
+			os.Exit(2)
+		}
+		selection = []registry.Descriptor{d}
+	}
+
+	if *plan {
+		renderPlans(env, opt, selection)
+		return
+	}
+
 	defer func() {
 		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d points resident\n",
 			store.Hits(), store.Misses(), store.Len())
 	}()
-
-	runners := map[string]func(){
-		"fig1":   func() { fig1(env, opt) },
-		"fig4":   func() { fig4(env, opt) },
-		"fig5":   func() { fig5(env, opt) },
-		"fig6":   func() { fig6(env, opt) },
-		"fig7":   func() { fig7(env, opt) },
-		"fig8":   func() { fig8(opt) },
-		"fig9":   func() { fig9(opt) },
-		"fig10":  func() { fig10(opt) },
-		"fig12":  func() { fig12() },
-		"fig13":  func() { fig13(env, opt) },
-		"fig14":  func() { fig14(opt) },
-		"fig15":  func() { fig15(env, opt) },
-		"fig16":  func() { fig16(env, opt) },
-		"fig17":  func() { fig17(env, opt) },
-		"fig18":  func() { fig18(env, opt) },
-		"fig19":  func() { fig19(env, opt) },
-		"fig20":  func() { fig20(env, opt) },
-		"fig21":  func() { fig21() },
-		"table2": func() { table2() },
-		"table3": func() { table3() },
-		"table4": func() { table4() },
-		"table5": func() { table5(env, opt) },
-		"table6": func() { table6(env, opt) },
-	}
-
-	if *exp == "all" {
-		keys := make([]string, 0, len(runners))
-		for k := range runners {
-			keys = append(keys, k)
+	for _, d := range selection {
+		if *exp == "all" {
+			fmt.Printf("\n===== %s =====\n", strings.ToUpper(d.Name))
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Printf("\n===== %s =====\n", strings.ToUpper(k))
-			runners[k]()
+		d.Run(env, opt).Render(os.Stdout)
+	}
+}
+
+// renderPlans prints the cache-aware schedule: per experiment, the unique
+// grid points its sweeps consult, how many are already in the cache, and
+// how many a run would compute. "free" marks figures a run would serve
+// entirely from cache.
+func renderPlans(env *experiments.Env, opt experiments.Options, selection []registry.Descriptor) {
+	fmt.Printf("%-8s %8s %8s %10s  %s\n", "exp", "points", "cached", "to-compute", "notes")
+	for _, d := range selection {
+		p := registry.PlanFor(d, env, opt)
+		var notes []string
+		if p.Free() {
+			notes = append(notes, "free")
 		}
-		return
-	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-	run()
-}
-
-func fig1(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Fig 1(b): BER vs operating voltage")
-	for _, p := range experiments.Fig1b(env) {
-		fmt.Printf("  %.2f V -> BER %.2e\n", p.Voltage, p.BER)
-	}
-	fmt.Println("Fig 1(c)/(d): stone task degradation under controller BER")
-	pts := experiments.Fig5Controller(env, opt)
-	experiments.RenderResilience(os.Stdout, "", pts)
-}
-
-func fig4(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Fig 4(a): per-bit timing error rate (bits 12..23)")
-	for _, p := range experiments.Fig4a(env) {
-		if p.Bit >= 12 && p.Bit%2 == 1 {
-			fmt.Printf("  V=%.2f bit=%2d rate=%.2e\n", p.Voltage, p.Bit, p.Rate)
+		if p.Dynamic {
+			notes = append(notes, "dynamic upper bound")
 		}
-	}
-	r := experiments.Fig4b(env, opt)
-	fmt.Printf("Fig 4(b): clean |max|=%.2f, median error=%.2f, %.0f%% of errors exceed the data range\n",
-		r.CleanAbsMax, r.ErrorAbsMedian, r.LargeErrorFrac*100)
-}
-
-func fig5(env *experiments.Env, opt experiments.Options) {
-	experiments.RenderResilience(os.Stdout, "Fig 5(a)/(b): planner resilience",
-		experiments.Fig5Planner(env, opt))
-	experiments.RenderResilience(os.Stdout, "Fig 5(c)/(d): controller resilience",
-		experiments.Fig5Controller(env, opt))
-	fmt.Println("Fig 5(e)-(h): per-component high-bit severity (miniatures)")
-	for _, c := range experiments.Fig5Components(opt) {
-		fmt.Printf("  %-10s %-5s %.4f\n", c.Model, c.Component, c.HighBitSeverity)
-	}
-	fmt.Println("Fig 5(i)-(l): activations and normalization skew")
-	for _, a := range experiments.Fig5Activations(opt) {
-		fmt.Printf("  %-10s absmax=%7.2f std=%6.2f | sigma %6.2f -> %6.2f under one in-range fault\n",
-			a.Model, a.AbsMax, a.Std, a.SigmaClean, a.SigmaFaulty)
-	}
-}
-
-func fig6(env *experiments.Env, opt experiments.Options) {
-	experiments.RenderResilience(os.Stdout, "Fig 6: subtask resilience diversity",
-		experiments.Fig6Subtasks(env, opt))
-}
-
-func fig7(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Fig 7: stage profile (clean log episodes)")
-	for _, s := range experiments.Fig7Stages(env, opt) {
-		fmt.Printf("  %-9s mean entropy %.2f (%.0f%% of steps)\n", s.Phase, s.MeanEntropy, s.Fraction*100)
-	}
-	fmt.Println("Fig 7: phase-targeted corruption (q=0.5)")
-	for _, s := range experiments.Fig7PhaseInjection(env, opt, 0.5) {
-		fmt.Printf("  corrupt %-9s success %.0f%% avg steps %.0f\n", s.Phase, s.SuccessRate*100, s.AvgSteps)
-	}
-}
-
-func fig8(opt experiments.Options) {
-	p := experiments.Fig8GEMMProfile(opt)
-	fmt.Printf("Fig 8(a): %.0f%% of GEMM outputs near zero; highest accumulator bit touched: %d of 23\n",
-		p.FracNearZero*100, p.MaxAccBits)
-}
-
-func fig9(opt experiments.Options) {
-	r := experiments.Fig9Rotation(opt)
-	fmt.Printf("Fig 9(b): residual absmax %.1f -> %.1f, std %.2f -> %.2f (output drift %.2e)\n",
-		r.AbsMaxBefore, r.AbsMaxAfter, r.StdBefore, r.StdAfter, r.OutputDrift)
-}
-
-func fig10(opt experiments.Options) {
-	trace, phases := experiments.Fig10EntropyCurve(opt, world.TaskLog)
-	fmt.Println("Fig 10: entropy curve (first 120 steps; E=execute A=approach X=explore)")
-	for i := 0; i < len(trace) && i < 120; i += 4 {
-		tag := map[world.Phase]string{world.PhaseExplore: "X", world.PhaseApproach: "A", world.PhaseExecute: "E"}[phases[i]]
-		fmt.Printf("  step %3d %s entropy %.2f\n", i, tag, trace[i])
-	}
-}
-
-func fig12() {
-	fmt.Println("Fig 12(c): area/power breakdown")
-	for _, r := range experiments.Fig12Breakdown() {
-		fmt.Printf("  %-9s %7.2f mm^2  %s W\n", r.Block, r.AreaMM2, r.PowerW)
-	}
-	wf := experiments.Fig12Waveforms()
-	fmt.Printf("Fig 12(d)/(e): waveform with %d samples, %.0f ns span\n", len(wf), wf[len(wf)-1].TimeNS)
-}
-
-func fig13(env *experiments.Env, opt experiments.Options) {
-	pl, ctl := experiments.Fig13AD(env, opt)
-	renderProt("Fig 13(a): AD on planner", pl)
-	renderProt("Fig 13(b): AD on controller", ctl)
-	renderProt("Fig 13(c): WR on planner", experiments.Fig13WR(env, opt))
-	renderProt("Fig 13(e): AD+WR ablation", experiments.Fig13AblationPlanner(env, opt))
-	fmt.Println("Fig 13(d)/(f): voltage scaling")
-	for _, p := range experiments.Fig13VS(env, opt) {
-		fmt.Printf("  %-7s AD=%-5v policy=%-6s success %5.1f%%  Veff %.3f  E %.2f J\n",
-			p.Task, p.AD, p.Policy, p.SuccessRate*100, p.EffectiveVoltage, p.EnergyJ)
-	}
-}
-
-func renderProt(title string, pts []experiments.ProtectionPoint) {
-	fmt.Println(title)
-	for _, p := range pts {
-		fmt.Printf("  %-7s %-5s BER %.1e success %5.1f%% steps %6.0f\n",
-			p.Task, p.Protection, p.BER, p.SuccessRate*100, p.AvgSteps)
-	}
-}
-
-func fig14(opt experiments.Options) {
-	res := experiments.Fig14Predictor(opt, experiments.QuickPredictorScale())
-	fmt.Printf("Fig 14(a): predictor %d params, %d frames, %d epochs -> test MSE %.3f, R^2 %.3f\n",
-		res.ParamCount, res.TrainFrames, res.Epochs, res.TestMSE, res.R2)
-	fmt.Printf("  (noisy-oracle proxy used in task sims: R^2 %.3f)\n",
-		experiments.OracleR2(opt, 0.34, 2000))
-	fmt.Println("Fig 14(b): runtime tracking (every 20th step)")
-	for _, p := range experiments.Fig14Tracking(opt, 200, policy.Default.Func()) {
-		if p.Step%20 == 0 {
-			fmt.Printf("  step %3d true %.2f pred %.2f -> %.2f V\n", p.Step, p.Entropy, p.Predicted, p.Voltage)
+		if p.Uncached {
+			notes = append(notes, "has uncached work")
 		}
-	}
-}
-
-func fig15(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Fig 15: voltage update interval")
-	for _, p := range experiments.Fig15Interval(env, opt) {
-		fmt.Printf("  %-7s interval %2d success %5.1f%% energy %.2f J\n",
-			p.Task, p.Interval, p.SuccessRate*100, p.EnergyJ)
-	}
-}
-
-func fig16(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Fig 16(a): reliability at 0.75 V")
-	for _, p := range experiments.Fig16Reliability(env, opt) {
-		fmt.Printf("  %-9s %-9s success %5.1f%% steps %6.0f energy %.2f J\n",
-			p.Task, p.Config, p.SuccessRate*100, p.AvgSteps, p.EnergyJ)
-	}
-	fmt.Println("Fig 16(b): minimal-voltage efficiency")
-	pts := experiments.Fig16Efficiency(env, opt)
-	for _, p := range pts {
-		fmt.Printf("  %-9s %-9s Vmin %.3f energy %.2f J saving %5.1f%%\n",
-			p.Task, p.Config, p.MinVoltage, p.EnergyJ, p.SavingVsNominal*100)
-	}
-	for _, cfgName := range experiments.Fig16Configs {
-		fmt.Printf("  average saving %-9s: %5.1f%%\n", cfgName, experiments.AverageSaving(pts, cfgName)*100)
-	}
-}
-
-func fig17(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Fig 17: cross-platform savings")
-	pts := experiments.Fig17CrossPlatform(env, opt)
-	for _, p := range pts {
-		fmt.Printf("  %-20s %-9s success %5.1f%% saving %5.1f%%\n",
-			p.Platform, p.Task, p.SuccessRate*100, p.Saving*100)
-	}
-	fmt.Printf("  planner average (AD+WR): %.1f%%\n",
-		experiments.AverageSavingByClass(pts, platforms.PlannerClass)*100)
-	fmt.Printf("  controller average (AD+VS): %.1f%%\n",
-		experiments.AverageSavingByClass(pts, platforms.ControllerClass)*100)
-}
-
-func fig18(env *experiments.Env, opt experiments.Options) {
-	pts := experiments.Fig17CrossPlatform(env, opt)
-	pAvg := experiments.AverageSavingByClass(pts, platforms.PlannerClass)
-	cAvg := experiments.AverageSavingByClass(pts, platforms.ControllerClass)
-	fmt.Println("Fig 18: chip-level energy breakdown")
-	var chipAvg float64
-	rows := experiments.Fig18ChipEnergy(env.Power, pAvg, cAvg)
-	for _, r := range rows {
-		fmt.Printf("  %-20s compute share %5.1f%% -> chip saving %5.1f%%\n",
-			r.Model, r.ComputeShare*100, r.ChipSaving*100)
-		chipAvg += r.ChipSaving
-	}
-	chipAvg /= float64(len(rows))
-	lo, hi := experiments.BatteryLifeRange(chipAvg)
-	fmt.Printf("  battery life extension: %.0f%% to %.0f%%\n", lo*100, hi*100)
-}
-
-func fig19(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Fig 19: uniform vs hardware error model (wooden)")
-	for _, p := range experiments.Fig19ErrorModels(env, opt) {
-		fmt.Printf("  %-10s %-8s BER %.1e success %5.1f%%\n", p.Target, p.Model, p.BER, p.SuccessRate*100)
-	}
-}
-
-func fig20(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Fig 20: comparison with existing techniques")
-	for _, p := range experiments.Fig20Baselines(env, opt) {
-		fmt.Printf("  %-12s %-7s %.2f V success %5.1f%% energy %7.2f J\n",
-			p.Technique, p.Task, p.Voltage, p.SuccessRate*100, p.EnergyJ)
-	}
-}
-
-func fig21() {
-	fmt.Println("Fig 21: entropy-to-voltage mapping policies")
-	for _, m := range experiments.Fig21Policies() {
-		fmt.Printf("  policy %s:", m.Name)
-		for _, l := range m.Levels {
-			fmt.Printf("  H>=%.1f -> %.2f V", l.MinEntropy, l.Voltage)
-		}
-		fmt.Println()
-	}
-}
-
-func table2() {
-	fmt.Println("Table 2: LDO specifications")
-	for _, r := range experiments.Table2LDO() {
-		fmt.Printf("  %-12s %s\n", r.Name, r.Value)
-	}
-}
-
-func table3() {
-	r := experiments.Table3Accelerator()
-	fmt.Println("Table 3: accelerator performance (our cycle model)")
-	fmt.Printf("  peak           %.1f TOPS/tile\n", r.PeakTOPS)
-	fmt.Printf("  planner        %.2e MACs  latency %.2f ms\n", r.PlannerMACs, r.PlannerLatencyMS)
-	fmt.Printf("  controller     %.2e MACs  latency %.0f us\n", r.ControllerMACs, r.ControllerLatencyUS)
-	fmt.Printf("  predictor      %.2e MACs  latency %.2f us\n", r.PredictorMACs, r.PredictorLatencyUS)
-	fmt.Printf("  switching      %.0f ns\n", r.SwitchingLatencyNS)
-}
-
-func table4() {
-	fmt.Println("Table 4: model parameters and ops")
-	for _, r := range experiments.Table4Models() {
-		fmt.Printf("  %-20s %9.1f M params %9.1f GOps\n", r.Name, r.ParamsM, r.GOps)
-	}
-}
-
-func table5(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Table 5: success rate vs repetitions (wooden, BER 1e-7)")
-	for _, r := range experiments.Table5Repetitions(env, opt) {
-		fmt.Printf("  n=%3d success %5.1f%% (95%% CI +-%.1f%%)\n", r.Repetitions, r.SuccessRate*100, r.CI95*100)
-	}
-}
-
-func table6(env *experiments.Env, opt experiments.Options) {
-	fmt.Println("Table 6: INT8 vs INT4 under AD+WR (stone)")
-	for _, r := range experiments.Table6Quantization(env, opt) {
-		fmt.Printf("  INT%d BER %.0e success %5.1f%%\n", int(r.Bits), r.BER, r.SuccessRate*100)
+		fmt.Printf("%-8s %8d %8d %10d  %s\n",
+			d.Name, p.GridPoints, p.Cached, p.ToCompute, strings.Join(notes, ", "))
 	}
 }

@@ -1,15 +1,23 @@
 // Command create-characterize runs the Sec. 4 resilience characterization:
 // planner/controller BER sweeps, per-component severities, activation
-// profiles, subtask diversity, and stage-specific dynamics.
+// profiles, subtask diversity, and stage-specific dynamics. It dispatches
+// the characterization figures (fig5, fig6, fig7) through the same typed
+// registry as create-bench and create-serve, sharing their content-
+// addressed cache entries.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/registry"
 )
+
+// characterizationSet is the Sec. 4 slice of the registry.
+var characterizationSet = []string{"fig5", "fig6", "fig7"}
 
 func main() {
 	trials := flag.Int("trials", 48, "episode repetitions per data point")
@@ -17,6 +25,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores, 1 = serial)")
 	shardSel := flag.String("shard", "", "compute only sweep grid points of shard k/n (1-based, e.g. 2/3); output is partial until merged")
 	cacheDir := flag.String("cache-dir", "", "persist the content-addressed summary cache to this directory (empty = in-memory only)")
+	cacheMaxMB := flag.Int("cache-max-mb", 0, "cap the disk cache at this many MiB, evicting least-recently-used entries (0 = unbounded)")
 	flag.Parse()
 
 	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
@@ -26,37 +35,25 @@ func main() {
 		os.Exit(2)
 	}
 	opt.Shard, opt.NumShards = shard, numShards
+	if *cacheMaxMB > 0 {
+		if err := store.SetMaxBytes(int64(*cacheMaxMB) << 20); err != nil {
+			fmt.Fprintf(os.Stderr, "arming cache size cap: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	env := experiments.NewEnv()
 	env.Cache = store
 
-	experiments.RenderResilience(os.Stdout,
-		"Planner resilience (Fig 5a/b): success plunges near BER 2e-8",
-		experiments.Fig5Planner(env, opt))
-	experiments.RenderResilience(os.Stdout,
-		"\nController resilience (Fig 5c/d): knee near BER 1e-4",
-		experiments.Fig5Controller(env, opt))
-
-	fmt.Println("\nPer-component severity (Fig 5e-h): pre-norm components are fragile")
-	for _, c := range experiments.Fig5Components(opt) {
-		fmt.Printf("  %-10s %-5s high-bit severity %.4f\n", c.Model, c.Component, c.HighBitSeverity)
-	}
-
-	fmt.Println("\nActivation profiles (Fig 5i-l)")
-	for _, a := range experiments.Fig5Activations(opt) {
-		fmt.Printf("  %-10s absmax %7.2f std %6.2f | norm sigma %6.2f -> %6.2f under an in-range fault\n",
-			a.Model, a.AbsMax, a.Std, a.SigmaClean, a.SigmaFaulty)
-	}
-
-	experiments.RenderResilience(os.Stdout,
-		"\nSubtask diversity (Fig 6): chains collapse abruptly, stochastic tasks degrade gradually",
-		experiments.Fig6Subtasks(env, opt))
-
-	fmt.Println("\nStage dynamics (Fig 7)")
-	for _, s := range experiments.Fig7Stages(env, opt) {
-		fmt.Printf("  %-9s mean entropy %.2f (%4.1f%% of steps)\n", s.Phase, s.MeanEntropy, s.Fraction*100)
-	}
-	for _, s := range experiments.Fig7PhaseInjection(env, opt, 0.5) {
-		fmt.Printf("  corrupting %-9s steps only: success %5.1f%%, avg steps %.0f\n",
-			s.Phase, s.SuccessRate*100, s.AvgSteps)
+	for i, name := range characterizationSet {
+		d, ok := registry.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (registered: %s)\n",
+				name, strings.Join(registry.Names(), ", "))
+			os.Exit(2)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		d.Run(env, opt).Render(os.Stdout)
 	}
 }

@@ -1,0 +1,93 @@
+// Command create-serve runs the evaluation-as-a-service daemon: an HTTP
+// API over the experiment registry and the shared content-addressed
+// Summary cache. Submit jobs, stream their progress, fetch rendered
+// results, and inspect the cache — results are byte-identical to the
+// equivalent create-bench invocation, and repeated submissions of the same
+// (experiment, trials, seed) spec are served from cache without
+// recomputing a single grid point.
+//
+//	create-serve -addr :8080 -cache-dir cache -workers 8 -jobs 2
+//
+//	curl -X POST localhost:8080/v1/jobs -d '{"experiment":"fig16","trials":48,"seed":2026}'
+//	curl localhost:8080/v1/jobs/job-1
+//	curl localhost:8080/v1/jobs/job-1/events        # NDJSON progress
+//	curl localhost:8080/v1/jobs/job-1/result        # rendered figure
+//	curl localhost:8080/v1/cache/stats
+//
+// On SIGINT/SIGTERM the daemon stops accepting submissions, drains every
+// queued and running job, then shuts the listener down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/embodiedai/create/internal/cache"
+	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache-dir", "", "persist the content-addressed summary cache to this directory (empty = in-memory only)")
+	cacheMaxMB := flag.Int("cache-max-mb", 0, "cap the disk cache at this many MiB, evicting least-recently-used entries (0 = unbounded)")
+	cacheMaxResident := flag.Int("cache-max-resident", 200000, "cap the in-memory summary layer at this many grid points so daemon memory stays flat (0 = unbounded)")
+	workers := flag.Int("workers", 0, "total core budget across concurrent jobs (0 = all cores)")
+	jobs := flag.Int("jobs", 2, "concurrent job executors; the worker budget is split between them")
+	queue := flag.Int("queue", 64, "bounded FIFO queue depth; a full queue rejects submissions with 503")
+	flag.Parse()
+
+	store, err := cache.New(*cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opening cache %s: %v\n", *cacheDir, err)
+		os.Exit(2)
+	}
+	if *cacheMaxMB > 0 {
+		if err := store.SetMaxBytes(int64(*cacheMaxMB) << 20); err != nil {
+			fmt.Fprintf(os.Stderr, "arming cache size cap: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	store.SetMaxResident(*cacheMaxResident)
+	env := experiments.NewEnv()
+	env.Cache = store
+
+	srv := service.New(service.Config{
+		Env:               env,
+		Store:             store,
+		Workers:           *workers,
+		MaxConcurrentJobs: *jobs,
+		QueueDepth:        *queue,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("create-serve: %v", err)
+		}
+	}()
+	log.Printf("create-serve listening on %s (cache dir %q)", *addr, *cacheDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	// Graceful shutdown: refuse new submissions and drain in-flight jobs
+	// first (event streams then observe terminal states), close the
+	// listener after.
+	log.Printf("create-serve: draining jobs")
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	log.Printf("create-serve: cache %d hits, %d misses, %d points resident",
+		store.Hits(), store.Misses(), store.Len())
+}

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/embodiedai/create/internal/agent"
 )
@@ -104,11 +105,37 @@ type entry struct {
 type Store struct {
 	dir string
 
-	mu  sync.RWMutex
-	mem map[string]agent.Summary
+	mu          sync.RWMutex
+	mem         map[string]agent.Summary
+	maxResident int
 
 	hits, misses atomic.Int64
+
+	// lru tracks the disk footprint once SetMaxBytes arms a size cap.
+	// Separate from mu: eviction does file I/O and must not block readers
+	// of the memory map.
+	lru struct {
+		sync.Mutex
+		max     int64
+		total   int64
+		entries map[string]lruEntry // by absolute file path
+	}
 }
+
+// lruEntry is one disk file's bookkeeping for eviction: its size, the last
+// time a Get read it (or its mtime when discovered by a scan), and when
+// that recency was last flushed to the file's own timestamps.
+type lruEntry struct {
+	size      int64
+	atime     time.Time
+	persisted time.Time
+}
+
+// persistInterval throttles how often a memory-served read flushes its
+// recency to the backing file's timestamps: often enough that restart
+// scans rank the hot working set correctly, rare enough that the hot path
+// stays free of per-read syscalls.
+const persistInterval = 5 * time.Minute
 
 // New opens (creating if needed) a store rooted at dir, or a memory-only
 // store when dir is empty.
@@ -124,6 +151,36 @@ func New(dir string) (*Store, error) {
 // Dir returns the backing directory ("" for memory-only stores).
 func (s *Store) Dir() string { return s.dir }
 
+// SetMaxResident bounds the in-memory layer at n summaries (<= 0 removes
+// the bound, the default). Past the bound, arbitrary entries are dropped
+// from memory — disk-backed stores re-read them on demand, memory-only
+// stores recompute — so a long-lived daemon's resident set stays flat no
+// matter how many distinct grid points pass through it. Summaries are
+// small; the bound is a backstop, not a tuning knob.
+func (s *Store) SetMaxResident(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxResident = n
+	s.dropOverResidentLocked("")
+}
+
+// dropOverResidentLocked trims the memory map to the resident bound,
+// sparing the just-touched key.
+func (s *Store) dropOverResidentLocked(keep string) {
+	if s.maxResident <= 0 {
+		return
+	}
+	for key := range s.mem {
+		if len(s.mem) <= s.maxResident {
+			return
+		}
+		if key == keep {
+			continue
+		}
+		delete(s.mem, key)
+	}
+}
+
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
@@ -137,16 +194,20 @@ func (s *Store) Get(p Point) (agent.Summary, bool) {
 	sum, ok := s.mem[key]
 	s.mu.RUnlock()
 	if ok {
+		s.touchMem(key)
 		s.hits.Add(1)
 		return sum, true
 	}
 	if s.dir != "" {
-		if data, err := os.ReadFile(s.path(key)); err == nil {
+		path := s.path(key)
+		if data, err := os.ReadFile(path); err == nil {
 			var e entry
 			if json.Unmarshal(data, &e) == nil && e.Fingerprint == p.Fingerprint() {
 				s.mu.Lock()
 				s.mem[key] = e.Summary
+				s.dropOverResidentLocked(key)
 				s.mu.Unlock()
+				s.touch(path, int64(len(data)))
 				s.hits.Add(1)
 				return e.Summary, true
 			}
@@ -156,6 +217,22 @@ func (s *Store) Get(p Point) (agent.Summary, bool) {
 	return agent.Summary{}, false
 }
 
+// Contains reports whether p is resident in memory or present on disk,
+// without counting a hit or miss and without promoting disk entries — the
+// read-only probe behind cache-aware planning, where a whole figure's grid
+// is interrogated before deciding what a run would actually compute.
+func (s *Store) Contains(p Point) bool {
+	key := p.Key()
+	s.mu.RLock()
+	_, ok := s.mem[key]
+	s.mu.RUnlock()
+	if ok || s.dir == "" {
+		return ok
+	}
+	st, err := os.Stat(s.path(key))
+	return err == nil && st.Size() > 0
+}
+
 // Put stores the Summary for p in memory and, for disk-backed stores,
 // persists it atomically (temp file + rename) so concurrent sweep workers
 // and crashed runs can never leave a torn entry.
@@ -163,6 +240,7 @@ func (s *Store) Put(p Point, sum agent.Summary) error {
 	key := p.Key()
 	s.mu.Lock()
 	s.mem[key] = sum
+	s.dropOverResidentLocked(key)
 	s.mu.Unlock()
 	if s.dir == "" {
 		return nil
@@ -171,7 +249,139 @@ func (s *Store) Put(p Point, sum agent.Summary) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(s.path(key), data)
+	path := s.path(key)
+	if err := writeFileAtomic(path, data); err != nil {
+		return err
+	}
+	s.record(path, int64(len(data)))
+	return nil
+}
+
+// SetMaxBytes caps the disk footprint of a disk-backed store at maxBytes,
+// evicting least-recently-used entries (recency = last Get that read the
+// file, persisted across processes by bumping the file's timestamps; cold
+// entries start from their mtime). The cap is enforced now — scanning the
+// directory — and after every Put. maxBytes <= 0 removes the cap. Eviction
+// only trims disk files: summaries already promoted to memory stay resident,
+// and an evicted point simply recomputes (and re-persists) on next use.
+func (s *Store) SetMaxBytes(maxBytes int64) error {
+	if s.dir == "" {
+		return nil
+	}
+	s.lru.Lock()
+	defer s.lru.Unlock()
+	s.lru.max = maxBytes
+	if maxBytes <= 0 {
+		s.lru.entries, s.lru.total = nil, 0
+		return nil
+	}
+	s.lru.entries = make(map[string]lruEntry)
+	s.lru.total = 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with an eviction or merge; skip
+		}
+		s.lru.entries[path] = lruEntry{size: info.Size(), atime: info.ModTime()}
+		s.lru.total += info.Size()
+		return nil
+	})
+	s.evictLocked()
+	return err
+}
+
+// record notes a freshly written entry and enforces the cap. No-op without
+// a cap armed.
+func (s *Store) record(path string, size int64) {
+	s.lru.Lock()
+	defer s.lru.Unlock()
+	if s.lru.max <= 0 {
+		return
+	}
+	if old, ok := s.lru.entries[path]; ok {
+		s.lru.total -= old.size
+	}
+	s.lru.entries[path] = lruEntry{size: size, atime: time.Now()}
+	s.lru.total += size
+	s.evictLocked()
+}
+
+// touchMem bumps recency for a read served from the memory layer, so the
+// hot working set never ranks as cold on disk. The in-process index is
+// updated on every read; the backing file's timestamps — what a restart's
+// SetMaxBytes scan ranks by — are flushed at most once per persistInterval
+// per entry, keeping the common path free of per-read syscalls. Entries
+// the index has never seen are left for the disk-read path to adopt.
+func (s *Store) touchMem(key string) {
+	if s.dir == "" {
+		return
+	}
+	s.lru.Lock()
+	defer s.lru.Unlock()
+	if s.lru.max <= 0 {
+		return
+	}
+	path := s.path(key)
+	e, ok := s.lru.entries[path]
+	if !ok {
+		return
+	}
+	now := time.Now()
+	e.atime = now
+	if now.Sub(e.persisted) >= persistInterval {
+		_ = os.Chtimes(path, now, now)
+		e.persisted = now
+	}
+	s.lru.entries[path] = e
+}
+
+// touch bumps an entry's recency on a disk read. Entries the index has
+// never seen (e.g. files landed by MergeDirs after the SetMaxBytes scan)
+// are adopted lazily. The file's own timestamps are bumped so recency
+// survives process restarts.
+func (s *Store) touch(path string, size int64) {
+	s.lru.Lock()
+	defer s.lru.Unlock()
+	if s.lru.max <= 0 {
+		return
+	}
+	if old, known := s.lru.entries[path]; known {
+		s.lru.total -= old.size
+	}
+	now := time.Now()
+	s.lru.entries[path] = lruEntry{size: size, atime: now, persisted: now}
+	s.lru.total += size
+	_ = os.Chtimes(path, now, now)
+	s.evictLocked()
+}
+
+// evictLocked removes oldest-access files until the footprint fits the cap.
+// Grid entries are small and evictions rare, so a linear oldest scan per
+// removal beats maintaining an ordered structure on every read.
+func (s *Store) evictLocked() {
+	for s.lru.max > 0 && s.lru.total > s.lru.max && len(s.lru.entries) > 0 {
+		var oldest string
+		var oldestAt time.Time
+		for path, e := range s.lru.entries {
+			if oldest == "" || e.atime.Before(oldestAt) {
+				oldest, oldestAt = path, e.atime
+			}
+		}
+		s.lru.total -= s.lru.entries[oldest].size
+		delete(s.lru.entries, oldest)
+		_ = os.Remove(oldest)
+	}
+}
+
+// DiskBytes reports the tracked on-disk footprint (0 until SetMaxBytes arms
+// the index).
+func (s *Store) DiskBytes() int64 {
+	s.lru.Lock()
+	defer s.lru.Unlock()
+	return s.lru.total
 }
 
 // writeFileAtomic lands data at path via temp file + rename, so concurrent

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/embodiedai/create/internal/agent"
 	"github.com/embodiedai/create/internal/world"
@@ -171,6 +172,209 @@ func TestMergeDirs(t *testing.T) {
 	// Idempotent: re-merging copies nothing new.
 	if n, err = MergeDirs(dst, a, b); err != nil || n != 0 {
 		t.Fatalf("re-merge should be a no-op, copied %d (err %v)", n, err)
+	}
+}
+
+// TestContainsDoesNotCount: the planning probe must see both memory and
+// disk residency without perturbing hit/miss accounting or promoting disk
+// entries into memory.
+func TestContainsDoesNotCount(t *testing.T) {
+	dir := t.TempDir()
+	p := testPoint()
+	writer, _ := New(dir)
+	if err := writer.Put(p, testSummary(2, 2026)); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := New(dir)
+	if !s.Contains(p) {
+		t.Fatal("Contains missed a disk entry")
+	}
+	other := p
+	other.Seed = 99
+	if s.Contains(other) {
+		t.Fatal("Contains claimed an absent point")
+	}
+	if s.Hits() != 0 || s.Misses() != 0 || s.Len() != 0 {
+		t.Fatalf("Contains perturbed state: %d hits / %d misses / %d resident",
+			s.Hits(), s.Misses(), s.Len())
+	}
+
+	mem, _ := New("")
+	if mem.Contains(p) {
+		t.Fatal("memory store claimed an unseen point")
+	}
+	_ = mem.Put(p, testSummary(2, 2026))
+	if !mem.Contains(p) {
+		t.Fatal("Contains missed a memory entry")
+	}
+}
+
+// TestEvictionLRU: with a size cap armed, the store drops the
+// least-recently-read disk entries first — a Get refreshes an entry's
+// position, so the hot set survives a cap-exceeding Put.
+func TestEvictionLRU(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(dir)
+
+	pts := make([]Point, 3)
+	sums := make([]agent.Summary, 3)
+	for i := range pts {
+		pts[i] = testPoint()
+		pts[i].Seed = int64(100 + i)
+		sums[i] = testSummary(2, pts[i].Seed)
+	}
+	if err := s.Put(pts[0], sums[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(pts[1], sums[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cap at the current two-entry footprint, then make entry 0 the most
+	// recently used.
+	if err := s.SetMaxBytes(1 << 30); err != nil { // arm the index to measure
+		t.Fatal(err)
+	}
+	// Slack absorbs the few-byte size difference between entries, so the
+	// third Put must evict exactly one LRU victim to fit.
+	cap := s.DiskBytes() + 64
+	if err := s.SetMaxBytes(cap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(pts[0]); !ok {
+		t.Fatal("entry 0 should be on disk")
+	}
+
+	// A third entry overflows the cap: the LRU victim is entry 1.
+	if err := s.Put(pts[2], sums[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DiskBytes(); got > cap {
+		t.Fatalf("disk footprint %d exceeds cap %d after eviction", got, cap)
+	}
+	fresh, _ := New(dir)
+	if !fresh.Contains(pts[0]) {
+		t.Fatal("recently read entry 0 was evicted")
+	}
+	if fresh.Contains(pts[1]) {
+		t.Fatal("LRU entry 1 survived past the cap")
+	}
+	if !fresh.Contains(pts[2]) {
+		t.Fatal("just-written entry 2 was evicted")
+	}
+
+	// Eviction only trims disk: the evicted point is still served from the
+	// memory layer of the store that computed it.
+	if _, ok := s.Get(pts[1]); !ok {
+		t.Fatal("evicted point should remain resident in memory")
+	}
+}
+
+// TestSetMaxBytesScansExistingDir: arming a cap on a pre-populated directory
+// enforces it immediately.
+func TestSetMaxBytesScansExistingDir(t *testing.T) {
+	dir := t.TempDir()
+	writer, _ := New(dir)
+	var pts []Point
+	for i := 0; i < 4; i++ {
+		p := testPoint()
+		p.Seed = int64(200 + i)
+		pts = append(pts, p)
+		if err := writer.Put(p, testSummary(2, p.Seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := writer.DiskBytes() // 0: no cap armed yet
+	if full != 0 {
+		t.Fatalf("footprint tracked before a cap was armed: %d", full)
+	}
+
+	s, _ := New(dir)
+	if err := s.SetMaxBytes(1); err != nil { // smaller than any entry
+		t.Fatal(err)
+	}
+	left := 0
+	for _, p := range pts {
+		if s.Contains(p) {
+			left++
+		}
+	}
+	if left != 0 {
+		t.Fatalf("cap of 1 byte left %d entries on disk", left)
+	}
+}
+
+// TestMaxResidentBoundsMemory: the in-memory layer stays at the bound no
+// matter how many distinct points pass through; dropped entries re-read
+// from disk on demand, so nothing is lost for disk-backed stores.
+func TestMaxResidentBoundsMemory(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(dir)
+	s.SetMaxResident(3)
+
+	pts := make([]Point, 6)
+	for i := range pts {
+		pts[i] = testPoint()
+		pts[i].Seed = int64(300 + i)
+		if err := s.Put(pts[i], testSummary(2, pts[i].Seed)); err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() > 3 {
+			t.Fatalf("resident layer grew to %d past the bound", s.Len())
+		}
+	}
+	// Every point is still served — from memory or by disk promotion.
+	for _, p := range pts {
+		if _, ok := s.Get(p); !ok {
+			t.Fatalf("point %d lost after resident eviction", p.Seed)
+		}
+		if s.Len() > 3 {
+			t.Fatalf("promotion grew the resident layer to %d", s.Len())
+		}
+	}
+	// Tightening the bound trims immediately.
+	s.SetMaxResident(1)
+	if s.Len() > 1 {
+		t.Fatalf("SetMaxResident(1) left %d resident", s.Len())
+	}
+}
+
+// TestTouchMemPersistsStaleRecency: a memory-served read flushes its
+// recency to the file's timestamps once the persist throttle has lapsed,
+// so restart scans rank the hot working set correctly.
+func TestTouchMemPersistsStaleRecency(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(dir)
+	p := testPoint()
+	if err := s.Put(p, testSummary(2, 2026)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMaxBytes(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path(p.Key())
+
+	// Age both the file and the index entry past the persist interval.
+	old := time.Now().Add(-2 * persistInterval)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.lru.Lock()
+	e := s.lru.entries[path]
+	e.atime, e.persisted = old, old
+	s.lru.entries[path] = e
+	s.lru.Unlock()
+
+	if _, ok := s.Get(p); !ok { // memory hit
+		t.Fatal("expected a memory hit")
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModTime().After(old.Add(persistInterval)) {
+		t.Fatalf("stale recency not flushed to the file: mtime %v", st.ModTime())
 	}
 }
 

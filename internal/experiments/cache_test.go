@@ -4,8 +4,12 @@ import (
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"github.com/embodiedai/create/internal/agent"
 	"github.com/embodiedai/create/internal/cache"
 )
 
@@ -77,6 +81,178 @@ func TestCachedSweepsMatchUncached(t *testing.T) {
 	}
 }
 
+// TestBespokeSweepsCached: the cross-platform abstract episodes and the
+// phase-targeted injection rows — the Monte-Carlo loops that live outside
+// runTask — are served through the content-addressed cache like any grid
+// point: attaching a cache never changes a row, and a replay recomputes
+// nothing.
+func TestBespokeSweepsCached(t *testing.T) {
+	opt := cachedOptions()
+	plain := NewEnv()
+	wantCross := Fig17CrossPlatform(plain, opt)
+	wantPhase := Fig7PhaseInjection(plain, opt, Fig7InjectionQ)
+
+	cached := NewEnv()
+	store, err := cache.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.Cache = store
+	if got := Fig17CrossPlatform(cached, opt); !reflect.DeepEqual(wantCross, got) {
+		t.Fatalf("Fig17CrossPlatform diverged with a cache attached:\n%+v\n%+v", wantCross, got)
+	}
+	if got := Fig7PhaseInjection(cached, opt, Fig7InjectionQ); !reflect.DeepEqual(wantPhase, got) {
+		t.Fatalf("Fig7PhaseInjection diverged with a cache attached:\n%+v\n%+v", wantPhase, got)
+	}
+
+	misses := store.Misses()
+	if got := Fig17CrossPlatform(cached, opt); !reflect.DeepEqual(wantCross, got) {
+		t.Fatal("cached replay of Fig17CrossPlatform diverged")
+	}
+	if got := Fig7PhaseInjection(cached, opt, Fig7InjectionQ); !reflect.DeepEqual(wantPhase, got) {
+		t.Fatal("cached replay of Fig7PhaseInjection diverged")
+	}
+	if store.Misses() != misses {
+		t.Fatalf("replay recomputed %d bespoke points", store.Misses()-misses)
+	}
+
+	// A cold store over the same directory decodes every entry from disk —
+	// the JSON round trip must be exact for the abstract-episode summaries
+	// (success rates and voltage histograms) too.
+	colder := NewEnv()
+	coldStore, err := cache.New(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colder.Cache = coldStore
+	if got := Fig17CrossPlatform(colder, opt); !reflect.DeepEqual(wantCross, got) {
+		t.Fatal("disk replay of Fig17CrossPlatform diverged")
+	}
+	if coldStore.Misses() != 0 {
+		t.Fatalf("disk replay recomputed %d points", coldStore.Misses())
+	}
+}
+
+// TestFlightCoalescesConcurrentMisses: when parallel sweeps miss the same
+// fingerprint simultaneously (overlapping service jobs), exactly one
+// computes; the rest share its summary.
+func TestFlightCoalescesConcurrentMisses(t *testing.T) {
+	var g flightGroup
+	var computes atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]float64, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			s := g.do("point", func() agent.Summary {
+				computes.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the race window
+				return agent.Summary{SuccessRate: 0.75}
+			})
+			results[i] = s.SuccessRate
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("concurrent misses computed %d times, want 1", got)
+	}
+	for i, r := range results {
+		if r != 0.75 {
+			t.Fatalf("caller %d got %v", i, r)
+		}
+	}
+
+	// Sequential calls after completion compute again — results live in the
+	// cache, not the flight group.
+	g.do("point", func() agent.Summary { computes.Add(1); return agent.Summary{} })
+	if computes.Load() != 2 {
+		t.Fatal("flight group retained a completed call")
+	}
+}
+
+// TestFlightPanicDoesNotWedge: a panicking compute releases the flight
+// slot and re-raises in the owner and every waiter — the fingerprint stays
+// usable instead of blocking all future misses forever.
+func TestFlightPanicDoesNotWedge(t *testing.T) {
+	var g flightGroup
+	recovered := func(fn func()) (r any) {
+		defer func() { r = recover() }()
+		fn()
+		return nil
+	}
+
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	var waiterPanic any
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_ = recovered(func() {
+			g.do("p", func() agent.Summary {
+				close(inFlight)
+				<-release
+				panic("episode exploded")
+			})
+		})
+	}()
+	waiterJoined := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		<-inFlight // the owner's slot is registered and blocked in compute
+		close(waiterJoined)
+		waiterPanic = recovered(func() { g.do("p", func() agent.Summary { return agent.Summary{} }) })
+	}()
+	<-waiterJoined
+	time.Sleep(20 * time.Millisecond) // let the waiter block on the owner's done channel
+	close(release)
+	wg.Wait()
+	if waiterPanic != "episode exploded" {
+		t.Fatalf("waiter saw %v, want the owner's panic", waiterPanic)
+	}
+
+	// The slot is free: the next caller computes normally.
+	s := g.do("p", func() agent.Summary { return agent.Summary{SuccessRate: 1} })
+	if s.SuccessRate != 1 {
+		t.Fatal("flight slot wedged after a panic")
+	}
+}
+
+// TestCachedComputeSharedAcrossSweeps drives the whole stack: two
+// goroutines running overlapping sweeps against one Env compute each shared
+// point once (misses may double-count — both callers legitimately missed —
+// but Monte-Carlo work, measured by resident points vs flight computes,
+// does not duplicate).
+func TestCachedComputeSharedAcrossSweeps(t *testing.T) {
+	e := NewEnv()
+	store, _ := cache.New("")
+	e.Cache = store
+	opt := cachedOptions()
+
+	var wg sync.WaitGroup
+	outs := make([][]ResiliencePoint, 2)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = Fig5Controller(e, opt) // identical grids, racing
+		}(i)
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(outs[0], outs[1]) {
+		t.Fatal("racing identical sweeps diverged")
+	}
+	// Every point resident exactly once; the cache-free reference matches.
+	want := Fig5Controller(NewEnv(), opt)
+	if !reflect.DeepEqual(outs[0], want) {
+		t.Fatal("raced sweep diverged from the cache-free reference")
+	}
+}
+
 // TestShardedRunsMergeToUnshardedResults is the library-level determinism
 // gate behind the CI matrix: three sharded runs, each persisting only its
 // own grid points, merge into a cache whose replay (a) recomputes nothing
@@ -101,6 +277,8 @@ func TestShardedRunsMergeToUnshardedResults(t *testing.T) {
 		Fig13WR(e, so)
 		Fig19ErrorModels(e, so)
 		Fig6Subtasks(e, so)
+		Fig17CrossPlatform(e, so)
+		Fig7PhaseInjection(e, so, Fig7InjectionQ)
 	}
 
 	merged := filepath.Join(base, "merged")
@@ -118,6 +296,8 @@ func TestShardedRunsMergeToUnshardedResults(t *testing.T) {
 	wr := Fig13WR(e, opt)
 	em := Fig19ErrorModels(e, opt)
 	sub := Fig6Subtasks(e, opt)
+	cross := Fig17CrossPlatform(e, opt)
+	phase := Fig7PhaseInjection(e, opt, Fig7InjectionQ)
 	if store.Misses() != 0 {
 		t.Fatalf("merged replay recomputed %d points: shards did not cover the grid", store.Misses())
 	}
@@ -134,6 +314,12 @@ func TestShardedRunsMergeToUnshardedResults(t *testing.T) {
 	}
 	if want := Fig6Subtasks(plain, opt); !reflect.DeepEqual(sub, want) {
 		t.Fatal("merged Fig6Subtasks diverged from the unsharded run")
+	}
+	if want := Fig17CrossPlatform(plain, opt); !reflect.DeepEqual(cross, want) {
+		t.Fatal("merged Fig17CrossPlatform diverged from the unsharded run")
+	}
+	if want := Fig7PhaseInjection(plain, opt, Fig7InjectionQ); !reflect.DeepEqual(phase, want) {
+		t.Fatal("merged Fig7PhaseInjection diverged from the unsharded run")
 	}
 }
 

@@ -3,9 +3,11 @@ package experiments
 import (
 	"io"
 	"math/rand"
+	"strconv"
 
 	"github.com/embodiedai/create/internal/agent"
 	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/inject"
 	"github.com/embodiedai/create/internal/model"
 	"github.com/embodiedai/create/internal/nn"
@@ -131,36 +133,52 @@ type ResiliencePoint struct {
 
 // Fig5Planner sweeps uniform BER through the planner only (Fig. 5(a)/(b)).
 func Fig5Planner(e *Env, opt Options) []ResiliencePoint {
-	return resilienceSweep(e, opt, BERSweep(1e-9, 1e-6), true, false, bridge.Protection{}, bridge.Protection{})
+	return resilienceSweep(e, opt, fig5PlannerJobs(e))
 }
 
 // Fig5Controller sweeps uniform BER through the controller only
 // (Fig. 5(c)/(d)).
 func Fig5Controller(e *Env, opt Options) []ResiliencePoint {
-	return resilienceSweep(e, opt, BERSweep(1e-6, 1e-3), false, true, bridge.Protection{}, bridge.Protection{})
+	return resilienceSweep(e, opt, fig5ControllerJobs(e))
 }
 
-func resilienceSweep(e *Env, opt Options, bers []float64, hitPlanner, hitController bool,
-	pProt, cProt bridge.Protection) []ResiliencePoint {
-	var out []ResiliencePoint
-	idx := 0
-	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
+func fig5PlannerJobs(e *Env) []gridJob {
+	return resilienceJobs(e, []world.TaskName{world.TaskWooden, world.TaskStone},
+		BERSweep(1e-9, 1e-6), true, false)
+}
+
+func fig5ControllerJobs(e *Env) []gridJob {
+	return resilienceJobs(e, []world.TaskName{world.TaskWooden, world.TaskStone},
+		BERSweep(1e-6, 1e-3), false, true)
+}
+
+// resilienceJobs builds the task-major (task x BER) grid of an unprotected
+// resilience sweep.
+func resilienceJobs(e *Env, tasks []world.TaskName, bers []float64, hitPlanner, hitController bool) []gridJob {
+	jobs := make([]gridJob, 0, len(tasks)*len(bers))
+	for _, task := range tasks {
 		for _, ber := range bers {
-			if !opt.owns(idx) {
-				idx++
-				continue
-			}
-			idx++
-			cfg := agent.Config{UniformBER: ber, PlannerProt: pProt, ControlProt: cProt}
+			cfg := agent.Config{UniformBER: ber}
 			if hitPlanner {
 				cfg.Planner = e.Planner
 			}
 			if hitController {
 				cfg.Controller = e.Controller
 			}
-			s := e.runTaskCached(task, cfg, opt, "", "")
-			out = append(out, ResiliencePoint{ber, task, s.SuccessRate, s.AvgSteps})
+			jobs = append(jobs, gridJob{task: task, cfg: cfg})
 		}
+	}
+	return jobs
+}
+
+func resilienceSweep(e *Env, opt Options, jobs []gridJob) []ResiliencePoint {
+	var out []ResiliencePoint
+	for idx, j := range jobs {
+		if !opt.owns(idx) {
+			continue
+		}
+		s := e.runJob(j, opt)
+		out = append(out, ResiliencePoint{j.cfg.UniformBER, j.task, s.SuccessRate, s.AvgSteps})
 	}
 	return out
 }
@@ -296,21 +314,11 @@ var Fig6Tasks = []world.TaskName{
 // deterministic chains (log, stone) collapse abruptly past 1e-4 while
 // stochastic interactions (chicken, wool) degrade gradually.
 func Fig6Subtasks(e *Env, opt Options) []ResiliencePoint {
-	var out []ResiliencePoint
-	idx := 0
-	for _, task := range Fig6Tasks {
-		for _, ber := range BERSweep(1e-6, 1e-2) {
-			if !opt.owns(idx) {
-				idx++
-				continue
-			}
-			idx++
-			cfg := agent.Config{Controller: e.Controller, UniformBER: ber}
-			s := e.runTaskCached(task, cfg, opt, "", "")
-			out = append(out, ResiliencePoint{ber, task, s.SuccessRate, s.AvgSteps})
-		}
-	}
-	return out
+	return resilienceSweep(e, opt, fig6Jobs(e))
+}
+
+func fig6Jobs(e *Env) []gridJob {
+	return resilienceJobs(e, Fig6Tasks, BERSweep(1e-6, 1e-2), false, true)
 }
 
 // ---------------------------------------------------------------------------
@@ -366,11 +374,42 @@ type StageCorruption struct {
 	AvgSteps    float64
 }
 
+// fig7InjectionTargets are the corrupted phases of the Fig. 7 experiment,
+// in row order (also the sharding grain).
+var fig7InjectionTargets = []world.Phase{world.PhaseExplore, world.PhaseExecute}
+
+// fig7InjectionPoint fingerprints one phase-targeted corruption row. The
+// bespoke episode loop has no agent.Config to map mechanically, so the
+// error-model tag and override name identify the loop and its target phase;
+// BER carries the per-step corruption probability q.
+func fig7InjectionPoint(q float64, target world.Phase, opt Options) cache.Point {
+	return cache.Point{
+		Task:       string(world.TaskLog),
+		ErrorModel: "phase-targeted",
+		BER:        q,
+		Override:   "phase-inject/" + strconv.Itoa(int(target)),
+		Trials:     opt.Trials,
+		Seed:       opt.Seed,
+	}
+}
+
 // Fig7PhaseInjection injects a fixed action-corruption probability only
-// during the given phase of the log task.
+// during the given phase of the log task. Rows are cached (the aggregate is
+// a pure function of the fingerprint) and sharded at row grain, so sharded
+// and served runs reuse them like any other grid point.
 func Fig7PhaseInjection(e *Env, opt Options, q float64) []StageCorruption {
 	var out []StageCorruption
-	for _, target := range []world.Phase{world.PhaseExplore, world.PhaseExecute} {
+	for idx, target := range fig7InjectionTargets {
+		if !opt.owns(idx) {
+			continue
+		}
+		out = append(out, e.phaseInjectionRow(q, target, opt))
+	}
+	return out
+}
+
+func (e *Env) phaseInjectionRow(q float64, target world.Phase, opt Options) StageCorruption {
+	compute := func() agent.Summary {
 		success, stepsSum, n := 0, 0.0, 0
 		for t := 0; t < opt.Trials; t++ {
 			r := runPhaseTargeted(world.TaskLog, q, target, opt.Seed+int64(t)*17)
@@ -380,13 +419,19 @@ func Fig7PhaseInjection(e *Env, opt Options, q float64) []StageCorruption {
 				n++
 			}
 		}
-		sp := StageCorruption{Phase: target, SuccessRate: float64(success) / float64(opt.Trials)}
+		sum := agent.Summary{Trials: opt.Trials, SuccessRate: float64(success) / float64(opt.Trials)}
 		if n > 0 {
-			sp.AvgSteps = stepsSum / float64(n)
+			sum.AvgSteps = stepsSum / float64(n)
 		}
-		out = append(out, sp)
+		return sum
 	}
-	return out
+	var s agent.Summary
+	if e.Cache == nil {
+		s = compute()
+	} else {
+		s = e.cachedCompute(fig7InjectionPoint(q, target, opt), compute)
+	}
+	return StageCorruption{Phase: target, SuccessRate: s.SuccessRate, AvgSteps: s.AvgSteps}
 }
 
 type phaseResult struct {

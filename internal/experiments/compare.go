@@ -49,9 +49,10 @@ func Fig20Baselines(e *Env, opt Options) []ComparisonPoint {
 	return out
 }
 
-// createPoint runs the full CREATE stack (AD+WR planner, AD+VS controller
-// with the supply as the VS ceiling).
-func (e *Env) createPoint(task world.TaskName, v float64, opt Options) ComparisonPoint {
+// createConfig is the full CREATE stack at supply v (AD+WR planner, AD+VS
+// controller with the supply as the VS ceiling), shared by the runner and
+// the fingerprint enumerator.
+func (e *Env) createConfig(v float64) (agent.Config, string) {
 	cfg := agent.Config{
 		Planner:     e.Planner,
 		Controller:  e.Controller,
@@ -66,6 +67,12 @@ func (e *Env) createPoint(task world.TaskName, v float64, opt Options) Compariso
 	// points are shared with the Fig. 16 sweeps outright.
 	vs, policyID := ceiledPolicy(v)
 	cfg.VSPolicy = vs
+	return cfg, policyID
+}
+
+// createPoint runs the full CREATE stack.
+func (e *Env) createPoint(task world.TaskName, v float64, opt Options) ComparisonPoint {
+	cfg, policyID := e.createConfig(v)
 	s := e.runTaskCached(task, cfg, opt, policyID, "")
 	return ComparisonPoint{
 		Technique: "CREATE", Task: task, Voltage: v,
@@ -74,10 +81,12 @@ func (e *Env) createPoint(task world.TaskName, v float64, opt Options) Compariso
 	}
 }
 
-// baselinePoint runs one prior-art technique at a fixed supply via the
-// agent's override hooks, applying its energy factor.
-func (e *Env) baselinePoint(task world.TaskName, b baselines.Baseline, v float64, opt Options) ComparisonPoint {
-	cfg := agent.Config{
+// baselineConfig is one prior-art technique at a fixed supply via the
+// agent's override hooks. The hooks are pure functions of (technique,
+// voltage), so the baseline's name plus the voltage fields fingerprint them
+// exactly.
+func (e *Env) baselineConfig(b baselines.Baseline, v float64) (agent.Config, string) {
+	return agent.Config{
 		UniformBER:        agent.VoltageMode,
 		Timing:            e.Timing,
 		PlannerVoltage:    v,
@@ -88,10 +97,13 @@ func (e *Env) baselinePoint(task world.TaskName, b baselines.Baseline, v float64
 		ControllerCorruptOverride: func(cv float64) float64 {
 			return b.ControllerCorrupt(e.Timing, cv)
 		},
-	}
-	// The override hooks are pure functions of (technique, voltage), so the
-	// baseline's name plus the voltage fields fingerprint them exactly.
-	s := e.runTaskCached(task, cfg, opt, "", b.Name)
+	}, b.Name
+}
+
+// baselinePoint runs one prior-art technique, applying its energy factor.
+func (e *Env) baselinePoint(task world.TaskName, b baselines.Baseline, v float64, opt Options) ComparisonPoint {
+	cfg, override := e.baselineConfig(b, v)
+	s := e.runTaskCached(task, cfg, opt, "", override)
 	energy := e.EpisodeEnergy(s, false) * b.EnergyFactor(e.Timing, v)
 	return ComparisonPoint{
 		Technique: b.Name, Task: task, Voltage: v,

@@ -1,11 +1,12 @@
 package experiments
 
 import (
-	"math"
+	"fmt"
 	"math/rand"
 
 	"github.com/embodiedai/create/internal/agent"
 	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/platforms"
 	"github.com/embodiedai/create/internal/policy"
 	"github.com/embodiedai/create/internal/timing"
@@ -32,62 +33,109 @@ type CrossPoint struct {
 	Saving float64
 }
 
+// plannerDescentVoltages is the shared minimal-voltage search grid. The
+// runner and the cache-planning enumerator must iterate the exact same
+// floats (the fingerprint embeds them), so the descending loop lives in one
+// place.
+func plannerDescentVoltages() []float64 {
+	var out []float64
+	for v := 0.88; v >= 0.60; v -= 0.02 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// crossPlatformPairs are the abstract-episode platform/task groups of
+// Fig. 17, in row order.
+var crossPlannerPairs = []struct {
+	Spec  platforms.Spec
+	Tasks []platforms.CrossTask
+}{
+	{platforms.OpenVLA, platforms.LIBEROTasks},
+	{platforms.RoboFlamingo, platforms.CALVINTasks},
+}
+
+var crossControllerPairs = []struct {
+	Spec  platforms.Spec
+	Tasks []platforms.CrossTask
+}{
+	{platforms.Octo, platforms.OXEControllerTasks[:3]},
+	{platforms.RT1, platforms.OXEControllerTasks[3:]},
+}
+
+// jarvisPlannerTasks and jarvisControllerTasks are the Minecraft rows.
+var (
+	jarvisPlannerTasks    = []world.TaskName{world.TaskWooden, world.TaskStone}
+	jarvisControllerTasks = []world.TaskName{world.TaskCharcoal, world.TaskChicken}
+)
+
 // Fig17CrossPlatform evaluates energy savings across all platforms and
 // tasks (Fig. 17: planners average ~50 % with AD+WR, controllers ~40 % with
-// AD+VS).
+// AD+VS). Rows shard at (platform, task) grain; every Monte-Carlo loop
+// behind a row — Minecraft episodes and abstract episodes alike — is served
+// through the content-addressed cache.
 func Fig17CrossPlatform(e *Env, opt Options) []CrossPoint {
 	var out []CrossPoint
+	idx := 0
+	owns := func() bool {
+		ok := opt.owns(idx)
+		idx++
+		return ok
+	}
 
 	// JARVIS-1 rows reuse the Minecraft pipeline.
-	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
-		out = append(out, e.jarvisPlannerPoint(task, opt))
+	for _, task := range jarvisPlannerTasks {
+		if owns() {
+			out = append(out, e.jarvisPlannerPoint(task, opt))
+		}
 	}
-	for _, task := range []world.TaskName{world.TaskCharcoal, world.TaskChicken} {
-		out = append(out, e.jarvisControllerPoint(task, opt))
+	for _, task := range jarvisControllerTasks {
+		if owns() {
+			out = append(out, e.jarvisControllerPoint(task, opt))
+		}
 	}
 
 	// Cross-platform rows run the abstract manipulation episodes.
-	for _, pair := range []struct {
-		spec  platforms.Spec
-		tasks []platforms.CrossTask
-	}{
-		{platforms.OpenVLA, platforms.LIBEROTasks},
-		{platforms.RoboFlamingo, platforms.CALVINTasks},
-	} {
-		fm := pair.spec.FaultModel()
-		for _, task := range pair.tasks {
-			out = append(out, crossPlannerPoint(e, fm, pair.spec, task, opt))
+	for _, pair := range crossPlannerPairs {
+		fm := pair.Spec.FaultModel()
+		for _, task := range pair.Tasks {
+			if owns() {
+				out = append(out, crossPlannerPoint(e, fm, pair.Spec, task, opt))
+			}
 		}
 	}
-	for _, pair := range []struct {
-		spec  platforms.Spec
-		tasks []platforms.CrossTask
-	}{
-		{platforms.Octo, platforms.OXEControllerTasks[:3]},
-		{platforms.RT1, platforms.OXEControllerTasks[3:]},
-	} {
-		fm := pair.spec.FaultModel()
-		for _, task := range pair.tasks {
-			out = append(out, crossControllerPoint(e, fm, pair.spec, task, opt))
+	for _, pair := range crossControllerPairs {
+		fm := pair.Spec.FaultModel()
+		for _, task := range pair.Tasks {
+			if owns() {
+				out = append(out, crossControllerPoint(e, fm, pair.Spec, task, opt))
+			}
 		}
 	}
 	return out
 }
 
+// jarvisPlannerConfig is the planner's AD+WR voltage-mode configuration at
+// supply v, shared by the descent and the fingerprint enumerator.
+func (e *Env) jarvisPlannerConfig(v float64) agent.Config {
+	return agent.Config{
+		Planner:        e.Planner,
+		PlannerProt:    bridge.Protection{AD: true, WR: true},
+		UniformBER:     agent.VoltageMode,
+		Timing:         e.Timing,
+		PlannerVoltage: v,
+	}
+}
+
 // jarvisPlannerPoint finds the planner's minimal AD+WR voltage on a
 // Minecraft task and reports the saving.
 func (e *Env) jarvisPlannerPoint(task world.TaskName, opt Options) CrossPoint {
-	prot := bridge.Protection{AD: true, WR: true}
 	clean := e.runTaskCached(task, agent.Config{UniformBER: 0}, opt, "", "")
 	target := clean.SuccessRate * 0.9
 	best := timing.VNominal
 	var bestRate float64 = clean.SuccessRate
-	for v := 0.88; v >= 0.60; v -= 0.02 {
-		cfg := agent.Config{
-			Planner: e.Planner, PlannerProt: prot,
-			UniformBER: agent.VoltageMode, Timing: e.Timing, PlannerVoltage: v,
-		}
-		s := e.runTaskCached(task, cfg, opt, "", "")
+	for _, v := range plannerDescentVoltages() {
+		s := e.runTaskCached(task, e.jarvisPlannerConfig(v), opt, "", "")
 		if s.SuccessRate < target {
 			break
 		}
@@ -100,19 +148,43 @@ func (e *Env) jarvisPlannerPoint(task world.TaskName, opt Options) CrossPoint {
 	}
 }
 
-// jarvisControllerPoint runs AD+VS on a Minecraft task.
-func (e *Env) jarvisControllerPoint(task world.TaskName, opt Options) CrossPoint {
-	cfg := agent.Config{
+// jarvisControllerConfig is the controller's AD+VS configuration, shared by
+// the runner and the fingerprint enumerator.
+func (e *Env) jarvisControllerConfig() (agent.Config, string) {
+	return agent.Config{
 		Controller: e.Controller, ControlProt: bridge.Protection{AD: true},
 		UniformBER: agent.VoltageMode, Timing: e.Timing,
 		VSPolicy: policy.PolicyF.Func(),
-	}
-	s := e.runTaskCached(task, cfg, opt, policy.PolicyF.Name, "")
+	}, policy.PolicyF.Name
+}
+
+// jarvisControllerPoint runs AD+VS on a Minecraft task.
+func (e *Env) jarvisControllerPoint(task world.TaskName, opt Options) CrossPoint {
+	cfg, policyID := e.jarvisControllerConfig()
+	s := e.runTaskCached(task, cfg, opt, policyID, "")
 	veff := e.Power.EffectiveVoltage(s.StepsAtMV)
 	return CrossPoint{
 		Platform: platforms.JARVIS1Controller.Name, Task: string(task),
 		Class: platforms.ControllerClass, SuccessRate: s.SuccessRate,
 		Saving: 1 - (veff/timing.VNominal)*(veff/timing.VNominal),
+	}
+}
+
+// crossPlannerCachePoint fingerprints one abstract planner episode sweep.
+// The bespoke loop has no agent.Config to map mechanically, so the override
+// names the loop and the task string embeds the episode shape (the phase
+// count the loop actually consumes).
+func crossPlannerCachePoint(fm *bridge.FaultModel, prot bridge.Protection,
+	task platforms.CrossTask, v float64, opt Options) cache.Point {
+	return cache.Point{
+		Task:        fmt.Sprintf("cross/%s#p%d", task.Name, task.Phases),
+		Planner:     fm.ID(),
+		PlannerProt: protLabel(prot),
+		ErrorModel:  "voltage",
+		PlannerV:    v,
+		Override:    "cross-planner",
+		Trials:      opt.Trials,
+		Seed:        opt.Seed,
 	}
 }
 
@@ -124,7 +196,7 @@ func crossPlannerPoint(e *Env, fm *bridge.FaultModel, spec platforms.Spec,
 	prot := bridge.Protection{AD: true, WR: true}
 	best := timing.VNominal
 	bestRate := 1.0
-	for v := 0.88; v >= 0.60; v -= 0.02 {
+	for _, v := range plannerDescentVoltages() {
 		rate := crossPlannerSuccess(e, fm, prot, task, v, opt)
 		if rate < 0.9 {
 			break
@@ -140,24 +212,45 @@ func crossPlannerPoint(e *Env, fm *bridge.FaultModel, spec platforms.Spec,
 
 func crossPlannerSuccess(e *Env, fm *bridge.FaultModel, prot bridge.Protection,
 	task platforms.CrossTask, v float64, opt Options) float64 {
-	pCorrupt := fm.CorruptProbAtVoltage(e.Timing, v, prot)
-	rng := rand.New(rand.NewSource(opt.Seed))
-	success := 0
-	for t := 0; t < opt.Trials; t++ {
-		replans := 0
-		phase := 0
-		for phase < task.Phases && replans <= 3 {
-			if rng.Float64() < pCorrupt {
-				replans++ // corrupted instruction wastes the phase budget
-				continue
+	compute := func() agent.Summary {
+		pCorrupt := fm.CorruptProbAtVoltage(e.Timing, v, prot)
+		rng := rand.New(rand.NewSource(opt.Seed))
+		success := 0
+		for t := 0; t < opt.Trials; t++ {
+			replans := 0
+			phase := 0
+			for phase < task.Phases && replans <= 3 {
+				if rng.Float64() < pCorrupt {
+					replans++ // corrupted instruction wastes the phase budget
+					continue
+				}
+				phase++
 			}
-			phase++
+			if phase >= task.Phases {
+				success++
+			}
 		}
-		if phase >= task.Phases {
-			success++
-		}
+		return agent.Summary{Trials: opt.Trials, SuccessRate: float64(success) / float64(opt.Trials)}
 	}
-	return float64(success) / float64(opt.Trials)
+	if e.Cache == nil {
+		return compute().SuccessRate
+	}
+	return e.cachedCompute(crossPlannerCachePoint(fm, prot, task, v, opt), compute).SuccessRate
+}
+
+// crossControllerCachePoint fingerprints one abstract controller episode
+// sweep; the task string embeds both shape parameters the loop consumes.
+func crossControllerCachePoint(fm *bridge.FaultModel, task platforms.CrossTask, opt Options) cache.Point {
+	return cache.Point{
+		Task:        fmt.Sprintf("cross/%s#p%dx%d", task.Name, task.Phases, task.StepsPerPhase),
+		Controller:  fm.ID(),
+		ControlProt: protLabel(bridge.Protection{AD: true}),
+		ErrorModel:  "voltage",
+		Policy:      policy.PolicyF.Name,
+		Override:    "cross-controller",
+		Trials:      opt.Trials,
+		Seed:        opt.Seed,
+	}
 }
 
 // crossControllerPoint evaluates AD+VS on an abstract manipulation task:
@@ -165,54 +258,68 @@ func crossPlannerSuccess(e *Env, fm *bridge.FaultModel, prot bridge.Protection,
 // (low entropy); corrupted precision steps repeat the segment.
 func crossControllerPoint(e *Env, fm *bridge.FaultModel, spec platforms.Spec,
 	task platforms.CrossTask, opt Options) CrossPoint {
-	prot := bridge.Protection{AD: true}
-	vs := policy.PolicyF
-	rng := rand.New(rand.NewSource(opt.Seed))
-	success := 0
-	var weightedV2, stepsTotal float64
-	for t := 0; t < opt.Trials; t++ {
-		steps := 0
-		ok := true
-		for ph := 0; ph < task.Phases && ok; ph++ {
-			// Approach segment: high entropy, tolerant.
-			for i := 0; i < task.StepsPerPhase/2; i++ {
-				v := vs.Voltage(3.5)
-				weightedV2 += v * v
-				stepsTotal++
-				steps++
-			}
-			// Precision segment: low entropy, corruption repeats progress.
-			remaining := task.StepsPerPhase / 2
-			for remaining > 0 {
-				v := vs.Voltage(0.3)
-				q := fm.CorruptProbAtVoltage(e.Timing, v, prot)
-				weightedV2 += v * v
-				stepsTotal++
-				steps++
-				if steps > task.Phases*task.StepsPerPhase*6 {
-					ok = false
-					break
-				}
-				if rng.Float64() < q {
-					remaining = task.StepsPerPhase / 2 // segment restarts
-					continue
-				}
-				remaining--
-			}
-		}
-		if ok {
-			success++
-		}
-	}
-	veff := timing.VNominal
-	if stepsTotal > 0 {
-		veff = math.Sqrt(weightedV2 / stepsTotal)
-	}
+	s := e.crossControllerSummary(fm, task, opt)
+	veff := e.Power.EffectiveVoltage(s.StepsAtMV)
 	return CrossPoint{
 		Platform: spec.Name, Task: task.Name, Class: platforms.ControllerClass,
-		SuccessRate: float64(success) / float64(opt.Trials),
+		SuccessRate: s.SuccessRate,
 		Saving:      1 - (veff/timing.VNominal)*(veff/timing.VNominal),
 	}
+}
+
+// crossControllerSummary runs (or replays) the abstract controller episode
+// loop, aggregating into the same Summary shape the cache stores: success
+// rate plus the per-voltage step histogram the effective-voltage metric is
+// derived from. Deriving Veff from the histogram on the compute path too
+// keeps computed and replayed rows bit-identical.
+func (e *Env) crossControllerSummary(fm *bridge.FaultModel, task platforms.CrossTask, opt Options) agent.Summary {
+	compute := func() agent.Summary {
+		prot := bridge.Protection{AD: true}
+		vs := policy.PolicyF
+		rng := rand.New(rand.NewSource(opt.Seed))
+		sum := agent.Summary{Trials: opt.Trials, StepsAtMV: make(map[int]int)}
+		record := func(v float64) {
+			sum.StepsAtMV[int(v*1000+0.5)]++
+		}
+		success := 0
+		for t := 0; t < opt.Trials; t++ {
+			steps := 0
+			ok := true
+			for ph := 0; ph < task.Phases && ok; ph++ {
+				// Approach segment: high entropy, tolerant.
+				for i := 0; i < task.StepsPerPhase/2; i++ {
+					record(vs.Voltage(3.5))
+					steps++
+				}
+				// Precision segment: low entropy, corruption repeats progress.
+				remaining := task.StepsPerPhase / 2
+				for remaining > 0 {
+					v := vs.Voltage(0.3)
+					q := fm.CorruptProbAtVoltage(e.Timing, v, prot)
+					record(v)
+					steps++
+					if steps > task.Phases*task.StepsPerPhase*6 {
+						ok = false
+						break
+					}
+					if rng.Float64() < q {
+						remaining = task.StepsPerPhase / 2 // segment restarts
+						continue
+					}
+					remaining--
+				}
+			}
+			if ok {
+				success++
+			}
+		}
+		sum.SuccessRate = float64(success) / float64(opt.Trials)
+		return sum
+	}
+	if e.Cache == nil {
+		return compute()
+	}
+	return e.cachedCompute(crossControllerCachePoint(fm, task, opt), compute)
 }
 
 // AverageSavingByClass aggregates Fig. 17 rows.

@@ -69,28 +69,42 @@ func Fig13AblationPlanner(e *Env, opt Options) []ProtectionPoint {
 	return out
 }
 
-func protSweep(e *Env, opt Options, bers []float64, hitPlanner bool, prot bridge.Protection) []ProtectionPoint {
+// protSweepJobs builds the task-major (task x BER) grid of one protection
+// sweep — the shared coordinate source for the runner and the fingerprint
+// enumerator.
+func protSweepJobs(e *Env, bers []float64, hitPlanner bool, prot bridge.Protection) []gridJob {
 	tasks := []world.TaskName{world.TaskWooden, world.TaskStone}
+	jobs := make([]gridJob, 0, len(tasks)*len(bers))
+	for _, task := range tasks {
+		for _, ber := range bers {
+			cfg := agent.Config{UniformBER: ber}
+			if hitPlanner {
+				cfg.Planner = e.Planner
+				cfg.PlannerProt = prot
+			} else {
+				cfg.Controller = e.Controller
+				cfg.ControlProt = prot
+			}
+			jobs = append(jobs, gridJob{task: task, cfg: cfg})
+		}
+	}
+	return jobs
+}
+
+func protSweep(e *Env, opt Options, bers []float64, hitPlanner bool, prot bridge.Protection) []ProtectionPoint {
+	jobs := protSweepJobs(e, bers, hitPlanner, prot)
 	// Grid points are independent trials sweeps; fan them out with ordered
 	// collection so the row order matches the serial task-major loop. The
 	// Workers budget is split between the grid and the per-point trial
 	// loops so nesting can't exceed it.
-	gridW, opt := opt.split(len(tasks) * len(bers))
-	return sim.Map(len(tasks)*len(bers), gridW, func(i int) ProtectionPoint {
+	gridW, opt := opt.split(len(jobs))
+	return sim.Map(len(jobs), gridW, func(i int) ProtectionPoint {
 		if !opt.owns(i) {
 			return ProtectionPoint{}
 		}
-		task, ber := tasks[i/len(bers)], bers[i%len(bers)]
-		cfg := agent.Config{UniformBER: ber}
-		if hitPlanner {
-			cfg.Planner = e.Planner
-			cfg.PlannerProt = prot
-		} else {
-			cfg.Controller = e.Controller
-			cfg.ControlProt = prot
-		}
-		s := e.runTaskCached(task, cfg, opt, "", "")
-		return ProtectionPoint{ber, task, protLabel(prot), s.SuccessRate, s.AvgSteps}
+		j := jobs[i]
+		s := e.runJob(j, opt)
+		return ProtectionPoint{j.cfg.UniformBER, j.task, protLabel(prot), s.SuccessRate, s.AvgSteps}
 	})
 }
 
@@ -109,18 +123,17 @@ type VSPoint struct {
 	EnergyJ          float64
 }
 
-// Fig13VS evaluates the Fig. 21 policies plus constant-voltage baselines on
-// wooden and stone, with and without AD (Fig. 13(d) and the (f) ablation):
-// adaptive policies advance the success-vs-effective-voltage frontier, and
-// AD shifts the whole frontier to lower voltages.
-func Fig13VS(e *Env, opt Options) []VSPoint {
-	type vsJob struct {
-		task   world.TaskName
-		name   string
-		prot   bridge.Protection
-		vs     func(float64) float64
-		constV float64
-	}
+// vsJob is one Fig. 13(d)/(f) grid coordinate.
+type vsJob struct {
+	task   world.TaskName
+	name   string
+	prot   bridge.Protection
+	vs     func(float64) float64
+	constV float64
+}
+
+// fig13VSJobs enumerates the policy/constant-voltage grid of Fig. 13(d)/(f).
+func fig13VSJobs() []vsJob {
 	var jobs []vsJob
 	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
 		for _, ad := range []bool{false, true} {
@@ -135,40 +148,51 @@ func Fig13VS(e *Env, opt Options) []VSPoint {
 			}
 		}
 	}
+	return jobs
+}
+
+// vsConfig is the agent configuration and cache identity of one VS grid job.
+func (e *Env) vsConfig(j vsJob) (agent.Config, string) {
+	cfg := agent.Config{
+		Controller:  e.Controller,
+		ControlProt: j.prot,
+		UniformBER:  agent.VoltageMode,
+		Timing:      e.Timing,
+	}
+	if j.vs != nil {
+		cfg.VSPolicy = j.vs
+		return cfg, j.name
+	}
+	cfg.ControllerVoltage = j.constV
+	return cfg, ""
+}
+
+// Fig13VS evaluates the Fig. 21 policies plus constant-voltage baselines on
+// wooden and stone, with and without AD (Fig. 13(d) and the (f) ablation):
+// adaptive policies advance the success-vs-effective-voltage frontier, and
+// AD shifts the whole frontier to lower voltages.
+func Fig13VS(e *Env, opt Options) []VSPoint {
+	jobs := fig13VSJobs()
 	gridW, opt := opt.split(len(jobs))
 	return sim.Map(len(jobs), gridW, func(i int) VSPoint {
 		if !opt.owns(i) {
 			return VSPoint{}
 		}
-		j := jobs[i]
-		return e.vsPoint(j.task, j.name, j.prot, j.vs, j.constV, opt)
+		return e.vsPoint(jobs[i], opt)
 	})
 }
 
-func (e *Env) vsPoint(task world.TaskName, name string, prot bridge.Protection,
-	vs func(float64) float64, constV float64, opt Options) VSPoint {
-	cfg := agent.Config{
-		Controller:  e.Controller,
-		ControlProt: prot,
-		UniformBER:  agent.VoltageMode,
-		Timing:      e.Timing,
-	}
-	policyID := ""
-	if vs != nil {
-		cfg.VSPolicy = vs
-		policyID = name
-	} else {
-		cfg.ControllerVoltage = constV
-	}
-	s := e.runTaskCached(task, cfg, opt, policyID, "")
+func (e *Env) vsPoint(j vsJob, opt Options) VSPoint {
+	cfg, policyID := e.vsConfig(j)
+	s := e.runTaskCached(j.task, cfg, opt, policyID, "")
 	return VSPoint{
-		Task:             task,
-		Policy:           name,
-		AD:               prot.AD,
+		Task:             j.task,
+		Policy:           j.name,
+		AD:               j.prot.AD,
 		SuccessRate:      s.SuccessRate,
 		AvgSteps:         s.AvgSteps,
 		EffectiveVoltage: e.Power.EffectiveVoltage(s.StepsAtMV),
-		EnergyJ:          e.EpisodeEnergy(s, vs != nil),
+		EnergyJ:          e.EpisodeEnergy(s, j.vs != nil),
 	}
 }
 
@@ -183,19 +207,11 @@ type IntervalPoint struct {
 	EnergyJ     float64
 }
 
-// Fig15Interval sweeps the VS update interval {1, 5, 10, 20}: 1 and 5 track
-// workload changes, 10 and 20 respond too slowly; 5 has slightly lower
-// overhead than 1 (Sec. 6.5).
-func Fig15Interval(e *Env, opt Options) []IntervalPoint {
-	var out []IntervalPoint
-	idx := 0
+// fig15Jobs enumerates the (task x update interval) grid of Fig. 15.
+func fig15Jobs(e *Env) []gridJob {
+	var jobs []gridJob
 	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
 		for _, interval := range []int{1, 5, 10, 20} {
-			if !opt.owns(idx) {
-				idx++
-				continue
-			}
-			idx++
 			cfg := agent.Config{
 				Controller:  e.Controller,
 				ControlProt: bridge.Protection{AD: true},
@@ -204,12 +220,26 @@ func Fig15Interval(e *Env, opt Options) []IntervalPoint {
 				VSPolicy:    policy.Default.Func(),
 				VSInterval:  interval,
 			}
-			s := e.runTaskCached(task, cfg, opt, policy.Default.Name, "")
-			// Slower updates leave the voltage stale across phase changes;
-			// per-update predictor/LDO overhead favours 5 over 1.
-			energy := e.EpisodeEnergy(s, true)
-			out = append(out, IntervalPoint{task, interval, s.SuccessRate, energy})
+			jobs = append(jobs, gridJob{task: task, cfg: cfg, policyID: policy.Default.Name})
 		}
+	}
+	return jobs
+}
+
+// Fig15Interval sweeps the VS update interval {1, 5, 10, 20}: 1 and 5 track
+// workload changes, 10 and 20 respond too slowly; 5 has slightly lower
+// overhead than 1 (Sec. 6.5).
+func Fig15Interval(e *Env, opt Options) []IntervalPoint {
+	var out []IntervalPoint
+	for idx, j := range fig15Jobs(e) {
+		if !opt.owns(idx) {
+			continue
+		}
+		s := e.runJob(j, opt)
+		// Slower updates leave the voltage stale across phase changes;
+		// per-update predictor/LDO overhead favours 5 over 1.
+		energy := e.EpisodeEnergy(s, true)
+		out = append(out, IntervalPoint{j.task, j.cfg.VSInterval, s.SuccessRate, energy})
 	}
 	return out
 }
@@ -252,10 +282,11 @@ func Fig16Reliability(e *Env, opt Options) []OverallPoint {
 	})
 }
 
-// runOverall runs one Fig. 16 configuration. For "AD+WR+VS" the controller
-// runs the adaptive policy (floored at the supplied voltage) while the
-// planner stays at the fixed supply.
-func (e *Env) runOverall(task world.TaskName, name string, v float64, opt Options) agent.Summary {
+// overallConfig is the agent configuration and cache identity of one
+// Fig. 16 grid point. For "AD+WR+VS" the controller runs the adaptive
+// policy (floored at the supplied voltage) while the planner stays at the
+// fixed supply.
+func (e *Env) overallConfig(name string, v float64) (agent.Config, string) {
 	cfg := agent.Config{
 		Planner:    e.Planner,
 		Controller: e.Controller,
@@ -274,12 +305,17 @@ func (e *Env) runOverall(task world.TaskName, name string, v float64, opt Option
 	case "AD+WR+VS":
 		cfg.PlannerProt = bridge.Protection{AD: true, WR: true}
 		cfg.ControlProt = bridge.Protection{AD: true}
-		cfg.VSPolicy, _ = ceiledPolicy(v)
 	}
 	policyID := ""
-	if cfg.VSPolicy != nil {
-		_, policyID = ceiledPolicy(v)
+	if name == "AD+WR+VS" {
+		cfg.VSPolicy, policyID = ceiledPolicy(v)
 	}
+	return cfg, policyID
+}
+
+// runOverall runs one Fig. 16 configuration.
+func (e *Env) runOverall(task world.TaskName, name string, v float64, opt Options) agent.Summary {
+	cfg, policyID := e.overallConfig(name, v)
 	return e.runTaskCached(task, cfg, opt, policyID, "")
 }
 
@@ -319,8 +355,13 @@ type EfficiencyPoint struct {
 // Fig16Efficiency finds, per task and configuration, the lowest voltage
 // preserving success, and the resulting computational energy saving
 // (Fig. 16(b): 40.6 % average for full CREATE).
+// fig16Voltages is the efficiency sweep's descending supply grid, shared
+// with the cache-planning enumerator (the descent's early exit makes the
+// enumeration a superset of what a run consults).
+var fig16Voltages = []float64{0.90, 0.875, 0.85, 0.825, 0.80, 0.775, 0.75, 0.725, 0.70, 0.675, 0.65}
+
 func Fig16Efficiency(e *Env, opt Options) []EfficiencyPoint {
-	voltages := []float64{0.90, 0.875, 0.85, 0.825, 0.80, 0.775, 0.75, 0.725, 0.70, 0.675, 0.65}
+	voltages := fig16Voltages
 	// Parallelize across tasks only: the per-config voltage descent must
 	// stay serial because it early-exits at the first quality-violating
 	// supply, and that exit decides which runs exist at all.
@@ -384,14 +425,15 @@ type ErrorModelPoint struct {
 	SuccessRate float64
 }
 
-// Fig19ErrorModels validates that resilience conclusions hold under both
-// the uniform abstraction (Sec. 4) and the voltage-profiled LUT (Sec. 6):
-// trends agree despite slight numerical differences (Sec. 6.9).
-func Fig19ErrorModels(e *Env, opt Options) []ErrorModelPoint {
-	type emJob struct {
-		ber    float64
-		target string
-	}
+// emJob is one Fig. 19 grid coordinate: a (BER, target) pair evaluated
+// under both error models. Sharding stays at this pair grain so a shard's
+// rows keep the uniform/hardware interleaving of the unsharded output.
+type emJob struct {
+	ber    float64
+	target string
+}
+
+func fig19Jobs() []emJob {
 	var jobs []emJob
 	for _, ber := range BERSweep(1e-9, 1e-7) {
 		jobs = append(jobs, emJob{ber, "planner"})
@@ -399,6 +441,36 @@ func Fig19ErrorModels(e *Env, opt Options) []ErrorModelPoint {
 	for _, ber := range BERSweep(1e-6, 1e-3) {
 		jobs = append(jobs, emJob{ber, "controller"})
 	}
+	return jobs
+}
+
+// errorModelConfig is the agent configuration of one Fig. 19 run.
+func (e *Env) errorModelConfig(ber float64, target, modelName string) agent.Config {
+	cfg := agent.Config{Timing: e.Timing}
+	if modelName == "uniform" {
+		cfg.UniformBER = ber
+	} else {
+		cfg.UniformBER = agent.VoltageMode
+		v := e.Timing.VoltageForBER(ber)
+		cfg.PlannerVoltage = v
+		cfg.ControllerVoltage = v
+	}
+	if target == "planner" {
+		cfg.Planner = e.Planner
+	} else {
+		cfg.Controller = e.Controller
+	}
+	return cfg
+}
+
+// errorModelNames are the two error abstractions Fig. 19 compares.
+var errorModelNames = []string{"uniform", "hardware"}
+
+// Fig19ErrorModels validates that resilience conclusions hold under both
+// the uniform abstraction (Sec. 4) and the voltage-profiled LUT (Sec. 6):
+// trends agree despite slight numerical differences (Sec. 6.9).
+func Fig19ErrorModels(e *Env, opt Options) []ErrorModelPoint {
+	jobs := fig19Jobs()
 	gridW, opt := opt.split(len(jobs))
 	return sim.FlatMap(len(jobs), gridW, func(i int) []ErrorModelPoint {
 		if !opt.owns(i) {
@@ -410,21 +482,8 @@ func Fig19ErrorModels(e *Env, opt Options) []ErrorModelPoint {
 
 func (e *Env) errorModelPoint(ber float64, target string, opt Options) []ErrorModelPoint {
 	var out []ErrorModelPoint
-	for _, modelName := range []string{"uniform", "hardware"} {
-		cfg := agent.Config{Timing: e.Timing}
-		if modelName == "uniform" {
-			cfg.UniformBER = ber
-		} else {
-			cfg.UniformBER = agent.VoltageMode
-			v := e.Timing.VoltageForBER(ber)
-			cfg.PlannerVoltage = v
-			cfg.ControllerVoltage = v
-		}
-		if target == "planner" {
-			cfg.Planner = e.Planner
-		} else {
-			cfg.Controller = e.Controller
-		}
+	for _, modelName := range errorModelNames {
+		cfg := e.errorModelConfig(ber, target, modelName)
 		s := e.runTaskCached(world.TaskWooden, cfg, opt, "", "")
 		out = append(out, ErrorModelPoint{ber, modelName, target, s.SuccessRate})
 	}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/embodiedai/create/internal/agent"
 	"github.com/embodiedai/create/internal/bridge"
@@ -57,19 +58,22 @@ func (o Options) owns(i int) bool {
 // trial loops nested inside each point, returning the grid-level worker
 // count and an Options carrying the per-point remainder. Keeps total
 // concurrent episodes within Workers instead of multiplying to Workers^2.
+// Under sharding the budget is sized by the points this shard owns, not
+// the full grid: skipped points return instantly, so splitting over the
+// full n would starve the owned points' trial loops and idle cores.
+// sim.Split guarantees both levels are at least 1 (a 0 would select
+// GOMAXPROCS downstream; see TestOptionsSplitNeverZero).
 func (o Options) split(n int) (int, Options) {
+	if o.NumShards > 1 {
+		owned := 0
+		for i := 0; i < n; i++ {
+			if o.owns(i) {
+				owned++
+			}
+		}
+		n = owned
+	}
 	gridW, trialW := sim.Split(o.Workers, n)
-	// Clamp both levels to at least one worker. A zero at either level
-	// would not mean "serial": Workers <= 0 selects GOMAXPROCS throughout
-	// the engine, so a 0 handed to the nested trial loop when the grid is
-	// larger than the budget would silently blow the budget to
-	// grid * cores concurrent episodes (see TestOptionsSplitNeverZero).
-	if gridW < 1 {
-		gridW = 1
-	}
-	if trialW < 1 {
-		trialW = 1
-	}
 	o.Workers = trialW
 	return gridW, o
 }
@@ -137,6 +141,93 @@ type Env struct {
 	// and efficiency sweeps share runOverall points), across warm reruns
 	// (disk-backed stores), and across sharded machines (merged stores).
 	Cache *cache.Store
+
+	// flight coalesces concurrent misses on the same fingerprint: when two
+	// sweeps running in parallel on this Env (e.g. two service jobs with
+	// overlapping grids) both miss a point, one computes and the rest wait
+	// for its summary instead of duplicating the Monte-Carlo work.
+	flight flightGroup
+}
+
+// flightGroup is a minimal singleflight keyed by cache fingerprint. The
+// zero value is ready to use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done     chan struct{}
+	sum      agent.Summary
+	panicked any // compute's panic value, re-raised in every caller
+}
+
+// do runs compute for key exactly once among concurrent callers; latecomers
+// block until the owner finishes and share its result. Sequential calls
+// each compute (the cache, not the flight group, carries results forward).
+// A panicking compute is cleaned up — the slot is released and the done
+// channel closed, so the fingerprint never wedges — and the panic is
+// re-raised in the owner and every waiter.
+func (g *flightGroup) do(key string, compute func() agent.Summary) agent.Summary {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		if c.panicked != nil {
+			panic(c.panicked)
+		}
+		return c.sum
+	}
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			c.panicked = r
+		}
+		close(c.done)
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		if c.panicked != nil {
+			panic(c.panicked)
+		}
+	}()
+	c.sum = compute()
+	return c.sum
+}
+
+// cachedCompute is the shared cache-or-compute path behind every cached
+// sweep (runTaskCached and the bespoke episode loops): consult the cache,
+// and on a miss compute under the per-fingerprint flight group so the same
+// point is never computed twice concurrently. The owner re-checks the
+// cache after winning the flight slot, closing the window where a previous
+// owner finished (and was deleted from the group) between this caller's
+// miss and its do().
+func (e *Env) cachedCompute(p cache.Point, compute func() agent.Summary) agent.Summary {
+	if s, ok := e.Cache.Get(p); ok {
+		return s
+	}
+	return e.flight.do(p.Key(), func() agent.Summary {
+		// The probe-then-Get shape keeps accounting exact: on the common
+		// path (nothing landed in between) no extra miss is counted, and
+		// when a just-finished owner did land the point, the Get records
+		// the reuse as a hit.
+		if e.Cache.Contains(p) {
+			if s, ok := e.Cache.Get(p); ok {
+				return s
+			}
+		}
+		s := compute()
+		// A Put failure (e.g. an unwritable cache dir) must not fail the
+		// sweep: the computed summary is still correct, only reuse is lost.
+		_ = e.Cache.Put(p, s)
+		return s
+	})
 }
 
 // NewEnv builds the default JARVIS-1 environment.
@@ -243,16 +334,53 @@ func (e *Env) runTaskCached(task world.TaskName, cfg agent.Config, opt Options, 
 	if e.Cache == nil {
 		return e.runTask(task, cfg, opt)
 	}
-	p := cachePoint(task, cfg, opt, policyID, override)
-	if s, ok := e.Cache.Get(p); ok {
+	return e.cachedCompute(cachePoint(task, cfg, opt, policyID, override), func() agent.Summary {
+		s := e.runTask(task, cfg, opt)
+		s.Results = nil
 		return s
+	})
+}
+
+// gridJob is one cacheable runTask invocation: the grid coordinate shared
+// by a sweep's runner and its cache-planning enumerator (the *Points
+// functions in points.go), so the executed configs and the predicted
+// fingerprints are built by the same code and cannot drift apart.
+type gridJob struct {
+	task     world.TaskName
+	cfg      agent.Config
+	policyID string
+	override string
+}
+
+// runJob evaluates one grid job through the content-addressed cache.
+func (e *Env) runJob(j gridJob, opt Options) agent.Summary {
+	return e.runTaskCached(j.task, j.cfg, opt, j.policyID, j.override)
+}
+
+// jobPoints maps a job grid to the cache fingerprints its run consults,
+// ignoring sharding — for the few sweeps that run their whole grid on
+// every shard (Table 6).
+func jobPoints(jobs []gridJob, opt Options) []cache.Point {
+	pts := make([]cache.Point, len(jobs))
+	for i, j := range jobs {
+		pts[i] = cachePoint(j.task, j.cfg, opt, j.policyID, j.override)
 	}
-	s := e.runTask(task, cfg, opt)
-	s.Results = nil
-	// A Put failure (e.g. an unwritable cache dir) must not fail the
-	// sweep: the computed summary is still correct, only reuse is lost.
-	_ = e.Cache.Put(p, s)
-	return s
+	return pts
+}
+
+// ownedJobPoints maps one sweep's job grid to the fingerprints this shard
+// will consult. Every sharded runner indexes its own grid from zero, so
+// ownership must be applied per job list — never across a concatenation of
+// several sweeps' lists.
+func ownedJobPoints(jobs []gridJob, opt Options) []cache.Point {
+	var pts []cache.Point
+	for i, j := range jobs {
+		if !opt.owns(i) {
+			continue
+		}
+		pts = append(pts, cachePoint(j.task, j.cfg, opt, j.policyID, j.override))
+	}
+	return pts
 }
 
 // BERSweep is the standard characterization BER grid.

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/baselines"
+	"github.com/embodiedai/create/internal/bridge"
+	"github.com/embodiedai/create/internal/cache"
+	"github.com/embodiedai/create/internal/timing"
+	"github.com/embodiedai/create/internal/world"
+)
+
+// This file enumerates, per experiment, the cache fingerprints a run will
+// consult — without running anything. The experiment registry probes these
+// against a store (cache.Store.Contains) to predict hits versus
+// points-to-compute before scheduling work, which is what lets a server or
+// CLI recognize a whole figure as already served by the cache.
+//
+// Enumerators are built from the same grid builders the runners execute
+// (gridJob/jobPoints), so fingerprints cannot drift from the configs, and
+// they honour Options.Shard/NumShards at the same grain as each runner, so
+// a sharded run plans only its own points. For experiments whose grids are
+// data-dependent (minimal-voltage descents that early-exit), the
+// enumeration is a superset of what a run consults: a plan may then
+// overestimate points-to-compute, but "everything enumerated is cached"
+// still soundly implies a compute-free run.
+
+// Fig7InjectionQ is the per-step corruption probability of the Fig. 7
+// phase-targeted injection experiment, shared by every runner of the figure.
+const Fig7InjectionQ = 0.5
+
+// Fig1Points covers fig1's cached sweep (the controller degradation curve;
+// the BER-vs-voltage curve is closed-form).
+func Fig1Points(e *Env, opt Options) []cache.Point {
+	return ownedJobPoints(fig5ControllerJobs(e), opt)
+}
+
+// Fig5Points covers the planner and controller resilience sweeps of Fig. 5
+// (the per-component severities and activation profiles run outside the
+// summary cache).
+func Fig5Points(e *Env, opt Options) []cache.Point {
+	pts := ownedJobPoints(fig5PlannerJobs(e), opt)
+	return append(pts, ownedJobPoints(fig5ControllerJobs(e), opt)...)
+}
+
+// Fig6Points covers the subtask-diversity sweep.
+func Fig6Points(e *Env, opt Options) []cache.Point {
+	return ownedJobPoints(fig6Jobs(e), opt)
+}
+
+// Fig7Points covers the phase-targeted injection rows (the stage profile
+// runs uncached episodes).
+func Fig7Points(e *Env, opt Options) []cache.Point {
+	var pts []cache.Point
+	for idx, target := range fig7InjectionTargets {
+		if !opt.owns(idx) {
+			continue
+		}
+		pts = append(pts, fig7InjectionPoint(Fig7InjectionQ, target, opt))
+	}
+	return pts
+}
+
+// Fig13Points covers all four panels: the AD, WR and AD+WR protection
+// sweeps and the voltage-scaling grid.
+func Fig13Points(e *Env, opt Options) []cache.Point {
+	var pts []cache.Point
+	// Fig. 13(a)/(b): AD on planner and controller.
+	for _, prot := range []bridge.Protection{{}, {AD: true}} {
+		pts = append(pts, ownedJobPoints(protSweepJobs(e, BERSweep(1e-8, 1e-4), true, prot), opt)...)
+		pts = append(pts, ownedJobPoints(protSweepJobs(e, BERSweep(1e-5, 1e-2), false, prot), opt)...)
+	}
+	// Fig. 13(c): WR on planner.
+	for _, prot := range []bridge.Protection{{}, {WR: true}} {
+		pts = append(pts, ownedJobPoints(protSweepJobs(e, BERSweep(1e-8, 1e-4), true, prot), opt)...)
+	}
+	// Fig. 13(e): AD+WR ablation.
+	for _, prot := range []bridge.Protection{{}, {AD: true}, {WR: true}, {AD: true, WR: true}} {
+		pts = append(pts, ownedJobPoints(protSweepJobs(e, BERSweep(1e-8, 1e-2), true, prot), opt)...)
+	}
+	// Fig. 13(d)/(f): voltage scaling.
+	for i, j := range fig13VSJobs() {
+		if !opt.owns(i) {
+			continue
+		}
+		cfg, policyID := e.vsConfig(j)
+		pts = append(pts, cachePoint(j.task, cfg, opt, policyID, ""))
+	}
+	return pts
+}
+
+// Fig15Points covers the update-interval sweep.
+func Fig15Points(e *Env, opt Options) []cache.Point {
+	return ownedJobPoints(fig15Jobs(e), opt)
+}
+
+// Fig16Points covers the reliability grid at 0.75 V plus the efficiency
+// sweep's full supply grid. The reliability sweep shards at grid-point
+// grain, the efficiency descent at task grain (its inner points are
+// data-dependent), mirroring the runners. The descent early-exits per
+// (task, config), so this is a superset of a cold run's compute set.
+func Fig16Points(e *Env, opt Options) []cache.Point {
+	var pts []cache.Point
+	point := func(task world.TaskName, name string, v float64) {
+		cfg, policyID := e.overallConfig(name, v)
+		pts = append(pts, cachePoint(task, cfg, opt, policyID, ""))
+	}
+	for ti, task := range Fig16Tasks {
+		for ci, name := range Fig16Configs {
+			if opt.owns(ti*len(Fig16Configs) + ci) {
+				point(task, name, 0.75)
+			}
+		}
+	}
+	for ti, task := range Fig16Tasks {
+		if !opt.owns(ti) {
+			continue
+		}
+		point(task, "none", timing.VNominal) // the clean baseline of the descent
+		for _, name := range Fig16Configs {
+			for _, v := range fig16Voltages {
+				point(task, name, v)
+			}
+		}
+	}
+	return pts
+}
+
+// Fig17Points covers every cross-platform row: Minecraft planner descents
+// and controller points, and the abstract-episode sweeps, sharded at the
+// runner's row grain. The descents early-exit, so this is a superset of a
+// cold run's compute set. Fig. 18 shares this exact point set (its
+// chip-level rows are derived from the same Fig. 17 sweep).
+func Fig17Points(e *Env, opt Options) []cache.Point {
+	var pts []cache.Point
+	idx := 0
+	owns := func() bool {
+		ok := opt.owns(idx)
+		idx++
+		return ok
+	}
+	descent := plannerDescentVoltages()
+	for _, task := range jarvisPlannerTasks {
+		if !owns() {
+			continue
+		}
+		pts = append(pts, cachePoint(task, agent.Config{UniformBER: 0}, opt, "", ""))
+		for _, v := range descent {
+			pts = append(pts, cachePoint(task, e.jarvisPlannerConfig(v), opt, "", ""))
+		}
+	}
+	for _, task := range jarvisControllerTasks {
+		if !owns() {
+			continue
+		}
+		cfg, policyID := e.jarvisControllerConfig()
+		pts = append(pts, cachePoint(task, cfg, opt, policyID, ""))
+	}
+	prot := bridge.Protection{AD: true, WR: true}
+	for _, pair := range crossPlannerPairs {
+		fm := pair.Spec.FaultModel()
+		for _, task := range pair.Tasks {
+			if !owns() {
+				continue
+			}
+			for _, v := range descent {
+				pts = append(pts, crossPlannerCachePoint(fm, prot, task, v, opt))
+			}
+		}
+	}
+	for _, pair := range crossControllerPairs {
+		fm := pair.Spec.FaultModel()
+		for _, task := range pair.Tasks {
+			if !owns() {
+				continue
+			}
+			pts = append(pts, crossControllerCachePoint(fm, task, opt))
+		}
+	}
+	return pts
+}
+
+// Fig19Points covers both error models at every owned (BER, target) pair.
+func Fig19Points(e *Env, opt Options) []cache.Point {
+	var pts []cache.Point
+	for i, j := range fig19Jobs() {
+		if !opt.owns(i) {
+			continue
+		}
+		for _, modelName := range errorModelNames {
+			cfg := e.errorModelConfig(j.ber, j.target, modelName)
+			pts = append(pts, cachePoint(world.TaskWooden, cfg, opt, "", ""))
+		}
+	}
+	return pts
+}
+
+// Fig20Points covers CREATE and every baseline across the comparison's
+// supply grid, sharded at (task, voltage) grain like the runner.
+func Fig20Points(e *Env, opt Options) []cache.Point {
+	var pts []cache.Point
+	idx := 0
+	for _, task := range []world.TaskName{world.TaskWooden, world.TaskStone} {
+		for _, v := range Fig20Voltages {
+			if !opt.owns(idx) {
+				idx++
+				continue
+			}
+			idx++
+			cfg, policyID := e.createConfig(v)
+			pts = append(pts, cachePoint(task, cfg, opt, policyID, ""))
+			for _, b := range baselines.All {
+				bcfg, override := e.baselineConfig(b, v)
+				pts = append(pts, cachePoint(task, bcfg, opt, "", override))
+			}
+		}
+	}
+	return pts
+}
+
+// Table6Points covers both quantization formats across the high-BER band.
+// The Table 6 runner does not shard its grid, so neither does the
+// enumeration.
+func Table6Points(e *Env, opt Options) []cache.Point {
+	var jobs []gridJob
+	for _, bits := range table6Bits {
+		jobs = append(jobs, table6Jobs(e, bits)...)
+	}
+	return jobPoints(jobs, opt)
+}

@@ -60,26 +60,40 @@ type Table6Row struct {
 // INT4 (which only matter under non-uniform rates); the AD+WR knee applies
 // to both.
 func Table6Quantization(e *Env, opt Options) []Table6Row {
-	bers := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
 	var out []Table6Row
-	for _, bits := range []quant.Bits{quant.INT8, quant.INT4} {
-		fm := e.Planner
-		if bits == quant.INT4 {
-			fm = platformPlannerWithBits(bits)
-		}
-		for _, ber := range bers {
-			cfg := agent.Config{
-				Planner:     fm,
-				PlannerProt: bridge.Protection{AD: true, WR: true},
-				UniformBER:  ber,
-			}
+	for _, bits := range table6Bits {
+		for _, j := range table6Jobs(e, bits) {
 			// fm.ID() separates the INT4 variant; the INT8 rows share the
 			// Fig. 13 ablation's points where the BER grids overlap.
-			s := e.runTaskCached(world.TaskStone, cfg, opt, "", "")
-			out = append(out, Table6Row{Bits: bits, BER: ber, SuccessRate: s.SuccessRate})
+			s := e.runJob(j, opt)
+			out = append(out, Table6Row{Bits: bits, BER: j.cfg.UniformBER, SuccessRate: s.SuccessRate})
 		}
 	}
 	return out
+}
+
+var (
+	table6Bits = []quant.Bits{quant.INT8, quant.INT4}
+	table6BERs = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+)
+
+// table6Jobs builds one quantization format's BER grid, shared by the
+// runner and the fingerprint enumerator.
+func table6Jobs(e *Env, bits quant.Bits) []gridJob {
+	fm := e.Planner
+	if bits == quant.INT4 {
+		fm = platformPlannerWithBits(bits)
+	}
+	jobs := make([]gridJob, 0, len(table6BERs))
+	for _, ber := range table6BERs {
+		cfg := agent.Config{
+			Planner:     fm,
+			PlannerProt: bridge.Protection{AD: true, WR: true},
+			UniformBER:  ber,
+		}
+		jobs = append(jobs, gridJob{task: world.TaskStone, cfg: cfg})
+	}
+	return jobs
 }
 
 func platformPlannerWithBits(bits quant.Bits) *bridge.FaultModel {

@@ -1,0 +1,625 @@
+// Package registry is the typed experiment index of the evaluation suite:
+// every figure and table of the paper is registered as a Descriptor that
+// can be enumerated, cache-planned, executed and rendered by name. The
+// CLIs (cmd/create-bench, cmd/create-characterize) and the serving tier
+// (internal/service, cmd/create-serve) all dispatch through this registry,
+// so an experiment submitted over HTTP renders byte-identically to the same
+// experiment run locally.
+//
+// Beyond dispatch, descriptors expose cache-aware planning: Points
+// enumerates the content-addressed fingerprints a run will consult
+// (internal/cache), and PlanFor probes them against a store to predict
+// cache hits versus points-to-compute before any work is scheduled — the
+// primitive behind "this whole figure is already served by the cache".
+package registry
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/embodiedai/create/internal/cache"
+	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/ldo"
+	"github.com/embodiedai/create/internal/platforms"
+	"github.com/embodiedai/create/internal/policy"
+	"github.com/embodiedai/create/internal/power"
+	"github.com/embodiedai/create/internal/world"
+)
+
+// Result is one executed experiment: typed rows plus the renderer that
+// prints them in the reference CLI format. Render closes over Rows, so a
+// Result is self-contained — a server can hold it and render on demand.
+type Result struct {
+	Rows   any
+	Render func(w io.Writer)
+}
+
+// Descriptor registers one experiment.
+type Descriptor struct {
+	// Name is the CLI/API identifier (fig1..fig21, table2..table6).
+	Name string
+	// Title is a one-line description for listings.
+	Title string
+	// Run executes the experiment against the shared environment.
+	Run func(*experiments.Env, experiments.Options) Result
+	// Points enumerates the cache fingerprints a run will consult; nil
+	// means the experiment has no cached Monte-Carlo grid.
+	Points func(*experiments.Env, experiments.Options) []cache.Point
+	// Dynamic marks experiments whose real grid is data-dependent
+	// (minimal-voltage descents): Points is then a superset of what a run
+	// consults, so a plan's ToCompute is an upper bound.
+	Dynamic bool
+	// Uncached marks experiments that do Monte-Carlo or training work
+	// outside the summary cache: even a fully cached grid does not make
+	// their run free.
+	Uncached bool
+}
+
+// Plan predicts what running an experiment would cost the cache: how many
+// unique grid points it consults, how many are already resident, and how
+// many it would have to compute.
+type Plan struct {
+	Experiment string `json:"experiment"`
+	GridPoints int    `json:"grid_points"`
+	Cached     int    `json:"cached"`
+	ToCompute  int    `json:"to_compute"`
+	// Dynamic: the grid is data-dependent and GridPoints/ToCompute are
+	// upper bounds. Uncached: the experiment does work outside the cache,
+	// so it is never free regardless of residency.
+	Dynamic  bool `json:"dynamic,omitempty"`
+	Uncached bool `json:"uncached,omitempty"`
+}
+
+// Free reports whether a run would compute no new grid points and do no
+// uncached Monte-Carlo work — the "skip this whole figure" predicate. For
+// Dynamic experiments the enumeration is a superset, so Free remains sound:
+// if every potential point is cached, the actual subset certainly is.
+func (p Plan) Free() bool { return !p.Uncached && p.ToCompute == 0 }
+
+// PlanFor probes an experiment's fingerprints against the environment's
+// cache store. Fingerprints are deduplicated by content address (sweeps
+// share points), and the probe never perturbs the store's hit/miss
+// accounting.
+func PlanFor(d Descriptor, e *experiments.Env, opt experiments.Options) Plan {
+	p := Plan{Experiment: d.Name, Dynamic: d.Dynamic, Uncached: d.Uncached}
+	if d.Points == nil {
+		return p
+	}
+	seen := make(map[string]bool)
+	for _, pt := range d.Points(e, opt) {
+		key := pt.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		p.GridPoints++
+		if e.Cache != nil && e.Cache.Contains(pt) {
+			p.Cached++
+		} else {
+			p.ToCompute++
+		}
+	}
+	return p
+}
+
+// All returns every registered experiment in the paper's canonical order.
+func All() []Descriptor {
+	out := make([]Descriptor, len(descriptors))
+	copy(out, descriptors)
+	return out
+}
+
+// Names lists the registered experiment names in canonical order.
+func Names() []string {
+	names := make([]string, len(descriptors))
+	for i, d := range descriptors {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Lookup resolves an experiment by name.
+func Lookup(name string) (Descriptor, bool) {
+	for _, d := range descriptors {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+var descriptors = []Descriptor{
+	{
+		Name: "fig1", Title: "BER vs voltage and task degradation under controller errors",
+		Run: runFig1, Points: experiments.Fig1Points,
+	},
+	{
+		Name: "fig4", Title: "per-bit timing error rates and injected error magnitudes",
+		Run: runFig4, Uncached: true,
+	},
+	{
+		Name: "fig5", Title: "planner vs controller resilience, component severities, activations",
+		Run: runFig5, Points: experiments.Fig5Points, Uncached: true,
+	},
+	{
+		Name: "fig6", Title: "subtask resilience diversity",
+		Run: runFig6, Points: experiments.Fig6Points,
+	},
+	{
+		Name: "fig7", Title: "stage profiles and phase-targeted corruption",
+		Run: runFig7, Points: experiments.Fig7Points, Uncached: true,
+	},
+	{
+		Name: "fig8", Title: "runtime GEMM output distribution",
+		Run: runFig8, Uncached: true,
+	},
+	{
+		Name: "fig9", Title: "activation outliers before/after weight rotation",
+		Run: runFig9, Uncached: true,
+	},
+	{
+		Name: "fig10", Title: "entropy curve across episode timesteps",
+		Run: runFig10, Uncached: true,
+	},
+	{
+		Name: "fig12", Title: "hardware platform area/power breakdown and LDO waveforms",
+		Run: runFig12,
+	},
+	{
+		Name: "fig13", Title: "AD/WR protection sweeps and voltage scaling",
+		Run: runFig13, Points: experiments.Fig13Points,
+	},
+	{
+		Name: "fig14", Title: "entropy predictor training and runtime tracking",
+		Run: runFig14, Uncached: true,
+	},
+	{
+		Name: "fig15", Title: "voltage update interval sweep",
+		Run: runFig15, Points: experiments.Fig15Points,
+	},
+	{
+		Name: "fig16", Title: "overall reliability and minimal-voltage efficiency",
+		Run: runFig16, Points: experiments.Fig16Points, Dynamic: true,
+	},
+	{
+		Name: "fig17", Title: "cross-platform energy savings",
+		Run: runFig17, Points: experiments.Fig17Points, Dynamic: true,
+	},
+	{
+		Name: "fig18", Title: "chip-level energy breakdown and battery life",
+		Run: runFig18, Points: experiments.Fig17Points, Dynamic: true,
+	},
+	{
+		Name: "fig19", Title: "uniform vs hardware error model",
+		Run: runFig19, Points: experiments.Fig19Points,
+	},
+	{
+		Name: "fig20", Title: "comparison with existing protection techniques",
+		Run: runFig20, Points: experiments.Fig20Points,
+	},
+	{
+		Name: "fig21", Title: "entropy-to-voltage mapping policies",
+		Run: runFig21,
+	},
+	{
+		Name: "table2", Title: "LDO specifications",
+		Run: runTable2,
+	},
+	{
+		Name: "table3", Title: "accelerator performance on the cycle model",
+		Run: runTable3,
+	},
+	{
+		Name: "table4", Title: "model parameters and ops",
+		Run: runTable4,
+	},
+	{
+		Name: "table5", Title: "success rate vs repetition count",
+		Run: runTable5, Uncached: true,
+	},
+	{
+		Name: "table6", Title: "INT8 vs INT4 under AD+WR",
+		Run: runTable6, Points: experiments.Table6Points,
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Run implementations. Each returns the typed rows and a renderer printing
+// the reference CLI format.
+
+// Fig1Rows pairs the BER curve with the controller degradation sweep.
+type Fig1Rows struct {
+	BER         []experiments.VoltageBERPoint
+	Degradation []experiments.ResiliencePoint
+}
+
+func runFig1(e *experiments.Env, opt experiments.Options) Result {
+	rows := Fig1Rows{
+		BER:         experiments.Fig1b(e),
+		Degradation: experiments.Fig5Controller(e, opt),
+	}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 1(b): BER vs operating voltage")
+		for _, p := range rows.BER {
+			fmt.Fprintf(w, "  %.2f V -> BER %.2e\n", p.Voltage, p.BER)
+		}
+		fmt.Fprintln(w, "Fig 1(c)/(d): stone task degradation under controller BER")
+		experiments.RenderResilience(w, "", rows.Degradation)
+	}}
+}
+
+// Fig4Rows pairs the per-bit rate surface with the magnitude comparison.
+type Fig4Rows struct {
+	Bits   []experiments.BitRatePoint
+	Errors experiments.Fig4bResult
+}
+
+func runFig4(e *experiments.Env, opt experiments.Options) Result {
+	rows := Fig4Rows{
+		Bits:   experiments.Fig4a(e),
+		Errors: experiments.Fig4b(e, opt),
+	}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 4(a): per-bit timing error rate (bits 12..23)")
+		for _, p := range rows.Bits {
+			if p.Bit >= 12 && p.Bit%2 == 1 {
+				fmt.Fprintf(w, "  V=%.2f bit=%2d rate=%.2e\n", p.Voltage, p.Bit, p.Rate)
+			}
+		}
+		r := rows.Errors
+		fmt.Fprintf(w, "Fig 4(b): clean |max|=%.2f, median error=%.2f, %.0f%% of errors exceed the data range\n",
+			r.CleanAbsMax, r.ErrorAbsMedian, r.LargeErrorFrac*100)
+	}}
+}
+
+// Fig5Rows bundles the four panels of Fig. 5.
+type Fig5Rows struct {
+	Planner     []experiments.ResiliencePoint
+	Controller  []experiments.ResiliencePoint
+	Components  []experiments.ComponentSeverity
+	Activations []experiments.ActivationProfile
+}
+
+func runFig5(e *experiments.Env, opt experiments.Options) Result {
+	rows := Fig5Rows{
+		Planner:     experiments.Fig5Planner(e, opt),
+		Controller:  experiments.Fig5Controller(e, opt),
+		Components:  experiments.Fig5Components(opt),
+		Activations: experiments.Fig5Activations(opt),
+	}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		experiments.RenderResilience(w, "Fig 5(a)/(b): planner resilience", rows.Planner)
+		experiments.RenderResilience(w, "Fig 5(c)/(d): controller resilience", rows.Controller)
+		fmt.Fprintln(w, "Fig 5(e)-(h): per-component high-bit severity (miniatures)")
+		for _, c := range rows.Components {
+			fmt.Fprintf(w, "  %-10s %-5s %.4f\n", c.Model, c.Component, c.HighBitSeverity)
+		}
+		fmt.Fprintln(w, "Fig 5(i)-(l): activations and normalization skew")
+		for _, a := range rows.Activations {
+			fmt.Fprintf(w, "  %-10s absmax=%7.2f std=%6.2f | sigma %6.2f -> %6.2f under one in-range fault\n",
+				a.Model, a.AbsMax, a.Std, a.SigmaClean, a.SigmaFaulty)
+		}
+	}}
+}
+
+func runFig6(e *experiments.Env, opt experiments.Options) Result {
+	rows := experiments.Fig6Subtasks(e, opt)
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		experiments.RenderResilience(w, "Fig 6: subtask resilience diversity", rows)
+	}}
+}
+
+// Fig7Rows pairs the clean stage profile with the targeted-corruption rows.
+type Fig7Rows struct {
+	Stages    []experiments.StageProfile
+	Injection []experiments.StageCorruption
+}
+
+func runFig7(e *experiments.Env, opt experiments.Options) Result {
+	rows := Fig7Rows{
+		Stages:    experiments.Fig7Stages(e, opt),
+		Injection: experiments.Fig7PhaseInjection(e, opt, experiments.Fig7InjectionQ),
+	}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 7: stage profile (clean log episodes)")
+		for _, s := range rows.Stages {
+			fmt.Fprintf(w, "  %-9s mean entropy %.2f (%.0f%% of steps)\n", s.Phase, s.MeanEntropy, s.Fraction*100)
+		}
+		fmt.Fprintf(w, "Fig 7: phase-targeted corruption (q=%.1f)\n", experiments.Fig7InjectionQ)
+		for _, s := range rows.Injection {
+			fmt.Fprintf(w, "  corrupt %-9s success %.0f%% avg steps %.0f\n", s.Phase, s.SuccessRate*100, s.AvgSteps)
+		}
+	}}
+}
+
+func runFig8(_ *experiments.Env, opt experiments.Options) Result {
+	rows := experiments.Fig8GEMMProfile(opt)
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintf(w, "Fig 8(a): %.0f%% of GEMM outputs near zero; highest accumulator bit touched: %d of 23\n",
+			rows.FracNearZero*100, rows.MaxAccBits)
+	}}
+}
+
+func runFig9(_ *experiments.Env, opt experiments.Options) Result {
+	rows := experiments.Fig9Rotation(opt)
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintf(w, "Fig 9(b): residual absmax %.1f -> %.1f, std %.2f -> %.2f (output drift %.2e)\n",
+			rows.AbsMaxBefore, rows.AbsMaxAfter, rows.StdBefore, rows.StdAfter, rows.OutputDrift)
+	}}
+}
+
+// Fig10Rows is the per-step entropy trace of one clean episode.
+type Fig10Rows struct {
+	Entropy []float64
+	Phases  []world.Phase
+}
+
+func runFig10(_ *experiments.Env, opt experiments.Options) Result {
+	trace, phases := experiments.Fig10EntropyCurve(opt, world.TaskLog)
+	rows := Fig10Rows{Entropy: trace, Phases: phases}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 10: entropy curve (first 120 steps; E=execute A=approach X=explore)")
+		for i := 0; i < len(rows.Entropy) && i < 120; i += 4 {
+			tag := map[world.Phase]string{world.PhaseExplore: "X", world.PhaseApproach: "A", world.PhaseExecute: "E"}[rows.Phases[i]]
+			fmt.Fprintf(w, "  step %3d %s entropy %.2f\n", i, tag, rows.Entropy[i])
+		}
+	}}
+}
+
+// Fig12Rows pairs the block breakdown with the LDO waveform.
+type Fig12Rows struct {
+	Breakdown []power.AreaPowerRow
+	Waveform  []ldo.WavePoint
+}
+
+func runFig12(_ *experiments.Env, _ experiments.Options) Result {
+	rows := Fig12Rows{
+		Breakdown: experiments.Fig12Breakdown(),
+		Waveform:  experiments.Fig12Waveforms(),
+	}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 12(c): area/power breakdown")
+		for _, r := range rows.Breakdown {
+			fmt.Fprintf(w, "  %-9s %7.2f mm^2  %s W\n", r.Block, r.AreaMM2, r.PowerW)
+		}
+		wf := rows.Waveform
+		fmt.Fprintf(w, "Fig 12(d)/(e): waveform with %d samples, %.0f ns span\n", len(wf), wf[len(wf)-1].TimeNS)
+	}}
+}
+
+// Fig13Rows bundles the protection sweeps and the voltage-scaling grid.
+type Fig13Rows struct {
+	PlannerAD    []experiments.ProtectionPoint
+	ControllerAD []experiments.ProtectionPoint
+	PlannerWR    []experiments.ProtectionPoint
+	Ablation     []experiments.ProtectionPoint
+	VS           []experiments.VSPoint
+}
+
+func runFig13(e *experiments.Env, opt experiments.Options) Result {
+	pl, ctl := experiments.Fig13AD(e, opt)
+	rows := Fig13Rows{
+		PlannerAD:    pl,
+		ControllerAD: ctl,
+		PlannerWR:    experiments.Fig13WR(e, opt),
+		Ablation:     experiments.Fig13AblationPlanner(e, opt),
+		VS:           experiments.Fig13VS(e, opt),
+	}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		renderProt(w, "Fig 13(a): AD on planner", rows.PlannerAD)
+		renderProt(w, "Fig 13(b): AD on controller", rows.ControllerAD)
+		renderProt(w, "Fig 13(c): WR on planner", rows.PlannerWR)
+		renderProt(w, "Fig 13(e): AD+WR ablation", rows.Ablation)
+		fmt.Fprintln(w, "Fig 13(d)/(f): voltage scaling")
+		for _, p := range rows.VS {
+			fmt.Fprintf(w, "  %-7s AD=%-5v policy=%-6s success %5.1f%%  Veff %.3f  E %.2f J\n",
+				p.Task, p.AD, p.Policy, p.SuccessRate*100, p.EffectiveVoltage, p.EnergyJ)
+		}
+	}}
+}
+
+func renderProt(w io.Writer, title string, pts []experiments.ProtectionPoint) {
+	fmt.Fprintln(w, title)
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-7s %-5s BER %.1e success %5.1f%% steps %6.0f\n",
+			p.Task, p.Protection, p.BER, p.SuccessRate*100, p.AvgSteps)
+	}
+}
+
+// Fig14Rows bundles predictor training, the oracle proxy and the runtime
+// tracking trace.
+type Fig14Rows struct {
+	Predictor experiments.PredictorResult
+	OracleR2  float64
+	Tracking  []experiments.TrackingPoint
+}
+
+func runFig14(_ *experiments.Env, opt experiments.Options) Result {
+	rows := Fig14Rows{
+		Predictor: experiments.Fig14Predictor(opt, experiments.QuickPredictorScale()),
+		OracleR2:  experiments.OracleR2(opt, 0.34, 2000),
+		Tracking:  experiments.Fig14Tracking(opt, 200, policy.Default.Func()),
+	}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		res := rows.Predictor
+		fmt.Fprintf(w, "Fig 14(a): predictor %d params, %d frames, %d epochs -> test MSE %.3f, R^2 %.3f\n",
+			res.ParamCount, res.TrainFrames, res.Epochs, res.TestMSE, res.R2)
+		fmt.Fprintf(w, "  (noisy-oracle proxy used in task sims: R^2 %.3f)\n", rows.OracleR2)
+		fmt.Fprintln(w, "Fig 14(b): runtime tracking (every 20th step)")
+		for _, p := range rows.Tracking {
+			if p.Step%20 == 0 {
+				fmt.Fprintf(w, "  step %3d true %.2f pred %.2f -> %.2f V\n", p.Step, p.Entropy, p.Predicted, p.Voltage)
+			}
+		}
+	}}
+}
+
+func runFig15(e *experiments.Env, opt experiments.Options) Result {
+	rows := experiments.Fig15Interval(e, opt)
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 15: voltage update interval")
+		for _, p := range rows {
+			fmt.Fprintf(w, "  %-7s interval %2d success %5.1f%% energy %.2f J\n",
+				p.Task, p.Interval, p.SuccessRate*100, p.EnergyJ)
+		}
+	}}
+}
+
+// Fig16Rows pairs the fixed-supply reliability grid with the
+// minimal-voltage efficiency sweep.
+type Fig16Rows struct {
+	Reliability []experiments.OverallPoint
+	Efficiency  []experiments.EfficiencyPoint
+}
+
+func runFig16(e *experiments.Env, opt experiments.Options) Result {
+	rows := Fig16Rows{
+		Reliability: experiments.Fig16Reliability(e, opt),
+		Efficiency:  experiments.Fig16Efficiency(e, opt),
+	}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 16(a): reliability at 0.75 V")
+		for _, p := range rows.Reliability {
+			fmt.Fprintf(w, "  %-9s %-9s success %5.1f%% steps %6.0f energy %.2f J\n",
+				p.Task, p.Config, p.SuccessRate*100, p.AvgSteps, p.EnergyJ)
+		}
+		fmt.Fprintln(w, "Fig 16(b): minimal-voltage efficiency")
+		for _, p := range rows.Efficiency {
+			fmt.Fprintf(w, "  %-9s %-9s Vmin %.3f energy %.2f J saving %5.1f%%\n",
+				p.Task, p.Config, p.MinVoltage, p.EnergyJ, p.SavingVsNominal*100)
+		}
+		for _, cfgName := range experiments.Fig16Configs {
+			fmt.Fprintf(w, "  average saving %-9s: %5.1f%%\n", cfgName, experiments.AverageSaving(rows.Efficiency, cfgName)*100)
+		}
+	}}
+}
+
+func runFig17(e *experiments.Env, opt experiments.Options) Result {
+	rows := experiments.Fig17CrossPlatform(e, opt)
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 17: cross-platform savings")
+		for _, p := range rows {
+			fmt.Fprintf(w, "  %-20s %-9s success %5.1f%% saving %5.1f%%\n",
+				p.Platform, p.Task, p.SuccessRate*100, p.Saving*100)
+		}
+		fmt.Fprintf(w, "  planner average (AD+WR): %.1f%%\n",
+			experiments.AverageSavingByClass(rows, platforms.PlannerClass)*100)
+		fmt.Fprintf(w, "  controller average (AD+VS): %.1f%%\n",
+			experiments.AverageSavingByClass(rows, platforms.ControllerClass)*100)
+	}}
+}
+
+// Fig18Rows pairs the chip-level rows with the battery-life range.
+type Fig18Rows struct {
+	Chip                    []experiments.ChipEnergyRow
+	BatteryLow, BatteryHigh float64
+}
+
+func runFig18(e *experiments.Env, opt experiments.Options) Result {
+	pts := experiments.Fig17CrossPlatform(e, opt)
+	pAvg := experiments.AverageSavingByClass(pts, platforms.PlannerClass)
+	cAvg := experiments.AverageSavingByClass(pts, platforms.ControllerClass)
+	chip := experiments.Fig18ChipEnergy(e.Power, pAvg, cAvg)
+	var chipAvg float64
+	for _, r := range chip {
+		chipAvg += r.ChipSaving
+	}
+	chipAvg /= float64(len(chip))
+	lo, hi := experiments.BatteryLifeRange(chipAvg)
+	rows := Fig18Rows{Chip: chip, BatteryLow: lo, BatteryHigh: hi}
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 18: chip-level energy breakdown")
+		for _, r := range rows.Chip {
+			fmt.Fprintf(w, "  %-20s compute share %5.1f%% -> chip saving %5.1f%%\n",
+				r.Model, r.ComputeShare*100, r.ChipSaving*100)
+		}
+		fmt.Fprintf(w, "  battery life extension: %.0f%% to %.0f%%\n", rows.BatteryLow*100, rows.BatteryHigh*100)
+	}}
+}
+
+func runFig19(e *experiments.Env, opt experiments.Options) Result {
+	rows := experiments.Fig19ErrorModels(e, opt)
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 19: uniform vs hardware error model (wooden)")
+		for _, p := range rows {
+			fmt.Fprintf(w, "  %-10s %-8s BER %.1e success %5.1f%%\n", p.Target, p.Model, p.BER, p.SuccessRate*100)
+		}
+	}}
+}
+
+func runFig20(e *experiments.Env, opt experiments.Options) Result {
+	rows := experiments.Fig20Baselines(e, opt)
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 20: comparison with existing techniques")
+		for _, p := range rows {
+			fmt.Fprintf(w, "  %-12s %-7s %.2f V success %5.1f%% energy %7.2f J\n",
+				p.Technique, p.Task, p.Voltage, p.SuccessRate*100, p.EnergyJ)
+		}
+	}}
+}
+
+func runFig21(_ *experiments.Env, _ experiments.Options) Result {
+	rows := experiments.Fig21Policies()
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Fig 21: entropy-to-voltage mapping policies")
+		for _, m := range rows {
+			fmt.Fprintf(w, "  policy %s:", m.Name)
+			for _, l := range m.Levels {
+				fmt.Fprintf(w, "  H>=%.1f -> %.2f V", l.MinEntropy, l.Voltage)
+			}
+			fmt.Fprintln(w)
+		}
+	}}
+}
+
+func runTable2(_ *experiments.Env, _ experiments.Options) Result {
+	rows := experiments.Table2LDO()
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Table 2: LDO specifications")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-12s %s\n", r.Name, r.Value)
+		}
+	}}
+}
+
+func runTable3(_ *experiments.Env, _ experiments.Options) Result {
+	rows := experiments.Table3Accelerator()
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Table 3: accelerator performance (our cycle model)")
+		fmt.Fprintf(w, "  peak           %.1f TOPS/tile\n", rows.PeakTOPS)
+		fmt.Fprintf(w, "  planner        %.2e MACs  latency %.2f ms\n", rows.PlannerMACs, rows.PlannerLatencyMS)
+		fmt.Fprintf(w, "  controller     %.2e MACs  latency %.0f us\n", rows.ControllerMACs, rows.ControllerLatencyUS)
+		fmt.Fprintf(w, "  predictor      %.2e MACs  latency %.2f us\n", rows.PredictorMACs, rows.PredictorLatencyUS)
+		fmt.Fprintf(w, "  switching      %.0f ns\n", rows.SwitchingLatencyNS)
+	}}
+}
+
+func runTable4(_ *experiments.Env, _ experiments.Options) Result {
+	rows := experiments.Table4Models()
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Table 4: model parameters and ops")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-20s %9.1f M params %9.1f GOps\n", r.Name, r.ParamsM, r.GOps)
+		}
+	}}
+}
+
+func runTable5(e *experiments.Env, opt experiments.Options) Result {
+	rows := experiments.Table5Repetitions(e, opt)
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Table 5: success rate vs repetitions (wooden, BER 1e-7)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  n=%3d success %5.1f%% (95%% CI +-%.1f%%)\n", r.Repetitions, r.SuccessRate*100, r.CI95*100)
+		}
+	}}
+}
+
+func runTable6(e *experiments.Env, opt experiments.Options) Result {
+	rows := experiments.Table6Quantization(e, opt)
+	return Result{Rows: rows, Render: func(w io.Writer) {
+		fmt.Fprintln(w, "Table 6: INT8 vs INT4 under AD+WR (stone)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  INT%d BER %.0e success %5.1f%%\n", int(r.Bits), r.BER, r.SuccessRate*100)
+		}
+	}}
+}

@@ -1,0 +1,632 @@
+// Package service is the evaluation-as-a-service tier: an HTTP daemon that
+// accepts experiment jobs, runs them through the typed registry on a
+// bounded worker pool, and serves rendered results and progress events —
+// all backed by the same content-addressed Summary cache the CLIs use, so
+// results computed anywhere (a CLI run, a sharded CI fleet, an earlier
+// job) are served to later submissions without recomputation.
+//
+// API (see the README for a worked curl session):
+//
+//	POST /v1/jobs            submit {experiment, trials, seed, workers, shard}
+//	GET  /v1/jobs            list all jobs, newest last
+//	GET  /v1/jobs/{id}       poll one job
+//	GET  /v1/jobs/{id}/events NDJSON stream of state transitions until terminal
+//	GET  /v1/jobs/{id}/result rendered text (?format=json for typed rows)
+//	GET  /v1/cache/stats     shared cache accounting
+//	GET  /v1/experiments     registry listing with per-experiment cache plans
+//	GET  /healthz            liveness
+//
+// Scheduling: jobs enter a bounded FIFO queue and are executed by a fixed
+// pool of job workers. The total core budget is divided between concurrent
+// jobs with the same sim.Split arithmetic the sweep grids use internally,
+// so concurrent jobs cannot oversubscribe the machine. Identical live
+// submissions (same experiment, trials, seed, shard) coalesce onto one
+// job, which — together with per-point cache dedupe — guarantees a grid is
+// computed at most once no matter how often or how concurrently it is
+// requested.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/embodiedai/create/internal/cache"
+	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/registry"
+	"github.com/embodiedai/create/internal/sim"
+)
+
+// DefaultTrials and DefaultSeed match the CLIs' defaults, so an
+// unqualified job renders exactly what an unqualified create-bench run
+// prints.
+const (
+	DefaultTrials = 48
+	DefaultSeed   = 2026
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// JobSpec is a submission: which experiment to run and at what scale.
+// Seed is a pointer so an absent field defaults to DefaultSeed while an
+// explicit 0 — a legitimate, honoured seed — stays distinguishable.
+// Workers caps this job's parallelism below the server's per-job budget;
+// Shard is the CLI's k/n grid selector for remote shard workers.
+type JobSpec struct {
+	Experiment string `json:"experiment"`
+	Trials     int    `json:"trials,omitempty"`
+	Seed       *int64 `json:"seed,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	Shard      string `json:"shard,omitempty"`
+}
+
+// key is the dedupe identity of a normalized spec: two live submissions
+// with the same key coalesce onto one execution. Workers is excluded — it
+// changes wall-clock only, never rows.
+func (s JobSpec) key() string {
+	return s.Experiment + "|" + strconv.Itoa(s.Trials) + "|" +
+		strconv.FormatInt(*s.Seed, 10) + "|" + s.Shard
+}
+
+// CacheDelta is the shared store's accounting delta across one job's run:
+// Misses is the number of newly computed grid points. Exact when jobs run
+// alone (the e2e contract); approximate while jobs overlap, since the
+// counters are store-global.
+type CacheDelta struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Event is one NDJSON progress record.
+type Event struct {
+	Seq     int       `json:"seq"`
+	Time    time.Time `json:"time"`
+	Job     string    `json:"job"`
+	State   State     `json:"state"`
+	Message string    `json:"message,omitempty"`
+}
+
+// JobStatus is the wire representation of a job.
+type JobStatus struct {
+	ID         string         `json:"id"`
+	Spec       JobSpec        `json:"spec"`
+	State      State          `json:"state"`
+	Deduped    bool           `json:"deduped,omitempty"`
+	Plan       *registry.Plan `json:"plan,omitempty"`
+	Error      string         `json:"error,omitempty"`
+	CreatedAt  time.Time      `json:"created_at"`
+	StartedAt  *time.Time     `json:"started_at,omitempty"`
+	FinishedAt *time.Time     `json:"finished_at,omitempty"`
+	Cache      *CacheDelta    `json:"cache,omitempty"`
+}
+
+// job is the server-side record.
+type job struct {
+	id   string
+	spec JobSpec
+	key  string
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	plan     *registry.Plan
+	output   []byte
+	rows     any
+	delta    *CacheDelta
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	events   []Event
+	done     chan struct{} // closed at terminal state
+}
+
+func (j *job) appendEventLocked(state State, msg string) {
+	j.events = append(j.events, Event{
+		Seq: len(j.events), Time: time.Now(), Job: j.id, State: state, Message: msg,
+	})
+}
+
+func (j *job) event(state State, msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendEventLocked(state, msg)
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Spec: j.spec, State: j.state, Plan: j.plan,
+		Error: j.err, CreatedAt: j.created, Cache: j.delta,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// eventsSince returns events[from:] plus whether the job has terminated.
+func (j *job) eventsSince(from int) ([]Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []Event
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.state == StateDone || j.state == StateFailed
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Env is the shared evaluation substrate; Env.Cache should point at
+	// Store so jobs and planning agree on residency.
+	Env *experiments.Env
+	// Store is the shared Summary cache behind /v1/cache/stats.
+	Store *cache.Store
+	// Workers is the total core budget across all concurrent jobs
+	// (0 = all schedulable cores).
+	Workers int
+	// MaxConcurrentJobs sizes the worker pool (default 2).
+	MaxConcurrentJobs int
+	// QueueDepth bounds the FIFO submission queue (default 64); a full
+	// queue rejects submissions with 503 rather than buffering unboundedly.
+	QueueDepth int
+	// MaxFinishedJobs bounds how many terminal jobs (with their rendered
+	// output, typed rows and event history) stay queryable (default 256).
+	// Older finished jobs are forgotten, keeping a long-lived daemon's
+	// memory flat; their computed points live on in the shared cache.
+	MaxFinishedJobs int
+}
+
+// Server is the HTTP daemon state. Create with New, launch workers with
+// Start, and drain with Close.
+type Server struct {
+	cfg        Config
+	jobWorkers int // concurrent job executors
+	perJob     int // default core budget per executing job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string        // submission order, for listing
+	byKey    map[string]*job // live (queued/running) jobs, for coalescing
+	finished []string        // terminal jobs, oldest first, for retention
+	closed   bool
+	nextID   int
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// New validates the config and builds a server. The total worker budget is
+// split across the job pool exactly like a sweep splits its budget across
+// nested grids: jobWorkers*perJob never exceeds the budget.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrentJobs <= 0 {
+		cfg.MaxConcurrentJobs = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxFinishedJobs <= 0 {
+		cfg.MaxFinishedJobs = 256
+	}
+	jobWorkers, perJob := sim.Split(cfg.Workers, cfg.MaxConcurrentJobs)
+	return &Server{
+		cfg:        cfg,
+		jobWorkers: jobWorkers,
+		perJob:     perJob,
+		jobs:       make(map[string]*job),
+		byKey:      make(map[string]*job),
+		queue:      make(chan *job, cfg.QueueDepth),
+	}
+}
+
+// Start launches the job worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.jobWorkers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.run(j)
+			}
+		}()
+	}
+}
+
+// Close stops accepting submissions, drains every queued and running job,
+// and waits for the pool to exit. Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Submit validates and enqueues a spec, returning the (possibly coalesced)
+// job status. The bool reports whether the spec coalesced onto a live job.
+func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
+	if spec.Trials <= 0 {
+		spec.Trials = DefaultTrials
+	}
+	if spec.Seed == nil {
+		seed := int64(DefaultSeed)
+		spec.Seed = &seed
+	}
+	if _, ok := registry.Lookup(spec.Experiment); !ok {
+		return JobStatus{}, false, fmt.Errorf("unknown experiment %q (registered: %s)",
+			spec.Experiment, strings.Join(registry.Names(), ", "))
+	}
+	if _, numShards, err := experiments.ParseShard(spec.Shard); err != nil {
+		return JobStatus{}, false, err
+	} else if numShards > 1 && (s.cfg.Store == nil || s.cfg.Store.Dir() == "") {
+		return JobStatus{}, false, fmt.Errorf("sharded jobs need a disk-backed cache (start the server with -cache-dir) to persist their points")
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, false, errShuttingDown
+	}
+	key := spec.key()
+	if live, ok := s.byKey[key]; ok {
+		s.mu.Unlock()
+		return live.status(), true, nil
+	}
+	s.nextID++
+	j := &job{
+		id:      "job-" + strconv.Itoa(s.nextID),
+		spec:    spec,
+		key:     key,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	j.appendEventLocked(StateQueued, "")
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return JobStatus{}, false, errQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.byKey[key] = j
+	s.mu.Unlock()
+	return j.status(), false, nil
+}
+
+var (
+	errQueueFull    = fmt.Errorf("job queue is full")
+	errShuttingDown = fmt.Errorf("server is shutting down")
+)
+
+// Job returns a job's status by id.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// run executes one job on a pool worker.
+func (s *Server) run(j *job) {
+	d, _ := registry.Lookup(j.spec.Experiment) // validated at submit
+	opt := experiments.Options{Trials: j.spec.Trials, Seed: *j.spec.Seed, Workers: s.perJob}
+	if j.spec.Workers > 0 && j.spec.Workers < s.perJob {
+		opt.Workers = j.spec.Workers
+	}
+	opt.Shard, opt.NumShards, _ = experiments.ParseShard(j.spec.Shard) // validated at submit
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.appendEventLocked(StateRunning, "")
+	j.mu.Unlock()
+
+	// Cache-aware planning before compute: the plan is surfaced in the
+	// status and the event stream, so clients see upfront whether the job
+	// will be served from cache.
+	plan := registry.PlanFor(d, s.cfg.Env, opt)
+	j.mu.Lock()
+	j.plan = &plan
+	j.appendEventLocked(StateRunning, fmt.Sprintf("planned: %d grid points, %d cached, %d to compute",
+		plan.GridPoints, plan.Cached, plan.ToCompute))
+	j.mu.Unlock()
+
+	var hits0, misses0 int64
+	if s.cfg.Store != nil {
+		hits0, misses0 = s.cfg.Store.Hits(), s.cfg.Store.Misses()
+	}
+
+	var buf bytes.Buffer
+	var rows any
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiment panicked: %v", r)
+			}
+		}()
+		res := d.Run(s.cfg.Env, opt)
+		res.Render(&buf)
+		rows = res.Rows
+		return nil
+	}()
+
+	var delta *CacheDelta
+	if s.cfg.Store != nil {
+		delta = &CacheDelta{
+			Hits:   s.cfg.Store.Hits() - hits0,
+			Misses: s.cfg.Store.Misses() - misses0,
+		}
+	}
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.delta = delta
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+		j.appendEventLocked(StateFailed, j.err)
+	} else {
+		j.state = StateDone
+		j.output = buf.Bytes()
+		j.rows = rows
+		msg := fmt.Sprintf("rendered %d bytes", len(j.output))
+		if delta != nil {
+			msg += fmt.Sprintf(" (%d cache hits, %d computed)", delta.Hits, delta.Misses)
+		}
+		j.appendEventLocked(StateDone, msg)
+	}
+	j.mu.Unlock()
+	close(j.done)
+
+	// Release the dedupe slot — later identical submissions re-run (and
+	// are served from cache) rather than returning this historical job —
+	// and retire the oldest finished jobs past the retention cap.
+	s.mu.Lock()
+	if s.byKey[j.key] == j {
+		delete(s.byKey, j.key)
+	}
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.MaxFinishedJobs {
+		evict := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, evict)
+		for i, id := range s.order {
+			if id == evict {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// HTTP layer.
+
+// Handler routes the service API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	st, deduped, err := s.Submit(spec)
+	switch {
+	case err == errQueueFull:
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err == errShuttingDown:
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st.Deduped = deduped
+	code := http.StatusAccepted
+	if deduped {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range js {
+		out = append(out, j.status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+	}
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleEvents streams a job's progress as NDJSON: the recorded history
+// first, then live transitions until the job terminates or the client
+// disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, terminal := j.eventsSince(next)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		next += len(evs)
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			// Loop once more to drain the terminal events.
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	state, errMsg, output, rows := j.state, j.err, j.output, j.rows
+	j.mu.Unlock()
+	switch state {
+	case StateFailed:
+		writeError(w, http.StatusConflict, "job failed: "+errMsg)
+		return
+	case StateQueued, StateRunning:
+		writeError(w, http.StatusConflict, "job is "+string(state)+"; poll until done")
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"experiment": j.spec.Experiment,
+			"rows":       rows,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(output)
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.cfg.Store
+	if st == nil {
+		writeError(w, http.StatusNotFound, "no cache attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hits":       st.Hits(),
+		"misses":     st.Misses(),
+		"resident":   st.Len(),
+		"dir":        st.Dir(),
+		"disk_bytes": st.DiskBytes(),
+	})
+}
+
+// handleExperiments lists the registry with a cache plan per experiment at
+// the requested (trials, seed) scale — the "which figures are already free"
+// view.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	opt := experiments.Options{Trials: DefaultTrials, Seed: DefaultSeed}
+	if v := r.URL.Query().Get("trials"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			opt.Trials = n
+		}
+	}
+	if v := r.URL.Query().Get("seed"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			opt.Seed = n
+		}
+	}
+	type entry struct {
+		Name  string        `json:"name"`
+		Title string        `json:"title"`
+		Plan  registry.Plan `json:"plan"`
+	}
+	var out []entry
+	for _, d := range registry.All() {
+		out = append(out, entry{Name: d.Name, Title: d.Title, Plan: registry.PlanFor(d, s.cfg.Env, opt)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trials": opt.Trials, "seed": opt.Seed, "experiments": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"job_workers": s.jobWorkers,
+		"per_job":     s.perJob,
+	})
+}

@@ -1,0 +1,535 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/embodiedai/create/internal/cache"
+	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/registry"
+)
+
+// seedOf builds the wire representation of an explicit seed.
+func seedOf(v int64) *int64 { return &v }
+
+// testServer wires a server over a fresh environment and an httptest
+// listener. The returned cleanup drains the pool.
+func testServer(t *testing.T, dir string) (*Server, *httptest.Server, *cache.Store) {
+	t.Helper()
+	store, err := cache.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store, Workers: 2, MaxConcurrentJobs: 2, QueueDepth: 8})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, store
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec JobSpec, wantCode int) JobStatus {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		t.Fatalf("submit returned %d, want %d: %s", resp.StatusCode, wantCode, msg.String())
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func await(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+func fetchResult(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result returned %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEndToEndJobMatchesLibraryCall is the acceptance gate: a job submitted
+// over HTTP renders byte-identically to the equivalent direct library call
+// (which is also what create-bench prints), and resubmitting the same spec
+// completes entirely from cache — zero newly computed grid points, asserted
+// through the job's cache delta and /v1/cache/stats.
+func TestEndToEndJobMatchesLibraryCall(t *testing.T) {
+	const exp = "fig19"
+	spec := JobSpec{Experiment: exp, Trials: 4, Seed: seedOf(2026)}
+
+	// Reference: the direct library call on a fresh environment.
+	d, ok := registry.Lookup(exp)
+	if !ok {
+		t.Fatal("experiment not registered")
+	}
+	var want bytes.Buffer
+	refEnv := experiments.NewEnv()
+	refStore, _ := cache.New("")
+	refEnv.Cache = refStore
+	d.Run(refEnv, experiments.Options{Trials: spec.Trials, Seed: *spec.Seed}).Render(&want)
+
+	_, ts, store := testServer(t, t.TempDir())
+
+	st := submit(t, ts, spec, http.StatusAccepted)
+	st = await(t, ts, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if got := fetchResult(t, ts, st.ID); !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("served rows diverge from the library call:\n--- served ---\n%s\n--- library ---\n%s", got, want.String())
+	}
+	if st.Cache == nil || st.Cache.Misses == 0 {
+		t.Fatalf("first run should compute points, cache delta %+v", st.Cache)
+	}
+	if st.Plan == nil || st.Plan.ToCompute != st.Plan.GridPoints {
+		t.Fatalf("cold plan should predict all points as to-compute: %+v", st.Plan)
+	}
+
+	// Resubmit the identical spec: a fresh job (the first one released its
+	// dedupe slot at completion) that must be served from cache with zero
+	// newly computed grid points — and byte-identical output.
+	missesBefore := store.Misses()
+	st2 := submit(t, ts, spec, http.StatusAccepted)
+	if st2.ID == st.ID {
+		t.Fatal("completed job must not swallow a resubmission")
+	}
+	st2 = await(t, ts, st2.ID)
+	if st2.State != StateDone {
+		t.Fatalf("replay job failed: %s", st2.Error)
+	}
+	if st2.Cache == nil || st2.Cache.Misses != 0 {
+		t.Fatalf("replay computed %+v, want zero misses", st2.Cache)
+	}
+	if st2.Plan == nil || !st2.Plan.Free() {
+		t.Fatalf("replay plan should be free: %+v", st2.Plan)
+	}
+	if store.Misses() != missesBefore {
+		t.Fatalf("store computed %d new points on replay", store.Misses()-missesBefore)
+	}
+	if got := fetchResult(t, ts, st2.ID); !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("replayed job rendered different bytes")
+	}
+
+	// The shared-cache stats endpoint reflects the same accounting.
+	resp, err := http.Get(ts.URL + "/v1/cache/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Hits     int64 `json:"hits"`
+		Misses   int64 `json:"misses"`
+		Resident int   `json:"resident"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses != store.Misses() || stats.Resident != store.Len() {
+		t.Fatalf("stats endpoint diverges from the store: %+v", stats)
+	}
+}
+
+// TestConcurrentIdenticalJobsComputeOnce: however two identical
+// submissions interleave — coalesced onto one live job, or a second job
+// replaying the first's cache — the grid is computed exactly once.
+func TestConcurrentIdenticalJobsComputeOnce(t *testing.T) {
+	_, ts, store := testServer(t, "")
+	spec := JobSpec{Experiment: "fig15", Trials: 4, Seed: seedOf(2026)}
+
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(spec)
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var st JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+
+	outs := make([][]byte, 2)
+	for i, id := range ids {
+		st := await(t, ts, id)
+		if st.State != StateDone {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		outs[i] = fetchResult(t, ts, id)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatal("identical specs rendered different bytes")
+	}
+
+	// However the two submissions raced, each unique grid point was
+	// computed exactly once: total misses equals resident points.
+	if store.Misses() != int64(store.Len()) {
+		t.Fatalf("%d misses for %d unique points: the grid was computed more than once",
+			store.Misses(), store.Len())
+	}
+}
+
+// TestSubmitCoalescesLiveDuplicates pins the dedupe path deterministically:
+// with a single worker occupied by an earlier job, two identical queued
+// submissions must resolve to one job ID.
+func TestSubmitCoalescesLiveDuplicates(t *testing.T) {
+	store, _ := cache.New("")
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store, Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 8})
+	// No Start(): nothing drains the queue, so both submissions stay
+	// queued and the second must coalesce with the first.
+	spec := JobSpec{Experiment: "table6", Trials: 2, Seed: seedOf(7)}
+	first, deduped, err := s.Submit(spec)
+	if err != nil || deduped {
+		t.Fatalf("first submit: %v deduped=%v", err, deduped)
+	}
+	second, deduped, err := s.Submit(spec)
+	if err != nil || !deduped {
+		t.Fatalf("second submit should coalesce: %v deduped=%v", err, deduped)
+	}
+	if first.ID != second.ID {
+		t.Fatalf("coalesced submission got a fresh job: %s vs %s", first.ID, second.ID)
+	}
+	// A different spec is its own job.
+	other, deduped, err := s.Submit(JobSpec{Experiment: "table6", Trials: 3, Seed: seedOf(7)})
+	if err != nil || deduped || other.ID == first.ID {
+		t.Fatalf("distinct spec coalesced: %v %v %s", err, deduped, other.ID)
+	}
+	s.Start()
+	s.Close() // drain the three queued jobs
+}
+
+// TestEventsStreamNDJSON: the events endpoint replays the full history as
+// one JSON object per line, ending at the terminal state.
+func TestEventsStreamNDJSON(t *testing.T) {
+	_, ts, _ := testServer(t, "")
+	st := submit(t, ts, JobSpec{Experiment: "table2", Trials: 2, Seed: seedOf(1)}, http.StatusAccepted)
+	await(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected at least queued/running/done events, got %d lines: %q", len(lines), buf.String())
+	}
+	var last Event
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %q", i, line)
+		}
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		last = ev
+	}
+	if last.State != StateDone {
+		t.Fatalf("stream ended on %q, want done", last.State)
+	}
+}
+
+// TestSubmitValidation: unknown experiments are rejected with the list of
+// registered names; malformed shard specs are rejected; results of
+// unfinished jobs are refused.
+func TestSubmitValidation(t *testing.T) {
+	s, ts, _ := testServer(t, "")
+
+	body := []byte(`{"experiment":"fig99"}`)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msg struct {
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&msg)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown experiment returned %d", resp.StatusCode)
+	}
+	for _, name := range []string{"fig16", "table6"} {
+		if !strings.Contains(msg.Error, name) {
+			t.Fatalf("rejection should list registered names, got %q", msg.Error)
+		}
+	}
+
+	// An unseeded spec resolves to the CLI defaults — the byte-identity
+	// contract with an unqualified create-bench run — while an explicit
+	// seed 0 stays a distinct, honoured seed.
+	defaulted, _, err := s.Submit(JobSpec{Experiment: "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.Spec.Trials != DefaultTrials || defaulted.Spec.Seed == nil || *defaulted.Spec.Seed != DefaultSeed {
+		t.Fatalf("unseeded spec not normalized to the CLI defaults: %+v", defaulted.Spec)
+	}
+	zeroSeed, zeroDeduped, err := s.Submit(JobSpec{Experiment: "table2", Seed: seedOf(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroDeduped || zeroSeed.ID == defaulted.ID || *zeroSeed.Spec.Seed != 0 {
+		t.Fatalf("explicit seed 0 collapsed into the default: %+v", zeroSeed)
+	}
+
+	if _, _, err := s.Submit(JobSpec{Experiment: "fig19", Shard: "5/3"}); err == nil {
+		t.Fatal("bad shard spec accepted")
+	}
+	// Sharded jobs need a disk-backed cache; this server is memory-only.
+	if _, _, err := s.Submit(JobSpec{Experiment: "fig19", Shard: "1/3"}); err == nil {
+		t.Fatal("sharded job accepted without a disk cache")
+	}
+
+	st := submit(t, ts, JobSpec{Experiment: "fig15", Trials: 4, Seed: seedOf(99)}, http.StatusAccepted)
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict && resp2.StatusCode != http.StatusOK {
+		t.Fatalf("unfinished result returned %d", resp2.StatusCode)
+	}
+	await(t, ts, st.ID)
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("missing job returned %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestExperimentsListingPlans: the listing covers the whole registry and
+// carries usable cache plans at the requested scale.
+func TestExperimentsListingPlans(t *testing.T) {
+	_, ts, _ := testServer(t, "")
+	st := submit(t, ts, JobSpec{Experiment: "fig15", Trials: 4, Seed: seedOf(2026)}, http.StatusAccepted)
+	await(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/experiments?trials=4&seed=2026")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Trials      int `json:"trials"`
+		Experiments []struct {
+			Name string        `json:"name"`
+			Plan registry.Plan `json:"plan"`
+		} `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Trials != 4 || len(listing.Experiments) != len(registry.Names()) {
+		t.Fatalf("listing covers %d experiments at trials=%d", len(listing.Experiments), listing.Trials)
+	}
+	for _, e := range listing.Experiments {
+		if e.Name != "fig15" {
+			continue
+		}
+		if !e.Plan.Free() || e.Plan.Cached != e.Plan.GridPoints {
+			t.Fatalf("fig15 just ran at this scale and should plan free: %+v", e.Plan)
+		}
+		return
+	}
+	t.Fatal("fig15 missing from the listing")
+}
+
+// TestGracefulShutdownDrains: Close finishes queued jobs before returning,
+// and later submissions are refused.
+func TestGracefulShutdownDrains(t *testing.T) {
+	store, _ := cache.New("")
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store, Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 8})
+
+	var sts []JobStatus
+	for i := 0; i < 3; i++ {
+		st, _, err := s.Submit(JobSpec{Experiment: "table2", Trials: 2, Seed: seedOf(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sts = append(sts, st)
+	}
+	s.Start()
+	s.Close()
+
+	for _, st := range sts {
+		got, ok := s.Job(st.ID)
+		if !ok || got.State != StateDone {
+			t.Fatalf("job %s not drained: %+v", st.ID, got)
+		}
+	}
+	if _, _, err := s.Submit(JobSpec{Experiment: "table2"}); err != errShuttingDown {
+		t.Fatalf("post-shutdown submit: %v", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestFinishedJobRetention: a long-lived daemon forgets its oldest
+// terminal jobs past the cap, so memory stays flat; recent jobs remain
+// queryable and the listing never dangles.
+func TestFinishedJobRetention(t *testing.T) {
+	store, _ := cache.New("")
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store, Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 8, MaxFinishedJobs: 2})
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		st, _, err := s.Submit(JobSpec{Experiment: "table2", Trials: 2, Seed: seedOf(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	s.Start()
+	s.Close()
+
+	for i, id := range ids {
+		_, ok := s.Job(id)
+		if want := i >= 2; ok != want {
+			t.Fatalf("job %s (index %d) queryable=%v, want %v", id, i, ok, want)
+		}
+	}
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	if len(order) != 2 {
+		t.Fatalf("listing retains %d jobs, want 2", len(order))
+	}
+	for _, id := range order {
+		if _, ok := s.Job(id); !ok {
+			t.Fatalf("listing dangles: %s", id)
+		}
+	}
+}
+
+// TestQueueFull: a bounded queue rejects the overflow submission with a
+// distinguishable error instead of buffering unboundedly.
+func TestQueueFull(t *testing.T) {
+	store, _ := cache.New("")
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store, Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 2})
+	// No Start(): the queue only fills.
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.Submit(JobSpec{Experiment: "table2", Seed: seedOf(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Submit(JobSpec{Experiment: "table2", Seed: seedOf(99)}); err != errQueueFull {
+		t.Fatalf("overflow submit: %v", err)
+	}
+	s.Start()
+	s.Close()
+}
+
+// TestServedJobSharesCLICache: a job served by a daemon whose cache dir was
+// populated by an earlier (CLI-shaped) run computes nothing — the disk
+// cache is the contract between the batch and serving tiers.
+func TestServedJobSharesCLICache(t *testing.T) {
+	dir := t.TempDir()
+	opt := experiments.Options{Trials: 4, Seed: 2026}
+
+	// The "CLI run": a direct library call persisting into dir.
+	cliStore, err := cache.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliEnv := experiments.NewEnv()
+	cliEnv.Cache = cliStore
+	d, _ := registry.Lookup("fig15")
+	var want bytes.Buffer
+	d.Run(cliEnv, opt).Render(&want)
+
+	// A fresh daemon over the same dir serves the job without computing.
+	_, ts, _ := testServer(t, dir)
+	st := submit(t, ts, JobSpec{Experiment: "fig15", Trials: 4, Seed: seedOf(2026)}, http.StatusAccepted)
+	st = await(t, ts, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.Cache == nil || st.Cache.Misses != 0 {
+		t.Fatalf("daemon recomputed a CLI-cached grid: %+v", st.Cache)
+	}
+	if got := fetchResult(t, ts, st.ID); !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("daemon rendered different bytes than the CLI run")
+	}
+}

@@ -55,12 +55,30 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	// (cheaper and fairer than pre-chunking when per-item cost varies, as
 	// episode lengths do by orders of magnitude). Each result lands at its
 	// own index, so collection is ordered by construction and lock-free.
+	//
+	// A panic inside fn is captured and re-raised on the calling goroutine
+	// after the pool drains — an unrecovered panic on a bare worker
+	// goroutine would kill the whole process, which a serving daemon must
+	// survive (its per-job recover can only see panics on the job
+	// goroutine). Matches the serial path, where fn's panic reaches the
+	// caller directly.
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicVal any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -71,6 +89,9 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 	return out
 }
 

@@ -104,3 +104,24 @@ func TestFlatMapOrderAndContent(t *testing.T) {
 		}
 	}
 }
+
+// TestMapPropagatesWorkerPanic: a panic inside fn on a pool worker reaches
+// Map's caller (where a serving daemon's per-job recover can handle it)
+// instead of killing the process, and the pool still drains cleanly.
+func TestMapPropagatesWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			Map(16, workers, func(i int) int {
+				if i == 5 {
+					panic("boom")
+				}
+				return i
+			})
+			return nil
+		}()
+		if got != "boom" {
+			t.Fatalf("workers=%d: panic %v did not propagate to the caller", workers, got)
+		}
+	}
+}
