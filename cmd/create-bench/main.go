@@ -24,6 +24,10 @@
 //	create-bench -exp all -trials 8 -shard 2/3 -cache-dir out   # one of 3 shards
 //	create-bench -exp all -trials 8 -merge s1,s2,s3 -cache-dir merged
 //
+// The shard/merge semantics live in internal/dispatch (shared with the
+// distributed coordinator, cmd/create-coordinator); this command is a
+// thin client of that package.
+//
 // Experiment identifiers follow the paper: fig1, fig4, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig12, fig13, fig14, fig15, fig16, fig17, fig18,
 // fig19, fig20, fig21, table2, table3, table4, table5, table6.
@@ -35,9 +39,7 @@ import (
 	"os"
 	"strings"
 
-	"github.com/embodiedai/create/internal/cache"
-	"github.com/embodiedai/create/internal/experiments"
-	"github.com/embodiedai/create/internal/registry"
+	"github.com/embodiedai/create/internal/dispatch"
 )
 
 func main() {
@@ -52,85 +54,41 @@ func main() {
 	plan := flag.Bool("plan", false, "plan only: probe the cache and print per-experiment points to compute, without running")
 	flag.Parse()
 
-	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
-	shard, numShards, store, err := experiments.OpenShardedCache(*shardSel, *cacheDir)
+	l, err := dispatch.OpenLocal(*shardSel, *cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	opt.Shard, opt.NumShards = shard, numShards
 	if *merge != "" {
-		if *cacheDir == "" {
-			fmt.Fprintln(os.Stderr, "-merge requires -cache-dir as the destination")
-			os.Exit(2)
-		}
-		n, err := cache.MergeDirs(*cacheDir, strings.Split(*merge, ",")...)
+		n, err := l.MergeShardDirs(strings.Split(*merge, ",")...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "merging shard caches: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "merged %d cache entries into %s\n", n, *cacheDir)
 	}
-	// Arm the size cap after any merge: SetMaxBytes scans the directory, so
+	// Arm the size cap after any merge: the cap scans the directory, so
 	// merged-in entries are indexed and the cap is enforced over them too.
-	if *cacheMaxMB > 0 {
-		if err := store.SetMaxBytes(int64(*cacheMaxMB) << 20); err != nil {
-			fmt.Fprintf(os.Stderr, "arming cache size cap: %v\n", err)
-			os.Exit(1)
-		}
+	if err := l.LimitDisk(*cacheMaxMB); err != nil {
+		fmt.Fprintf(os.Stderr, "arming cache size cap: %v\n", err)
+		os.Exit(1)
 	}
-	env := experiments.NewEnv()
-	env.Cache = store
 
-	var selection []registry.Descriptor
-	if *exp == "all" {
-		selection = registry.All()
-	} else {
-		d, ok := registry.Lookup(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (registered: %s, all)\n",
-				*exp, strings.Join(registry.Names(), ", "))
-			os.Exit(2)
-		}
-		selection = []registry.Descriptor{d}
+	selection, err := dispatch.Selection(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	opt := l.Options(*trials, *seed, *workers)
 
 	if *plan {
-		renderPlans(env, opt, selection)
+		l.RenderPlans(os.Stdout, selection, opt)
 		return
 	}
 
 	defer func() {
 		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d points resident\n",
-			store.Hits(), store.Misses(), store.Len())
+			l.Store.Hits(), l.Store.Misses(), l.Store.Len())
 	}()
-	for _, d := range selection {
-		if *exp == "all" {
-			fmt.Printf("\n===== %s =====\n", strings.ToUpper(d.Name))
-		}
-		d.Run(env, opt).Render(os.Stdout)
-	}
-}
-
-// renderPlans prints the cache-aware schedule: per experiment, the unique
-// grid points its sweeps consult, how many are already in the cache, and
-// how many a run would compute. "free" marks figures a run would serve
-// entirely from cache.
-func renderPlans(env *experiments.Env, opt experiments.Options, selection []registry.Descriptor) {
-	fmt.Printf("%-8s %8s %8s %10s  %s\n", "exp", "points", "cached", "to-compute", "notes")
-	for _, d := range selection {
-		p := registry.PlanFor(d, env, opt)
-		var notes []string
-		if p.Free() {
-			notes = append(notes, "free")
-		}
-		if p.Dynamic {
-			notes = append(notes, "dynamic upper bound")
-		}
-		if p.Uncached {
-			notes = append(notes, "has uncached work")
-		}
-		fmt.Printf("%-8s %8d %8d %10d  %s\n",
-			d.Name, p.GridPoints, p.Cached, p.ToCompute, strings.Join(notes, ", "))
-	}
+	l.Run(os.Stdout, selection, opt, *exp == "all")
 }

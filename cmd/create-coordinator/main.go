@@ -1,0 +1,151 @@
+// Command create-coordinator is the distributed front end of the
+// evaluation suite: it plans a selection of experiments into shards
+// (internal/dispatch), fans the shards out over a pool of create-serve
+// workers and/or in-process runners, pulls every worker's computed cache
+// entries back by content address, merges them into a local cache
+// directory, and replays the selection against the merged cache — so its
+// stdout is byte-identical to a single create-bench run of the same
+// selection, however many machines did the computing.
+//
+//	create-serve -addr :8081 -cache-dir w1 &          # worker 1
+//	create-serve -addr :8082 -cache-dir w2 &          # worker 2
+//	create-coordinator -exp fig16 -trials 48 -shards 4 -cache-dir coord \
+//	    -workers http://127.0.0.1:8081,http://127.0.0.1:8082 > fig16.txt
+//
+// Scheduling is hit-aware: shards are planned against the local cache
+// (registry.PlanFor per shard), fully cached shards are never dispatched,
+// and the heaviest predicted compute goes out first. A worker that fails
+// a shard is retired and the shard re-queued to a surviving worker; each
+// shard's entries merge into -cache-dir at most once. -prewarm pushes
+// points the coordinator already holds to each worker before it runs, so
+// a warm coordinator cache saves remote recompute too.
+//
+// A second run over the same -cache-dir replays entirely from cache: the
+// plan marks every shard free, nothing is dispatched, and no grid point
+// is recomputed anywhere.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"github.com/embodiedai/create/internal/dispatch"
+	"github.com/embodiedai/create/internal/service"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment selection (fig1..fig21, table2..table6, all)")
+	trials := flag.Int("trials", 48, "episode repetitions per data point")
+	seed := flag.Int64("seed", 2026, "base random seed")
+	shards := flag.Int("shards", 0, "shard count (0 = twice the runner count, so balancing has slack)")
+	workerList := flag.String("workers", "", "comma-separated create-serve worker URLs")
+	local := flag.Int("local", 0, "in-process runners to add to the pool (with no -workers, defaults to 1)")
+	localWorkers := flag.Int("local-compute", 0, "per-shard parallelism of each in-process runner (0 = all cores)")
+	cacheDir := flag.String("cache-dir", "", "destination cache directory (required with remote workers; shard entries merge here)")
+	prewarm := flag.Bool("prewarm", false, "push locally cached points to each worker before it runs its shard")
+	planOnly := flag.Bool("plan", false, "print the shard plan and exit without running")
+	events := flag.Bool("events", false, "log every worker progress event (verbose)")
+	flag.Parse()
+
+	l, err := dispatch.OpenLocal("", *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	selection, err := dispatch.Selection(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := l.Options(*trials, *seed, 0)
+
+	var runners []dispatch.Runner
+	stage := "" // staging root for pulled entries; removed before every exit
+	cleanup := func() {
+		if stage != "" {
+			os.RemoveAll(stage)
+		}
+	}
+	if *workerList != "" {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "remote workers need -cache-dir: their shard entries are pulled and merged there")
+			os.Exit(2)
+		}
+		// Stage pulled entries outside the cache dir: staged copies are
+		// deleted after each merge, and must never pollute cache-dir scans.
+		var err error
+		stage, err = os.MkdirTemp("", "create-coordinator-stage-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating staging dir: %v\n", err)
+			os.Exit(2)
+		}
+		defer cleanup()
+		for i, url := range strings.Split(*workerList, ",") {
+			r := &dispatch.HTTPRunner{
+				BaseURL:  strings.TrimRight(strings.TrimSpace(url), "/"),
+				StageDir: filepath.Join(stage, fmt.Sprintf("worker-%d", i)),
+				Local:    l.Store,
+				Prewarm:  *prewarm,
+			}
+			if *events {
+				r.OnEvent = func(shard int, ev service.Event) {
+					log.Printf("shard %d %s [%s] %s", shard+1, ev.Job, ev.State, ev.Message)
+				}
+			}
+			runners = append(runners, r)
+		}
+	}
+	if *local == 0 && len(runners) == 0 {
+		*local = 1
+	}
+	for i := 0; i < *local; i++ {
+		runners = append(runners, &dispatch.LocalRunner{
+			Env: l.Env, Workers: *localWorkers, Name: fmt.Sprintf("local-%d", i+1),
+		})
+	}
+	numShards := *shards
+	if numShards <= 0 {
+		numShards = 2 * len(runners)
+	}
+
+	if *planOnly {
+		plan := dispatch.PlanShards(l.Env, selection, opt, numShards)
+		fmt.Printf("%d experiment(s), %d shards: %d points, %d cached, %d to compute\n",
+			len(plan.Experiments), plan.NumShards, plan.GridPoints, plan.Cached, plan.ToCompute)
+		for _, w := range plan.Shards {
+			note := ""
+			if w.Free() {
+				note = "  (free: will not dispatch)"
+			}
+			fmt.Printf("  shard %-6s %6d points %6d cached %6d to compute%s\n",
+				w.Selector, w.GridPoints, w.Cached, w.ToCompute, note)
+		}
+		return
+	}
+
+	coord := &dispatch.Coordinator{
+		Env: l.Env, Store: l.Store, Runners: runners,
+		Logf: log.New(os.Stderr, "coordinator: ", 0).Printf,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	plan, err := coord.Run(ctx, os.Stdout, selection, opt, numShards, *exp == "all")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coordinator: %v\n", err)
+		cleanup()
+		os.Exit(1)
+	}
+	log.Printf("coordinator: %d shards planned (%d points, %d cached, %d to compute)",
+		plan.NumShards, plan.GridPoints, plan.Cached, plan.ToCompute)
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d points resident\n",
+		l.Store.Hits(), l.Store.Misses(), l.Store.Len())
+}

@@ -42,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "total core budget across concurrent jobs (0 = all cores)")
 	jobs := flag.Int("jobs", 2, "concurrent job executors; the worker budget is split between them")
 	queue := flag.Int("queue", 64, "bounded FIFO queue depth; a full queue rejects submissions with 503")
+	finishedTTL := flag.Duration("finished-ttl", 0, "expire finished jobs this long after completion (0 = count cap only)")
 	flag.Parse()
 
 	store, err := cache.New(*cacheDir)
@@ -65,6 +66,7 @@ func main() {
 		Workers:           *workers,
 		MaxConcurrentJobs: *jobs,
 		QueueDepth:        *queue,
+		FinishedJobTTL:    *finishedTTL,
 	})
 	srv.Start()
 

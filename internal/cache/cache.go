@@ -22,6 +22,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -88,16 +90,26 @@ func (p Point) Fingerprint() string {
 }
 
 // Key is the content address of the point: SHA-256 of the fingerprint.
-func (p Point) Key() string {
-	sum := sha256.Sum256([]byte(p.Fingerprint()))
-	return hex.EncodeToString(sum[:])
-}
+func (p Point) Key() string { return keyOf(p.Fingerprint()) }
 
 // entry is the on-disk record: the fingerprint makes the file
 // self-describing and lets Get reject key collisions and stale layouts.
+// Grid-point entries carry a Summary; auxiliary artifacts (PutPayload —
+// e.g. the Fig. 14 predictor training result) carry a Payload instead.
+// Exactly one of the two is set; older stores (Summary-only schema) decode
+// unchanged with a nil Payload.
 type entry struct {
-	Fingerprint string        `json:"fingerprint"`
-	Summary     agent.Summary `json:"summary"`
+	Fingerprint string          `json:"fingerprint"`
+	Summary     agent.Summary   `json:"summary"`
+	Payload     json.RawMessage `json:"payload,omitempty"`
+}
+
+// keyOf is the content address of an arbitrary fingerprint string —
+// Point.Key for grid points, and the same SHA-256 mapping for payload
+// fingerprints, so both entry kinds share one on-disk namespace.
+func keyOf(fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return hex.EncodeToString(sum[:])
 }
 
 // Store is a goroutine-safe Summary cache: an in-memory map in front of an
@@ -107,6 +119,7 @@ type Store struct {
 
 	mu          sync.RWMutex
 	mem         map[string]agent.Summary
+	payloads    map[string]json.RawMessage // by fingerprint; auxiliary artifacts
 	maxResident int
 
 	hits, misses atomic.Int64
@@ -145,7 +158,11 @@ func New(dir string) (*Store, error) {
 			return nil, err
 		}
 	}
-	return &Store{dir: dir, mem: make(map[string]agent.Summary)}, nil
+	return &Store{
+		dir:      dir,
+		mem:      make(map[string]agent.Summary),
+		payloads: make(map[string]json.RawMessage),
+	}, nil
 }
 
 // Dir returns the backing directory ("" for memory-only stores).
@@ -227,6 +244,21 @@ func (s *Store) Contains(p Point) bool {
 	_, ok := s.mem[key]
 	s.mu.RUnlock()
 	if ok || s.dir == "" {
+		return ok
+	}
+	st, err := os.Stat(s.path(key))
+	return err == nil && st.Size() > 0
+}
+
+// ContainsKey is Contains by raw content address, for callers that hold
+// a key manifest rather than Points (the dispatch tier filtering a shard
+// pull down to entries it does not already have). Same contract: no
+// accounting, no promotion.
+func (s *Store) ContainsKey(key string) bool {
+	s.mu.RLock()
+	_, ok := s.mem[key]
+	s.mu.RUnlock()
+	if ok || s.dir == "" || !validKey(key) {
 		return ok
 	}
 	st, err := os.Stat(s.path(key))
@@ -415,6 +447,208 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.mem)
+}
+
+// ---------------------------------------------------------------------------
+// Payload entries: auxiliary content-addressed artifacts.
+
+// PutPayload stores an arbitrary JSON-marshalable artifact under a raw
+// fingerprint — the reuse path for expensive non-Summary work such as the
+// Fig. 14 predictor training result. Payload fingerprints must be prefixed
+// "payload|" so they can never collide with a grid point's canonical
+// fingerprint (which always starts "task="); the prefix is enforced here.
+func (s *Store) PutPayload(fingerprint string, v any) error {
+	if !strings.HasPrefix(fingerprint, "payload|") {
+		return fmt.Errorf("payload fingerprint %q must be prefixed \"payload|\"", fingerprint)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.payloads[fingerprint] = raw
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(entry{Fingerprint: fingerprint, Payload: raw})
+	if err != nil {
+		return err
+	}
+	path := s.path(keyOf(fingerprint))
+	if err := writeFileAtomic(path, data); err != nil {
+		return err
+	}
+	s.record(path, int64(len(data)))
+	return nil
+}
+
+// GetPayload retrieves an artifact stored by PutPayload, unmarshalling it
+// into v. Accounting mirrors Get: every call is exactly one hit or one
+// miss, so a replay that reuses a payload shows up as zero misses.
+func (s *Store) GetPayload(fingerprint string, v any) bool {
+	s.mu.RLock()
+	raw, ok := s.payloads[fingerprint]
+	s.mu.RUnlock()
+	if ok {
+		if json.Unmarshal(raw, v) == nil {
+			s.hits.Add(1)
+			return true
+		}
+		s.misses.Add(1)
+		return false
+	}
+	if s.dir != "" {
+		path := s.path(keyOf(fingerprint))
+		if data, err := os.ReadFile(path); err == nil {
+			var e entry
+			if json.Unmarshal(data, &e) == nil && e.Fingerprint == fingerprint &&
+				e.Payload != nil && json.Unmarshal(e.Payload, v) == nil {
+				s.mu.Lock()
+				s.payloads[fingerprint] = e.Payload
+				s.mu.Unlock()
+				s.touch(path, int64(len(data)))
+				s.hits.Add(1)
+				return true
+			}
+		}
+	}
+	s.misses.Add(1)
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Streaming transfer: the wire format behind /v1/cache/export and
+// /v1/cache/import, and the coordinator's pull of a worker's shard cache.
+
+// exportRecord is one NDJSON line of a cache transfer: the content address
+// plus the raw on-disk entry bytes. Shipping the raw entry keeps the
+// stream schema-agnostic — Summary and Payload entries travel identically
+// — and lets the importer land files byte-for-byte.
+type exportRecord struct {
+	Key   string          `json:"key"`
+	Entry json.RawMessage `json:"entry"`
+}
+
+// ExportTo streams cache entries to w as NDJSON, one exportRecord per
+// line, returning how many were written. A nil or empty keys slice exports
+// every entry; otherwise only the listed content addresses are exported,
+// and keys not present are silently skipped (the caller's manifest may be
+// a superset of what this store ever computed — dynamic grids, partial
+// shards). Export reads the backing directory, so it requires a
+// disk-backed store; with per-point determinism, disk is the complete
+// record of everything a disk-backed store holds.
+func (s *Store) ExportTo(w io.Writer, keys []string) (int, error) {
+	if s.dir == "" {
+		return 0, fmt.Errorf("cache export requires a disk-backed store")
+	}
+	enc := json.NewEncoder(w)
+	written := 0
+	emit := func(key, path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if err := enc.Encode(exportRecord{Key: key, Entry: data}); err != nil {
+			return err
+		}
+		written++
+		return nil
+	}
+	if len(keys) > 0 {
+		for _, key := range keys {
+			if !validKey(key) {
+				return written, fmt.Errorf("invalid cache key %q", key)
+			}
+			if err := emit(key, s.path(key)); err != nil {
+				return written, err
+			}
+		}
+		return written, nil
+	}
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		return emit(strings.TrimSuffix(filepath.Base(path), ".json"), path)
+	})
+	return written, err
+}
+
+// ImportFrom lands a stream produced by ExportTo, returning how many
+// entries were new. Every record is validated before it touches the store:
+// the entry must carry a fingerprint whose SHA-256 reproduces the claimed
+// key, so a corrupt or adversarial stream can neither poison unrelated
+// addresses nor escape the cache directory. Records already present are
+// skipped — imports are idempotent, which is what makes a duplicated
+// shard transfer merge at most once.
+func (s *Store) ImportFrom(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	imported := 0
+	for {
+		var rec exportRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return imported, nil
+		} else if err != nil {
+			return imported, fmt.Errorf("corrupt cache stream: %w", err)
+		}
+		var e entry
+		if err := json.Unmarshal(rec.Entry, &e); err != nil || e.Fingerprint == "" {
+			return imported, fmt.Errorf("corrupt cache entry for key %q", rec.Key)
+		}
+		key := keyOf(e.Fingerprint)
+		if rec.Key != "" && rec.Key != key {
+			return imported, fmt.Errorf("cache entry key mismatch: claimed %q, fingerprint addresses %q", rec.Key, key)
+		}
+		if s.dir == "" {
+			// Memory-only stores land entries directly in the resident maps.
+			s.mu.Lock()
+			if e.Payload != nil {
+				if _, ok := s.payloads[e.Fingerprint]; ok {
+					s.mu.Unlock()
+					continue
+				}
+				s.payloads[e.Fingerprint] = e.Payload
+			} else {
+				if _, ok := s.mem[key]; ok {
+					s.mu.Unlock()
+					continue
+				}
+				s.mem[key] = e.Summary
+				s.dropOverResidentLocked(key)
+			}
+			s.mu.Unlock()
+			imported++
+			continue
+		}
+		path := s.path(key)
+		if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+			continue
+		}
+		if err := writeFileAtomic(path, rec.Entry); err != nil {
+			return imported, err
+		}
+		s.record(path, int64(len(rec.Entry)))
+		imported++
+	}
+}
+
+// validKey reports whether key is a well-formed content address (64
+// lowercase hex chars) — the guard that keeps caller-supplied keys from
+// traversing outside the cache directory.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // MergeDirs unions shard cache directories into dst and returns the number

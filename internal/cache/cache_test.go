@@ -1,9 +1,11 @@
 package cache
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -394,5 +396,151 @@ func TestCorruptEntryIsMiss(t *testing.T) {
 	fresh, _ := New(dir)
 	if _, ok := fresh.Get(p); ok {
 		t.Fatal("corrupt entry returned as a hit")
+	}
+}
+
+// TestPayloadRoundTrip: auxiliary artifacts share the content-addressed
+// store with grid points — resident reuse, disk persistence across
+// processes, and the same one-hit-or-one-miss accounting.
+func TestPayloadRoundTrip(t *testing.T) {
+	type artifact struct {
+		MSE    float64
+		Epochs int
+	}
+	dir := t.TempDir()
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "payload|test-artifact|v1|epochs=3"
+	var got artifact
+	if s.GetPayload(fp, &got) {
+		t.Fatal("empty store returned a payload hit")
+	}
+	if s.Misses() != 1 {
+		t.Fatalf("payload miss not counted: %d", s.Misses())
+	}
+	want := artifact{MSE: 0.125, Epochs: 3}
+	if err := s.PutPayload(fp, want); err != nil {
+		t.Fatal(err)
+	}
+	if !s.GetPayload(fp, &got) || got != want {
+		t.Fatalf("payload not returned intact: %+v", got)
+	}
+	if s.Hits() != 1 {
+		t.Fatalf("payload hit not counted: %d", s.Hits())
+	}
+
+	// A cold store over the same directory decodes the payload from disk.
+	cold, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = artifact{}
+	if !cold.GetPayload(fp, &got) || got != want {
+		t.Fatalf("disk payload replay failed: %+v", got)
+	}
+
+	// Unprefixed fingerprints are rejected: they could collide with a grid
+	// point's canonical identity.
+	if err := s.PutPayload("task=wooden", want); err == nil {
+		t.Fatal("unprefixed payload fingerprint accepted")
+	}
+
+	// Payload and grid-point entries coexist: a Summary Get for a point
+	// never confuses a payload entry and vice versa.
+	p := testPoint()
+	sum := testSummary(2, 7)
+	if err := s.Put(p, sum); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(p); !ok || !reflect.DeepEqual(got, sum) {
+		t.Fatal("summary entry disturbed by payload traffic")
+	}
+}
+
+// TestExportImportStream: a store's entries survive the NDJSON wire format
+// — subset export by key manifest, full export, idempotent import, and
+// validation that rejects corrupt or address-forging records.
+func TestExportImportStream(t *testing.T) {
+	src, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := testPoint(), testPoint()
+	p2.Seed = 9999
+	s1, s2 := testSummary(2, 1), testSummary(2, 2)
+	if err := src.Put(p1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Put(p2, s2); err != nil {
+		t.Fatal(err)
+	}
+	const fp = "payload|test-artifact|v1"
+	if err := src.PutPayload(fp, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	// Subset export by manifest: one present key, one absent (skipped).
+	var buf bytes.Buffer
+	absent := Point{Task: "never-computed", Trials: 1}.Key()
+	n, err := src.ExportTo(&buf, []string{p1.Key(), absent})
+	if err != nil || n != 1 {
+		t.Fatalf("subset export wrote %d entries, err %v", n, err)
+	}
+	dst, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := dst.ImportFrom(bytes.NewReader(buf.Bytes())); err != nil || n != 1 {
+		t.Fatalf("import landed %d entries, err %v", n, err)
+	}
+	if got, ok := dst.Get(p1); !ok || !reflect.DeepEqual(got, s1) {
+		t.Fatal("imported entry does not replay")
+	}
+	// Re-importing the same stream is a no-op: content addresses make the
+	// transfer idempotent.
+	if n, err := dst.ImportFrom(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("duplicate import landed %d entries, err %v", n, err)
+	}
+
+	// Full export moves everything, payloads included.
+	buf.Reset()
+	if n, err := src.ExportTo(&buf, nil); err != nil || n != 3 {
+		t.Fatalf("full export wrote %d entries, err %v", n, err)
+	}
+	all, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := all.ImportFrom(bytes.NewReader(buf.Bytes())); err != nil || n != 3 {
+		t.Fatalf("full import landed %d entries, err %v", n, err)
+	}
+	var v int
+	if !all.GetPayload(fp, &v) || v != 42 {
+		t.Fatal("payload did not survive the stream")
+	}
+
+	// A memory-only store can import too (entries land resident).
+	mem, _ := New("")
+	if n, err := mem.ImportFrom(bytes.NewReader(buf.Bytes())); err != nil || n != 3 {
+		t.Fatalf("memory import landed %d entries, err %v", n, err)
+	}
+	if got, ok := mem.Get(p2); !ok || !reflect.DeepEqual(got, s2) {
+		t.Fatal("memory import does not replay")
+	}
+	// ...but cannot export: disk is the complete record it lacks.
+	if _, err := mem.ExportTo(&buf, nil); err == nil {
+		t.Fatal("memory-only export should be refused")
+	}
+
+	// Validation: a record whose claimed key does not match its
+	// fingerprint's address is rejected, as is a path-traversing manifest.
+	forged := `{"key":"` + absent + `","entry":{"fingerprint":"` + p1.Fingerprint() + `","summary":{}}}`
+	if _, err := dst.ImportFrom(strings.NewReader(forged)); err == nil {
+		t.Fatal("address-forging record accepted")
+	}
+	if _, err := src.ExportTo(&buf, []string{"../../etc/passwd"}); err == nil {
+		t.Fatal("path-traversing export key accepted")
 	}
 }

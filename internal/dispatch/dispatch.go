@@ -1,0 +1,389 @@
+// Package dispatch is the shard planning and fan-out tier of the
+// evaluation suite: everything between "a selection of experiments at a
+// scale" and "a merged cache whose replay is byte-identical to a
+// single-node run" lives here, shared by cmd/create-bench (the in-process
+// path) and cmd/create-coordinator (the distributed path over a pool of
+// create-serve workers).
+//
+// The three pieces:
+//
+//   - ShardPlan (PlanShards): a transport-agnostic execution plan built
+//     from registry.ShardPlanFor — per shard and per experiment, the grid
+//     points owned, the predicted cache hits, and the content-address
+//     manifest. Because the plan carries predicted compute per shard, the
+//     coordinator schedules hit-aware (heaviest shards first, fully
+//     cached shards never dispatched) instead of treating every k/n slice
+//     as equal work.
+//
+//   - Runner: how one shard executes. LocalRunner computes in-process
+//     straight into the coordinator's store; HTTPRunner submits shard
+//     jobs to a create-serve worker, follows its NDJSON progress, and
+//     pulls the computed entries back by content address into a staging
+//     directory.
+//
+//   - Coordinator: fans a plan's shards out over a Runner pool with
+//     retry-on-worker-loss (a failed shard is re-queued to a healthy
+//     runner; the failing runner is retired), merges each completed
+//     shard's staging directory into the destination cache at most once
+//     (cache.MergeDirs — content addressing makes the union the complete
+//     merge), and finally replays the selection unsharded against the
+//     merged cache, rendering output byte-identical to a single machine.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/embodiedai/create/internal/cache"
+	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/registry"
+)
+
+// ShardJob is one experiment's slice of one shard: the grid points this
+// shard owns for that experiment, the predicted cache hits against the
+// planning store, and the content addresses — the manifest a worker's
+// computed entries are pulled back by.
+type ShardJob struct {
+	Experiment string   `json:"experiment"`
+	GridPoints int      `json:"grid_points"`
+	Cached     int      `json:"cached"`
+	ToCompute  int      `json:"to_compute"`
+	Keys       []string `json:"keys,omitempty"`
+}
+
+// ShardWork is one shard of the plan: its 1-based "k/n" selector (the
+// exact string a JobSpec or -shard flag accepts) and its per-experiment
+// slices with summed totals.
+type ShardWork struct {
+	Index      int        `json:"index"` // 0-based
+	Selector   string     `json:"selector"`
+	GridPoints int        `json:"grid_points"`
+	Cached     int        `json:"cached"`
+	ToCompute  int        `json:"to_compute"`
+	Jobs       []ShardJob `json:"jobs"`
+}
+
+// Free reports whether every point this shard owns is already resident in
+// the planning store — such shards are never dispatched; the replay
+// serves their points from the local cache. Enumerations of dynamic grids
+// are supersets, so Free stays sound for them.
+func (w ShardWork) Free() bool { return w.ToCompute == 0 }
+
+// Keys returns the shard's deduplicated content-address manifest across
+// all its experiments (experiments can share points; sharding is
+// per-experiment grid index, so a shared point may appear in two jobs).
+func (w ShardWork) Keys() []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, j := range w.Jobs {
+		for _, k := range j.Keys {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// ShardPlan is the transport-agnostic execution plan of one evaluation:
+// which experiments, at what scale, split into how many shards, and per
+// shard the predicted work. Totals sum the shards (a point shared by two
+// experiments is counted once per experiment slice, mirroring how sharded
+// runs execute).
+type ShardPlan struct {
+	Experiments []string    `json:"experiments"`
+	Trials      int         `json:"trials"`
+	Seed        int64       `json:"seed"`
+	NumShards   int         `json:"num_shards"`
+	GridPoints  int         `json:"grid_points"`
+	Cached      int         `json:"cached"`
+	ToCompute   int         `json:"to_compute"`
+	Shards      []ShardWork `json:"shards"`
+}
+
+// PlanShards builds the execution plan for sel at opt's scale split
+// numShards ways, probing env's cache through registry.ShardPlanFor so
+// every shard carries its predicted hits and its key manifest. numShards
+// < 1 plans a single shard covering the whole grid.
+func PlanShards(env *experiments.Env, sel []registry.Descriptor, opt experiments.Options, numShards int) ShardPlan {
+	if numShards < 1 {
+		numShards = 1
+	}
+	plan := ShardPlan{Trials: opt.Trials, Seed: opt.Seed, NumShards: numShards}
+	for _, d := range sel {
+		plan.Experiments = append(plan.Experiments, d.Name)
+	}
+	for k := 0; k < numShards; k++ {
+		so := opt
+		so.Shard, so.NumShards = k, numShards
+		w := ShardWork{Index: k, Selector: fmt.Sprintf("%d/%d", k+1, numShards)}
+		for _, d := range sel {
+			p, keys := registry.ShardPlanFor(d, env, so)
+			w.Jobs = append(w.Jobs, ShardJob{
+				Experiment: d.Name,
+				GridPoints: p.GridPoints, Cached: p.Cached, ToCompute: p.ToCompute,
+				Keys: keys,
+			})
+			w.GridPoints += p.GridPoints
+			w.Cached += p.Cached
+			w.ToCompute += p.ToCompute
+		}
+		plan.GridPoints += w.GridPoints
+		plan.Cached += w.Cached
+		plan.ToCompute += w.ToCompute
+		plan.Shards = append(plan.Shards, w)
+	}
+	return plan
+}
+
+// Render executes each selected experiment against env in order and
+// prints it in the reference create-bench format (section banners when
+// banner is set — the -exp all layout). Every tier renders through this
+// one loop, which is what keeps CLI, coordinator and replay output
+// byte-identical.
+func Render(w io.Writer, env *experiments.Env, sel []registry.Descriptor, opt experiments.Options, banner bool) {
+	for _, d := range sel {
+		if banner {
+			fmt.Fprintf(w, "\n===== %s =====\n", strings.ToUpper(d.Name))
+		}
+		d.Run(env, opt).Render(w)
+	}
+}
+
+// RenderPlans prints the cache-aware schedule (create-bench -plan): per
+// experiment, the unique grid points its sweeps consult, how many are
+// already in the cache, and how many a run would compute. "free" marks
+// figures a run would serve entirely from cache.
+func RenderPlans(w io.Writer, env *experiments.Env, opt experiments.Options, sel []registry.Descriptor) {
+	fmt.Fprintf(w, "%-8s %8s %8s %10s  %s\n", "exp", "points", "cached", "to-compute", "notes")
+	for _, d := range sel {
+		p := registry.PlanFor(d, env, opt)
+		var notes []string
+		if p.Free() {
+			notes = append(notes, "free")
+		}
+		if p.Dynamic {
+			notes = append(notes, "dynamic upper bound")
+		}
+		if p.Uncached {
+			notes = append(notes, "has uncached work")
+		}
+		fmt.Fprintf(w, "%-8s %8d %8d %10d  %s\n",
+			d.Name, p.GridPoints, p.Cached, p.ToCompute, strings.Join(notes, ", "))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator: fan-out, retry, at-most-once merge, replay.
+
+// Coordinator fans a plan's shards out over a pool of Runners and
+// reassembles the results into Env's cache. Env.Cache and Store must be
+// the same store; when any runner stages entries in directories (the HTTP
+// path), the store must be disk-backed so merged entries are readable by
+// the replay.
+type Coordinator struct {
+	Env   *experiments.Env
+	Store *cache.Store
+	// Runners is the worker pool. A runner whose RunShard fails is retired
+	// for the rest of the run (worker loss); its shard is re-queued to a
+	// healthy runner.
+	Runners []Runner
+	// MaxAttempts bounds how many times one shard may fail before the whole
+	// run fails (default 3).
+	MaxAttempts int
+	// Logf, when set, receives human-readable progress (stderr-style).
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	merged map[int]bool // shards whose entries have landed, for at-most-once merge
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Run is the end-to-end distributed evaluation: plan sel at numShards,
+// execute the non-free shards across the runner pool, and replay the
+// selection unsharded against the merged cache, rendering to w. The
+// rendered bytes are identical to a single-node create-bench run of the
+// same selection — the merge only ever adds cache entries the single-node
+// run would have computed itself.
+func (c *Coordinator) Run(ctx context.Context, w io.Writer, sel []registry.Descriptor, opt experiments.Options, numShards int, banner bool) (ShardPlan, error) {
+	plan := PlanShards(c.Env, sel, opt, numShards)
+	if err := c.Execute(ctx, plan); err != nil {
+		return plan, err
+	}
+	replay := opt
+	replay.Shard, replay.NumShards = 0, 0
+	replay.Ctx = ctx
+	// An interrupt mid-replay surfaces as the Canceled panic at the next
+	// grid-point boundary; convert it to the same clean error the fan-out
+	// phase reports instead of crashing the caller.
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(experiments.Canceled); ok {
+					err = ctx.Err()
+					if err == nil {
+						err = context.Canceled
+					}
+					return
+				}
+				panic(r)
+			}
+		}()
+		Render(w, c.Env, sel, replay, banner)
+		return nil
+	}()
+	return plan, err
+}
+
+// Execute runs every non-free shard of the plan on the runner pool.
+// Shards are dispatched heaviest-predicted-compute first (hit-aware
+// balancing: a naive k/n round-robin would let one unlucky worker own the
+// whole tail), failed shards are re-queued to surviving runners, and each
+// completed shard's staged entries are merged into the destination store
+// at most once.
+func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
+	if len(c.Runners) == 0 {
+		return fmt.Errorf("coordinator has no runners")
+	}
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+
+	// Hit-aware schedule: heaviest shards first; fully cached shards are
+	// never dispatched at all — the replay serves their points locally.
+	var pending []int
+	for _, w := range plan.Shards {
+		if w.Free() {
+			c.logf("shard %s: all %d points cached; not dispatching", w.Selector, w.GridPoints)
+			continue
+		}
+		pending = append(pending, w.Index)
+	}
+	sort.SliceStable(pending, func(i, j int) bool {
+		return plan.Shards[pending[i]].ToCompute > plan.Shards[pending[j]].ToCompute
+	})
+	if len(pending) == 0 {
+		return nil
+	}
+
+	type result struct {
+		shard, runner int
+		dir           string
+		err           error
+	}
+	// Buffered to the pool size (each runner has at most one shard in
+	// flight), so an error return never strands an in-flight goroutine
+	// blocking on its send.
+	results := make(chan result, len(c.Runners))
+	idle := make([]int, len(c.Runners))
+	for i := range idle {
+		idle[i] = i
+	}
+	attempts := make(map[int]int)
+	outstanding := 0
+	for {
+		for len(pending) > 0 && len(idle) > 0 {
+			if err := ctx.Err(); err != nil {
+				// Let in-flight shards finish reporting before returning, so
+				// no goroutine blocks on the results channel forever.
+				for ; outstanding > 0; outstanding-- {
+					<-results
+				}
+				return err
+			}
+			shard := pending[0]
+			pending = pending[1:]
+			r := idle[0]
+			idle = idle[1:]
+			w := plan.Shards[shard]
+			c.logf("shard %s -> %s (%d points, %d cached, %d to compute)",
+				w.Selector, c.Runners[r].Label(), w.GridPoints, w.Cached, w.ToCompute)
+			outstanding++
+			go func(shard, r int) {
+				dir, err := c.Runners[r].RunShard(ctx, plan, shard)
+				results <- result{shard: shard, runner: r, dir: dir, err: err}
+			}(shard, r)
+		}
+		if outstanding == 0 {
+			if len(pending) == 0 {
+				return nil
+			}
+			return fmt.Errorf("no healthy runners left with %d shard(s) unfinished", len(pending))
+		}
+
+		res := <-results
+		outstanding--
+		w := plan.Shards[res.shard]
+		if res.err != nil {
+			// Worker loss: retire the runner, re-queue the shard.
+			attempts[res.shard]++
+			c.logf("shard %s failed on %s (attempt %d/%d): %v",
+				w.Selector, c.Runners[res.runner].Label(), attempts[res.shard], maxAttempts, res.err)
+			if attempts[res.shard] >= maxAttempts {
+				return fmt.Errorf("shard %s failed %d times, last on %s: %w",
+					w.Selector, attempts[res.shard], c.Runners[res.runner].Label(), res.err)
+			}
+			pending = append(pending, res.shard)
+			continue
+		}
+		n, dup, err := c.mergeShard(res.shard, res.dir)
+		if err != nil {
+			return fmt.Errorf("merging shard %s: %w", w.Selector, err)
+		}
+		if res.dir != "" {
+			// The staging dir's entries now live in the destination (or, on
+			// a duplicate completion, already did); drop the copies so they
+			// never pollute cache-dir scans or later merges.
+			_ = os.RemoveAll(res.dir)
+		}
+		switch {
+		case dup:
+			c.logf("shard %s completed again on %s; merge skipped (already landed)",
+				w.Selector, c.Runners[res.runner].Label())
+		case res.dir != "":
+			c.logf("shard %s done on %s: merged %d entries", w.Selector, c.Runners[res.runner].Label(), n)
+		default:
+			c.logf("shard %s done on %s", w.Selector, c.Runners[res.runner].Label())
+		}
+		idle = append(idle, res.runner)
+	}
+}
+
+// mergeShard lands one completed shard's staged entries into the
+// destination cache directory, exactly once per shard index: a duplicate
+// completion (a shard retried after a lost acknowledgement, say) reports
+// dup=true and merges nothing. dir "" means the runner computed straight
+// into the destination store (LocalRunner) and there is nothing to copy —
+// the shard is still marked, so a duplicate stays detectable.
+func (c *Coordinator) mergeShard(shard int, dir string) (entries int, dup bool, err error) {
+	c.mu.Lock()
+	if c.merged == nil {
+		c.merged = make(map[int]bool)
+	}
+	if c.merged[shard] {
+		c.mu.Unlock()
+		return 0, true, nil
+	}
+	c.merged[shard] = true
+	c.mu.Unlock()
+	if dir == "" {
+		return 0, false, nil
+	}
+	if c.Store == nil || c.Store.Dir() == "" {
+		return 0, false, fmt.Errorf("staged shard entries need a disk-backed destination cache (-cache-dir)")
+	}
+	entries, err = cache.MergeDirs(c.Store.Dir(), dir)
+	return entries, false, err
+}

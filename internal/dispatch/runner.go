@@ -1,0 +1,310 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+
+	"github.com/embodiedai/create/internal/cache"
+	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/registry"
+	"github.com/embodiedai/create/internal/service"
+)
+
+// Runner executes one shard of a plan: every cacheable grid point the
+// shard owns ends up either in the coordinator's own store or in a
+// returned staging directory of content-addressed entries.
+type Runner interface {
+	// Label identifies the runner in logs and errors.
+	Label() string
+	// RunShard computes the shard's points. It returns the directory
+	// holding the shard's cache entries, or "" when the points already
+	// landed in the coordinator's store (the in-process path). A non-nil
+	// error means the shard must be re-run; partial state is harmless
+	// because entries are content-addressed and idempotent to merge.
+	RunShard(ctx context.Context, plan ShardPlan, shard int) (dir string, err error)
+}
+
+// ---------------------------------------------------------------------------
+// LocalRunner: today's in-process path.
+
+// LocalRunner executes shards in-process against the coordinator's own
+// environment — the exact code path a create-bench -shard run takes.
+// Points land directly in Env.Cache, so RunShard returns no staging
+// directory.
+type LocalRunner struct {
+	// Env is the evaluation substrate; Env.Cache must be the coordinator's
+	// destination store.
+	Env *experiments.Env
+	// Workers bounds this runner's parallelism per shard (0 = all cores).
+	// With several concurrent local runners, size this so the sum stays
+	// within the machine.
+	Workers int
+	// Name labels the runner in logs (default "local").
+	Name string
+}
+
+func (r *LocalRunner) Label() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return "local"
+}
+
+// RunShard executes every experiment slice with owned cacheable points,
+// discarding rendered output — only the cache entries matter; the
+// coordinator's final replay renders. Slices that are fully cached or own
+// no cacheable points are skipped: the replay recomputes uncached work
+// locally anyway, identically to a single-node run.
+func (r *LocalRunner) RunShard(ctx context.Context, plan ShardPlan, shard int) (string, error) {
+	w := plan.Shards[shard]
+	opt := experiments.Options{
+		Trials: plan.Trials, Seed: plan.Seed, Workers: r.Workers,
+		Shard: w.Index, NumShards: plan.NumShards, Ctx: ctx,
+	}
+	for _, job := range w.Jobs {
+		if len(job.Keys) == 0 || job.ToCompute == 0 {
+			continue
+		}
+		d, ok := registry.Lookup(job.Experiment)
+		if !ok {
+			return "", fmt.Errorf("plan names unregistered experiment %q", job.Experiment)
+		}
+		if err := runQuietly(d, r.Env, opt); err != nil {
+			return "", err
+		}
+	}
+	return "", nil
+}
+
+// runQuietly executes one experiment, converting panics — including the
+// Canceled sentinel a canceled context raises between grid points — into
+// errors, so a failing experiment retires its runner instead of killing
+// the coordinator.
+func runQuietly(d registry.Descriptor, env *experiments.Env, opt experiments.Options) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(experiments.Canceled); ok {
+				err = context.Canceled
+				return
+			}
+			err = fmt.Errorf("experiment %s panicked: %v", d.Name, r)
+		}
+	}()
+	d.Run(env, opt)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// HTTPRunner: shards on a remote create-serve worker.
+
+// HTTPRunner executes shards on a create-serve worker: one shard job per
+// experiment slice (the worker's own pool and cache do the computing),
+// NDJSON progress streamed back, and the computed entries pulled by
+// content address into a per-shard staging directory for the coordinator
+// to merge. The worker must run with a disk-backed cache (-cache-dir);
+// the service enforces this for sharded jobs at submission.
+type HTTPRunner struct {
+	// BaseURL is the worker root, e.g. "http://10.0.0.7:8080".
+	BaseURL string
+	// Client defaults to http.DefaultClient. Give it no overall timeout:
+	// the events stream is open for the length of a shard.
+	Client *http.Client
+	// StageDir is where pulled shard entries land (a per-shard
+	// subdirectory is created inside it). Keep it outside any live cache
+	// directory: the coordinator deletes it after the merge.
+	StageDir string
+	// Local, when set, is the coordinator's destination store: the shard
+	// pull is filtered to entries Local does not already hold, so a warm
+	// cache transfers only the newly computed points.
+	Local *cache.Store
+	// Prewarm additionally pushes Local's entries from the shard's
+	// manifest to the worker before submitting, so the worker's plan sees
+	// them as hits instead of recomputing points the coordinator already
+	// has. Best-effort: a failed push costs recompute, not correctness.
+	Prewarm bool
+	// OnEvent, when set, receives every progress event the worker streams.
+	OnEvent func(shard int, ev service.Event)
+}
+
+func (r *HTTPRunner) Label() string { return r.BaseURL }
+
+func (r *HTTPRunner) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+func (r *HTTPRunner) RunShard(ctx context.Context, plan ShardPlan, shard int) (string, error) {
+	w := plan.Shards[shard]
+	keys := w.Keys()
+	if r.Prewarm && r.Local != nil {
+		r.prewarm(ctx, keys)
+	}
+	for _, job := range w.Jobs {
+		if len(job.Keys) == 0 || job.ToCompute == 0 {
+			continue
+		}
+		if err := r.runJob(ctx, plan, w, job); err != nil {
+			return "", err
+		}
+	}
+	// Pull only what the coordinator is missing: entries it already holds
+	// would be skipped at the merge anyway, so shipping them is pure waste.
+	if r.Local != nil {
+		missing := keys[:0]
+		for _, k := range keys {
+			if !r.Local.ContainsKey(k) {
+				missing = append(missing, k)
+			}
+		}
+		keys = missing
+	}
+	dir := filepath.Join(r.StageDir, "shard-"+strconv.Itoa(w.Index))
+	stage, err := cache.New(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(keys) == 0 {
+		return dir, nil
+	}
+	if err := r.pull(ctx, keys, stage); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// runJob submits one (experiment, shard) job and follows its event stream
+// to a terminal state.
+func (r *HTTPRunner) runJob(ctx context.Context, plan ShardPlan, w ShardWork, job ShardJob) error {
+	seed := plan.Seed
+	spec := service.JobSpec{
+		Experiment: job.Experiment,
+		Trials:     plan.Trials,
+		Seed:       &seed,
+		Shard:      w.Selector,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	var st service.JobStatus
+	if err := r.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body), &st); err != nil {
+		return fmt.Errorf("submitting %s shard %s: %w", job.Experiment, w.Selector, err)
+	}
+	state, errMsg, err := r.follow(ctx, w.Index, st.ID)
+	if err != nil {
+		return fmt.Errorf("following %s shard %s (%s): %w", job.Experiment, w.Selector, st.ID, err)
+	}
+	if state != service.StateDone {
+		return fmt.Errorf("%s shard %s (%s) ended %s: %s", job.Experiment, w.Selector, st.ID, state, errMsg)
+	}
+	return nil
+}
+
+// follow streams a job's NDJSON events until a terminal state, forwarding
+// each event to OnEvent. A broken stream is an error: the coordinator
+// treats it as worker loss and re-queues the shard.
+func (r *HTTPRunner) follow(ctx context.Context, shard int, id string) (service.State, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", "", err
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", "", fmt.Errorf("events stream returned %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var last service.Event
+	terminal := false
+	for {
+		var ev service.Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return "", "", fmt.Errorf("events stream broke: %w", err)
+		}
+		last = ev
+		terminal = ev.State == service.StateDone || ev.State == service.StateFailed ||
+			ev.State == service.StateCanceled
+		if r.OnEvent != nil {
+			r.OnEvent(shard, ev)
+		}
+	}
+	if !terminal {
+		return "", "", fmt.Errorf("events stream ended before a terminal state")
+	}
+	return last.State, last.Message, nil
+}
+
+// prewarm best-effort pushes locally resident entries from the shard's
+// manifest to the worker.
+func (r *HTTPRunner) prewarm(ctx context.Context, keys []string) {
+	var buf bytes.Buffer
+	n, err := r.Local.ExportTo(&buf, keys)
+	if err != nil || n == 0 {
+		return
+	}
+	_ = r.do(ctx, http.MethodPost, "/v1/cache/import", &buf, nil)
+}
+
+// pull fetches the manifest's entries from the worker and lands them in
+// the staging store. Keys the worker never computed (dynamic-grid
+// supersets) are simply absent from the stream.
+func (r *HTTPRunner) pull(ctx context.Context, keys []string, stage *cache.Store) error {
+	body, err := json.Marshal(map[string]any{"keys": keys})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.BaseURL+"/v1/cache/export", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cache export returned %d", resp.StatusCode)
+	}
+	if _, err := stage.ImportFrom(resp.Body); err != nil {
+		return fmt.Errorf("staging exported entries: %w", err)
+	}
+	return nil
+}
+
+// do issues one JSON request against the worker, decoding a 2xx response
+// into out (when non-nil) and turning everything else into an error.
+func (r *HTTPRunner) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, r.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s %s returned %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -397,5 +398,88 @@ func TestOptionsSplitNeverZero(t *testing.T) {
 					w, n, gridW, opt.Workers)
 			}
 		}
+	}
+}
+
+// TestCanceledContextAbortsBetweenGridPoints: once Options.Ctx is
+// canceled, the next grid-point boundary panics with Canceled — the
+// mechanism behind DELETE /v1/jobs/{id} on a running job — and a nil Ctx
+// never cancels.
+func TestCanceledContextAbortsBetweenGridPoints(t *testing.T) {
+	e := NewEnv()
+	store, _ := cache.New("")
+	e.Cache = store
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := cachedOptions()
+	opt.Workers = 1
+	opt.Ctx = ctx
+
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		Fig15Interval(e, opt)
+		return nil
+	}()
+	if _, ok := caught.(Canceled); !ok {
+		t.Fatalf("canceled sweep raised %v, want Canceled", caught)
+	}
+	if store.Misses() != 0 {
+		t.Fatalf("canceled sweep still computed %d points", store.Misses())
+	}
+
+	// The uncancelled path is untouched, and a live (un-canceled) context
+	// lets the sweep run to completion.
+	opt.Ctx = context.Background()
+	if rows := Fig15Interval(e, opt); len(rows) == 0 {
+		t.Fatal("live context blocked the sweep")
+	}
+}
+
+// TestFig14PredictorCached: the predictor training run — dataset build
+// plus epoch loop — is content-addressed like any grid point: the second
+// call replays the stored result without retraining, a cold store replays
+// from disk, and the cached result equals the direct computation.
+func TestFig14PredictorCached(t *testing.T) {
+	opt := Options{Trials: 1, Seed: 2026}
+	scale := PredictorScale{TrainFrames: 24, TestFrames: 8, Epochs: 1}
+	want := Fig14Predictor(opt, scale)
+
+	dir := t.TempDir()
+	e := NewEnv()
+	store, err := cache.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Cache = store
+	if got := e.Fig14PredictorCached(opt, scale); got != want {
+		t.Fatalf("cached training diverged: %+v vs %+v", got, want)
+	}
+	misses := store.Misses()
+	if got := e.Fig14PredictorCached(opt, scale); got != want {
+		t.Fatal("replayed training result diverged")
+	}
+	if store.Misses() != misses {
+		t.Fatal("second call retrained instead of replaying")
+	}
+
+	// A different scale is a different fingerprint: no false sharing.
+	other := scale
+	other.Epochs = 2
+	if got := e.Fig14PredictorCached(opt, other); got == want {
+		t.Fatal("distinct training schedules shared a fingerprint")
+	}
+
+	// A cold environment over the same directory replays from disk.
+	cold := NewEnv()
+	coldStore, err := cache.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.Cache = coldStore
+	if got := cold.Fig14PredictorCached(opt, scale); got != want {
+		t.Fatal("disk replay of the training result diverged")
+	}
+	if coldStore.Misses() != 0 {
+		t.Fatalf("disk replay retrained (%d misses)", coldStore.Misses())
 	}
 }

@@ -429,7 +429,7 @@ func (e *Env) phaseInjectionRow(q float64, target world.Phase, opt Options) Stag
 	if e.Cache == nil {
 		s = compute()
 	} else {
-		s = e.cachedCompute(fig7InjectionPoint(q, target, opt), compute)
+		s = e.cachedCompute(opt, fig7InjectionPoint(q, target, opt), compute)
 	}
 	return StageCorruption{Phase: target, SuccessRate: s.SuccessRate, AvgSteps: s.AvgSteps}
 }

@@ -235,7 +235,7 @@ func crossPlannerSuccess(e *Env, fm *bridge.FaultModel, prot bridge.Protection,
 	if e.Cache == nil {
 		return compute().SuccessRate
 	}
-	return e.cachedCompute(crossPlannerCachePoint(fm, prot, task, v, opt), compute).SuccessRate
+	return e.cachedCompute(opt, crossPlannerCachePoint(fm, prot, task, v, opt), compute).SuccessRate
 }
 
 // crossControllerCachePoint fingerprints one abstract controller episode
@@ -319,7 +319,7 @@ func (e *Env) crossControllerSummary(fm *bridge.FaultModel, task platforms.Cross
 	if e.Cache == nil {
 		return compute()
 	}
-	return e.cachedCompute(crossControllerCachePoint(fm, task, opt), compute)
+	return e.cachedCompute(opt, crossControllerCachePoint(fm, task, opt), compute)
 }
 
 // AverageSavingByClass aggregates Fig. 17 rows.

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -46,6 +47,35 @@ type Options struct {
 	// computed by any shard replays identically everywhere.
 	Shard     int
 	NumShards int
+	// Ctx, when non-nil, lets the caller abort a running evaluation between
+	// grid points: once Ctx is canceled, the next point boundary panics with
+	// Canceled, which the serving tier recovers into a canceled job. The
+	// check sits outside the per-point compute, so a point that has started
+	// always runs to completion — concurrent jobs waiting on its flight
+	// slot are never poisoned by another job's cancellation. A nil Ctx (the
+	// default) never cancels.
+	Ctx context.Context
+}
+
+// Canceled is the panic value raised at a grid-point boundary once
+// Options.Ctx is canceled. It unwinds the sweep through the deterministic
+// engine (sim.Map re-raises worker panics on the caller) and is recovered
+// by the service layer, which marks the job canceled rather than failed.
+type Canceled struct{}
+
+func (Canceled) Error() string { return "evaluation canceled" }
+
+// checkCanceled panics with Canceled once the caller's context is done.
+// Called between grid points, never inside a point's compute.
+func (o Options) checkCanceled() {
+	if o.Ctx == nil {
+		return
+	}
+	select {
+	case <-o.Ctx.Done():
+		panic(Canceled{})
+	default:
+	}
 }
 
 // owns reports whether this process's shard is responsible for computing
@@ -207,8 +237,12 @@ func (g *flightGroup) do(key string, compute func() agent.Summary) agent.Summary
 // point is never computed twice concurrently. The owner re-checks the
 // cache after winning the flight slot, closing the window where a previous
 // owner finished (and was deleted from the group) between this caller's
-// miss and its do().
-func (e *Env) cachedCompute(p cache.Point, compute func() agent.Summary) agent.Summary {
+// miss and its do(). The cancellation poll lives here — at the point
+// boundary, before the cache consult and outside the flight closure — so
+// canceling one job can never panic a concurrent job waiting on a shared
+// flight slot.
+func (e *Env) cachedCompute(opt Options, p cache.Point, compute func() agent.Summary) agent.Summary {
+	opt.checkCanceled()
 	if s, ok := e.Cache.Get(p); ok {
 		return s
 	}
@@ -332,9 +366,10 @@ func cachePoint(task world.TaskName, cfg agent.Config, opt Options, policyID, ov
 // on the compute path too, so hits and misses return the same shape.
 func (e *Env) runTaskCached(task world.TaskName, cfg agent.Config, opt Options, policyID, override string) agent.Summary {
 	if e.Cache == nil {
+		opt.checkCanceled()
 		return e.runTask(task, cfg, opt)
 	}
-	return e.cachedCompute(cachePoint(task, cfg, opt, policyID, override), func() agent.Summary {
+	return e.cachedCompute(opt, cachePoint(task, cfg, opt, policyID, override), func() agent.Summary {
 		s := e.runTask(task, cfg, opt)
 		s.Results = nil
 		return s

@@ -81,17 +81,30 @@ func (p Plan) Free() bool { return !p.Uncached && p.ToCompute == 0 }
 // share points), and the probe never perturbs the store's hit/miss
 // accounting.
 func PlanFor(d Descriptor, e *experiments.Env, opt experiments.Options) Plan {
+	p, _ := ShardPlanFor(d, e, opt)
+	return p
+}
+
+// ShardPlanFor is PlanFor plus the deduplicated content addresses the
+// probe consulted, in enumeration order. With opt carrying a shard
+// selection the keys are exactly the manifest that shard owns — what the
+// dispatch tier ships between a coordinator and its workers to pre-warm
+// caches and pull computed entries back by address.
+func ShardPlanFor(d Descriptor, e *experiments.Env, opt experiments.Options) (Plan, []string) {
 	p := Plan{Experiment: d.Name, Dynamic: d.Dynamic, Uncached: d.Uncached}
 	if d.Points == nil {
-		return p
+		return p, nil
 	}
-	seen := make(map[string]bool)
-	for _, pt := range d.Points(e, opt) {
+	pts := d.Points(e, opt)
+	keys := make([]string, 0, len(pts))
+	seen := make(map[string]bool, len(pts))
+	for _, pt := range pts {
 		key := pt.Key()
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
+		keys = append(keys, key)
 		p.GridPoints++
 		if e.Cache != nil && e.Cache.Contains(pt) {
 			p.Cached++
@@ -99,7 +112,7 @@ func PlanFor(d Descriptor, e *experiments.Env, opt experiments.Options) Plan {
 			p.ToCompute++
 		}
 	}
-	return p
+	return p, keys
 }
 
 // All returns every registered experiment in the paper's canonical order.
@@ -434,9 +447,9 @@ type Fig14Rows struct {
 	Tracking  []experiments.TrackingPoint
 }
 
-func runFig14(_ *experiments.Env, opt experiments.Options) Result {
+func runFig14(e *experiments.Env, opt experiments.Options) Result {
 	rows := Fig14Rows{
-		Predictor: experiments.Fig14Predictor(opt, experiments.QuickPredictorScale()),
+		Predictor: e.Fig14PredictorCached(opt, experiments.QuickPredictorScale()),
 		OracleR2:  experiments.OracleR2(opt, 0.34, 2000),
 		Tracking:  experiments.Fig14Tracking(opt, 200, policy.Default.Func()),
 	}

@@ -213,3 +213,46 @@ func TestRenderIsDeterministic(t *testing.T) {
 		t.Fatal("cache-served run rendered different bytes")
 	}
 }
+
+// TestShardPlanForKeyManifest: the key manifest ShardPlanFor returns is
+// the plan itself in address form — one key per counted grid point, and
+// the per-shard manifests union to exactly the unsharded manifest. This
+// is the contract the dispatch tier ships between coordinator and
+// workers.
+func TestShardPlanForKeyManifest(t *testing.T) {
+	opt := testOptions()
+	e := experiments.NewEnv()
+	const numShards = 3
+	for _, name := range []string{"fig16", "fig19", "table6"} {
+		d, _ := Lookup(name)
+		full, fullKeys := ShardPlanFor(d, e, opt)
+		if len(fullKeys) != full.GridPoints {
+			t.Fatalf("%s: %d keys for %d grid points", name, len(fullKeys), full.GridPoints)
+		}
+		fullSet := map[string]bool{}
+		for _, k := range fullKeys {
+			if fullSet[k] {
+				t.Fatalf("%s: duplicate key in manifest", name)
+			}
+			fullSet[k] = true
+		}
+		union := map[string]bool{}
+		for k := 0; k < numShards; k++ {
+			so := opt
+			so.Shard, so.NumShards = k, numShards
+			p, keys := ShardPlanFor(d, e, so)
+			if len(keys) != p.GridPoints {
+				t.Fatalf("%s shard %d: %d keys for %d grid points", name, k, len(keys), p.GridPoints)
+			}
+			for _, key := range keys {
+				if !fullSet[key] {
+					t.Fatalf("%s shard %d: key outside the unsharded manifest", name, k)
+				}
+				union[key] = true
+			}
+		}
+		if len(union) != len(fullSet) {
+			t.Fatalf("%s: shard manifests cover %d of %d keys", name, len(union), len(fullSet))
+		}
+	}
+}

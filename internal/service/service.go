@@ -28,8 +28,10 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -54,11 +56,17 @@ const (
 type State string
 
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
 )
+
+// terminal reports whether a state is final.
+func terminal(s State) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
 
 // JobSpec is a submission: which experiment to run and at what scale.
 // Seed is a pointer so an absent field defaults to DefaultSeed while an
@@ -119,6 +127,11 @@ type job struct {
 	spec JobSpec
 	key  string
 
+	// ctx is canceled by DELETE /v1/jobs/{id}; a running job's sweep polls
+	// it between grid points.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu       sync.Mutex
 	state    State
 	err      string
@@ -171,7 +184,7 @@ func (j *job) eventsSince(from int) ([]Event, bool) {
 	if from < len(j.events) {
 		evs = append(evs, j.events[from:]...)
 	}
-	return evs, j.state == StateDone || j.state == StateFailed
+	return evs, terminal(j.state)
 }
 
 // Config assembles a Server.
@@ -194,6 +207,10 @@ type Config struct {
 	// Older finished jobs are forgotten, keeping a long-lived daemon's
 	// memory flat; their computed points live on in the shared cache.
 	MaxFinishedJobs int
+	// FinishedJobTTL, when positive, additionally expires terminal jobs by
+	// age: a janitor retires any job finished longer than this ago, even
+	// when the count cap has room. 0 disables age-based expiry.
+	FinishedJobTTL time.Duration
 }
 
 // Server is the HTTP daemon state. Create with New, launch workers with
@@ -207,12 +224,21 @@ type Server struct {
 	jobs     map[string]*job
 	order    []string        // submission order, for listing
 	byKey    map[string]*job // live (queued/running) jobs, for coalescing
-	finished []string        // terminal jobs, oldest first, for retention
+	finished []finishedRec   // terminal jobs, oldest first, for retention
 	closed   bool
 	nextID   int
 
-	queue chan *job
-	wg    sync.WaitGroup
+	queue       chan *job
+	wg          sync.WaitGroup
+	janitorStop chan struct{}
+}
+
+// finishedRec is one terminal job in retirement order, stamped with when
+// it terminated so the TTL janitor can expire by age without touching the
+// job's own lock.
+type finishedRec struct {
+	id string
+	at time.Time
 }
 
 // New validates the config and builds a server. The total worker budget is
@@ -230,16 +256,18 @@ func New(cfg Config) *Server {
 	}
 	jobWorkers, perJob := sim.Split(cfg.Workers, cfg.MaxConcurrentJobs)
 	return &Server{
-		cfg:        cfg,
-		jobWorkers: jobWorkers,
-		perJob:     perJob,
-		jobs:       make(map[string]*job),
-		byKey:      make(map[string]*job),
-		queue:      make(chan *job, cfg.QueueDepth),
+		cfg:         cfg,
+		jobWorkers:  jobWorkers,
+		perJob:      perJob,
+		jobs:        make(map[string]*job),
+		byKey:       make(map[string]*job),
+		queue:       make(chan *job, cfg.QueueDepth),
+		janitorStop: make(chan struct{}),
 	}
 }
 
-// Start launches the job worker pool.
+// Start launches the job worker pool and, with a FinishedJobTTL
+// configured, the retention janitor.
 func (s *Server) Start() {
 	for i := 0; i < s.jobWorkers; i++ {
 		s.wg.Add(1)
@@ -250,10 +278,35 @@ func (s *Server) Start() {
 			}
 		}()
 	}
+	if ttl := s.cfg.FinishedJobTTL; ttl > 0 {
+		interval := ttl / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-s.janitorStop:
+					return
+				case <-ticker.C:
+					s.mu.Lock()
+					s.evictFinishedLocked(time.Now())
+					s.mu.Unlock()
+				}
+			}
+		}()
+	}
 }
 
 // Close stops accepting submissions, drains every queued and running job,
-// and waits for the pool to exit. Safe to call once.
+// and waits for the pool (and janitor) to exit. Safe to call once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -263,6 +316,7 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.queue)
+	close(s.janitorStop)
 	s.wg.Wait()
 }
 
@@ -297,10 +351,13 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
 		return live.status(), true, nil
 	}
 	s.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:      "job-" + strconv.Itoa(s.nextID),
 		spec:    spec,
 		key:     key,
+		ctx:     ctx,
+		cancel:  cancel,
 		state:   StateQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
@@ -338,13 +395,18 @@ func (s *Server) Job(id string) (JobStatus, bool) {
 // run executes one job on a pool worker.
 func (s *Server) run(j *job) {
 	d, _ := registry.Lookup(j.spec.Experiment) // validated at submit
-	opt := experiments.Options{Trials: j.spec.Trials, Seed: *j.spec.Seed, Workers: s.perJob}
+	opt := experiments.Options{Trials: j.spec.Trials, Seed: *j.spec.Seed, Workers: s.perJob, Ctx: j.ctx}
 	if j.spec.Workers > 0 && j.spec.Workers < s.perJob {
 		opt.Workers = j.spec.Workers
 	}
 	opt.Shard, opt.NumShards, _ = experiments.ParseShard(j.spec.Shard) // validated at submit
 
 	j.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while queued: already terminal and retired; nothing to run.
+		j.mu.Unlock()
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.appendEventLocked(StateRunning, "")
@@ -367,9 +429,15 @@ func (s *Server) run(j *job) {
 
 	var buf bytes.Buffer
 	var rows any
+	canceled := false
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
+				if _, ok := r.(experiments.Canceled); ok {
+					canceled = true
+					err = fmt.Errorf("canceled")
+					return
+				}
 				err = fmt.Errorf("experiment panicked: %v", r)
 			}
 		}()
@@ -390,11 +458,16 @@ func (s *Server) run(j *job) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.delta = delta
-	if err != nil {
+	switch {
+	case canceled:
+		j.state = StateCanceled
+		j.err = "canceled"
+		j.appendEventLocked(StateCanceled, "canceled at a grid-point boundary")
+	case err != nil:
 		j.state = StateFailed
 		j.err = err.Error()
 		j.appendEventLocked(StateFailed, j.err)
-	} else {
+	default:
 		j.state = StateDone
 		j.output = buf.Bytes()
 		j.rows = rows
@@ -406,17 +479,38 @@ func (s *Server) run(j *job) {
 	}
 	j.mu.Unlock()
 	close(j.done)
+	j.cancel() // release the context's resources
 
-	// Release the dedupe slot — later identical submissions re-run (and
-	// are served from cache) rather than returning this historical job —
-	// and retire the oldest finished jobs past the retention cap.
 	s.mu.Lock()
+	s.retireLocked(j)
+	s.mu.Unlock()
+}
+
+// retireLocked moves a job that just reached a terminal state into
+// retention: the dedupe slot is released — later identical submissions
+// re-run (and are served from cache) rather than returning this
+// historical job — and the oldest finished jobs past the count cap or the
+// TTL are forgotten. Caller holds s.mu.
+func (s *Server) retireLocked(j *job) {
 	if s.byKey[j.key] == j {
 		delete(s.byKey, j.key)
 	}
-	s.finished = append(s.finished, j.id)
-	for len(s.finished) > s.cfg.MaxFinishedJobs {
-		evict := s.finished[0]
+	s.finished = append(s.finished, finishedRec{id: j.id, at: time.Now()})
+	s.evictFinishedLocked(time.Now())
+}
+
+// evictFinishedLocked enforces finished-job retention: the count cap
+// always, and — when a TTL is configured — age expiry against now. Caller
+// holds s.mu.
+func (s *Server) evictFinishedLocked(now time.Time) {
+	expired := func(rec finishedRec) bool {
+		if len(s.finished) > s.cfg.MaxFinishedJobs {
+			return true
+		}
+		return s.cfg.FinishedJobTTL > 0 && now.Sub(rec.at) > s.cfg.FinishedJobTTL
+	}
+	for len(s.finished) > 0 && expired(s.finished[0]) {
+		evict := s.finished[0].id
 		s.finished = s.finished[1:]
 		delete(s.jobs, evict)
 		for i, id := range s.order {
@@ -426,7 +520,43 @@ func (s *Server) run(j *job) {
 			}
 		}
 	}
+}
+
+// Cancel requests cancellation of a job. Queued jobs terminate
+// immediately (the worker skips them on dequeue); running jobs have their
+// context canceled and stop at the next grid-point boundary. The bool
+// reports whether the call changed anything — false means the job was
+// already terminal.
+func (s *Server) Cancel(id string) (JobStatus, bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
 	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false, fmt.Errorf("no such job")
+	}
+	j.mu.Lock()
+	switch {
+	case terminal(j.state):
+		j.mu.Unlock()
+		return j.status(), false, nil
+	case j.state == StateRunning:
+		j.appendEventLocked(StateRunning, "cancel requested; stopping at the next grid point")
+		j.mu.Unlock()
+		j.cancel()
+		return j.status(), true, nil
+	default: // queued
+		j.state = StateCanceled
+		j.err = "canceled"
+		j.finished = time.Now()
+		j.appendEventLocked(StateCanceled, "canceled while queued")
+		j.mu.Unlock()
+		close(j.done)
+		j.cancel()
+		s.mu.Lock()
+		s.retireLocked(j)
+		s.mu.Unlock()
+		return j.status(), true, nil
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -438,9 +568,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("POST /v1/cache/export", s.handleCacheExport)
+	mux.HandleFunc("POST /v1/cache/import", s.handleCacheImport)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -565,6 +698,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateFailed:
 		writeError(w, http.StatusConflict, "job failed: "+errMsg)
 		return
+	case StateCanceled:
+		writeError(w, http.StatusConflict, "job was canceled")
+		return
 	case StateQueued, StateRunning:
 		writeError(w, http.StatusConflict, "job is "+string(state)+"; poll until done")
 		return
@@ -579,6 +715,68 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(output)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}: queued jobs dequeue immediately,
+// running jobs stop at the next grid-point boundary (202 — poll for the
+// canceled state), already-terminal jobs are a 409.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, changed, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !changed {
+		writeError(w, http.StatusConflict, "job already "+string(st.State))
+		return
+	}
+	code := http.StatusOK
+	if st.State == StateRunning {
+		code = http.StatusAccepted // cancellation lands at the next grid point
+	}
+	writeJSON(w, code, st)
+}
+
+// handleCacheExport streams cache entries as NDJSON (the format
+// Store.ImportFrom and the coordinator's shard pull consume). The
+// optional JSON body {"keys": [...]} restricts the export to a manifest;
+// an empty body exports everything. Requires a disk-backed cache.
+func (s *Server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Store
+	if st == nil || st.Dir() == "" {
+		writeError(w, http.StatusConflict, "cache export needs a disk-backed cache (start the server with -cache-dir)")
+		return
+	}
+	var req struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, "bad export request: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	// Errors past this point cut the stream; the importer's validation
+	// rejects the truncated tail.
+	_, _ = st.ExportTo(w, req.Keys)
+}
+
+// handleCacheImport lands an NDJSON entry stream (ExportTo's format) into
+// the shared cache — the pre-warm path a coordinator uses to ship points
+// it already holds to a worker. Every record is validated against its
+// content address before it is written.
+func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Store
+	if st == nil {
+		writeError(w, http.StatusConflict, "no cache attached")
+		return
+	}
+	n, err := st.ImportFrom(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("import failed after %d entries: %v", n, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"imported": n})
 }
 
 func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {

@@ -72,7 +72,7 @@ func await(t *testing.T, ts *httptest.Server, id string) JobStatus {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.State == StateDone || st.State == StateFailed {
+		if terminal(st.State) {
 			return st
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -531,5 +531,209 @@ func TestServedJobSharesCLICache(t *testing.T) {
 	}
 	if got := fetchResult(t, ts, st.ID); !bytes.Equal(got, want.Bytes()) {
 		t.Fatal("daemon rendered different bytes than the CLI run")
+	}
+}
+
+// TestCancelQueuedJob: DELETE on a queued job terminates it immediately,
+// releases its dedupe slot, and the worker pool later skips it.
+func TestCancelQueuedJob(t *testing.T) {
+	store, _ := cache.New("")
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store, Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 8})
+	// No Start(): the job stays queued until we cancel it.
+	spec := JobSpec{Experiment: "fig15", Trials: 2, Seed: seedOf(5)}
+	st, _, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, changed, err := s.Cancel(st.ID)
+	if err != nil || !changed || got.State != StateCanceled {
+		t.Fatalf("cancel queued: changed=%v state=%s err=%v", changed, got.State, err)
+	}
+	// The slot is free: an identical resubmission is a fresh job, not a
+	// coalescence onto the canceled one.
+	st2, deduped, err := s.Submit(spec)
+	if err != nil || deduped || st2.ID == st.ID {
+		t.Fatalf("canceled job still coalesces: deduped=%v id=%s err=%v", deduped, st2.ID, err)
+	}
+	// A second cancel reports no change.
+	if _, changed, err := s.Cancel(st.ID); err != nil || changed {
+		t.Fatalf("double cancel: changed=%v err=%v", changed, err)
+	}
+	s.Start()
+	s.Close() // drains: the canceled job must be skipped, the fresh one runs
+	final, ok := s.Job(st.ID)
+	if !ok || final.State != StateCanceled {
+		t.Fatalf("canceled job was resurrected: %+v", final)
+	}
+	if fresh, ok := s.Job(st2.ID); !ok || fresh.State != StateDone {
+		t.Fatalf("resubmission did not run: %+v", fresh)
+	}
+	if _, _, err := s.Cancel("job-999"); err == nil {
+		t.Fatal("cancel of a missing job succeeded")
+	}
+}
+
+// TestCancelRunningJob: DELETE on a running job cancels its context; the
+// sweep stops at the next grid-point boundary and the job terminates as
+// canceled, not failed — and without computing the rest of its grid.
+func TestCancelRunningJob(t *testing.T) {
+	store, _ := cache.New("")
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store, Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 8})
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A grid big enough that cancellation always lands mid-run.
+	st := submit(t, ts, JobSpec{Experiment: "fig16", Trials: 6, Seed: seedOf(2026)}, http.StatusAccepted)
+	deadline := time.Now().Add(time.Minute)
+	for {
+		cur, _ := s.Job(st.ID)
+		if cur.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel of a running job returned %d", resp.StatusCode)
+	}
+	final := await(t, ts, st.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("canceled job ended %s (%s)", final.State, final.Error)
+	}
+	if final.Plan != nil && store.Len() >= final.Plan.GridPoints {
+		t.Fatalf("cancellation computed the whole grid anyway (%d points)", store.Len())
+	}
+	// The result endpoint refuses a canceled job.
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("canceled result returned %d", rresp.StatusCode)
+	}
+}
+
+// TestFinishedJobTTL: with a TTL configured, terminal jobs are forgotten
+// by age even when the count cap has room.
+func TestFinishedJobTTL(t *testing.T) {
+	store, _ := cache.New("")
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store, Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 8,
+		MaxFinishedJobs: 100, FinishedJobTTL: 50 * time.Millisecond})
+	st, _, err := s.Submit(JobSpec{Experiment: "table2", Trials: 2, Seed: seedOf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := s.Job(st.ID); !ok {
+			return // expired
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job outlived its TTL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCacheExportImportEndpoints: a worker's computed entries round-trip
+// over POST /v1/cache/export into a second daemon via /v1/cache/import,
+// after which the second daemon serves the same spec with zero newly
+// computed points — the transfer behind the coordinator's shard pull and
+// pre-warm.
+func TestCacheExportImportEndpoints(t *testing.T) {
+	_, tsA, storeA := testServer(t, t.TempDir())
+	st := submit(t, tsA, JobSpec{Experiment: "fig15", Trials: 4, Seed: seedOf(2026)}, http.StatusAccepted)
+	st = await(t, tsA, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("seed job failed: %s", st.Error)
+	}
+	want := fetchResult(t, tsA, st.ID)
+
+	resp, err := http.Post(tsA.URL+"/v1/cache/export", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/x-ndjson" {
+		t.Fatalf("export returned %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var stream bytes.Buffer
+	if _, err := stream.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if int64(bytes.Count(stream.Bytes(), []byte("\n"))) != storeA.Misses() {
+		t.Fatalf("export carried %d entries, worker computed %d",
+			bytes.Count(stream.Bytes(), []byte("\n")), storeA.Misses())
+	}
+
+	_, tsB, storeB := testServer(t, t.TempDir())
+	iresp, err := http.Post(tsB.URL+"/v1/cache/import", "application/x-ndjson", bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imported struct {
+		Imported int `json:"imported"`
+	}
+	err = json.NewDecoder(iresp.Body).Decode(&imported)
+	iresp.Body.Close()
+	if err != nil || iresp.StatusCode != http.StatusOK || imported.Imported == 0 {
+		t.Fatalf("import returned %d, landed %d entries, err %v", iresp.StatusCode, imported.Imported, err)
+	}
+
+	st2 := submit(t, tsB, JobSpec{Experiment: "fig15", Trials: 4, Seed: seedOf(2026)}, http.StatusAccepted)
+	st2 = await(t, tsB, st2.ID)
+	if st2.State != StateDone {
+		t.Fatalf("replay job failed: %s", st2.Error)
+	}
+	if st2.Cache == nil || st2.Cache.Misses != 0 {
+		t.Fatalf("imported cache did not serve the job: %+v", st2.Cache)
+	}
+	if got := fetchResult(t, tsB, st2.ID); !bytes.Equal(got, want) {
+		t.Fatal("imported replay rendered different bytes")
+	}
+	if storeB.Misses() != 0 {
+		t.Fatalf("second daemon computed %d points", storeB.Misses())
+	}
+
+	// A memory-only daemon refuses export (no complete on-disk record) but
+	// accepts imports.
+	_, tsM, _ := testServer(t, "")
+	mresp, err := http.Post(tsM.URL+"/v1/cache/export", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusConflict {
+		t.Fatalf("memory-only export returned %d", mresp.StatusCode)
+	}
+
+	// A corrupt stream is rejected.
+	cresp, err := http.Post(tsB.URL+"/v1/cache/import", "application/x-ndjson",
+		strings.NewReader(`{"key":"deadbeef","entry":{"fingerprint":"task=forged","summary":{}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("forged import returned %d", cresp.StatusCode)
 	}
 }
