@@ -12,15 +12,66 @@ package create
 import (
 	"testing"
 
+	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/bridge"
 	"github.com/embodiedai/create/internal/experiments"
 	"github.com/embodiedai/create/internal/platforms"
 	"github.com/embodiedai/create/internal/policy"
+	"github.com/embodiedai/create/internal/timing"
 	"github.com/embodiedai/create/internal/world"
 )
 
 func benchOptions() experiments.Options { return experiments.Options{Trials: 12, Seed: 2026} }
 
 var benchEnv = experiments.NewEnv()
+
+// ---------------------------------------------------------------------------
+// Steady-state episode benchmarks: the per-trial unit every figure above
+// multiplies. Each trial runs on the engine's reused per-worker scratch, so
+// allocs/op here is the per-episode residual (plan construction and the
+// Result histogram) — the per-step loop itself is allocation-free, locked
+// by internal/agent's TestStepLoopZeroAllocs and measured in isolation by
+// its BenchmarkStepLoop.
+
+// steadyEpisodeConfig is the hot-path-complete workload: voltage-scaled
+// controller under the hardware error model on a long-horizon task.
+func steadyEpisodeConfig() agent.Config {
+	return agent.Config{
+		Task:        world.TaskIron,
+		Controller:  platforms.JARVIS1Controller.FaultModel(),
+		ControlProt: bridge.Protection{AD: true},
+		UniformBER:  agent.VoltageMode,
+		Timing:      timing.Default(),
+		VSPolicy:    policy.Default.Func(),
+		VSLevels:    policy.Default.VoltageLevels(),
+		StepLimit:   1200,
+		Seed:        2026,
+	}
+}
+
+// BenchmarkEpisodes_VoltageScaled measures b.N voltage-scaled episodes
+// through RunManyOpts — scratch reuse, shared corruption table, discarded
+// per-trial results: the sweep-grid inner loop exactly as production runs
+// it. One untimed episode first absorbs the process-wide cold start (the
+// bridge's lazily measured severity tables), which would otherwise dominate
+// single-iteration (-benchtime 1x) baselines.
+func BenchmarkEpisodes_VoltageScaled(b *testing.B) {
+	cfg := steadyEpisodeConfig()
+	agent.RunManyOpts(cfg, 1, agent.RunOptions{Workers: 1, DiscardResults: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	agent.RunManyOpts(cfg, b.N, agent.RunOptions{Workers: 1, DiscardResults: true})
+}
+
+// BenchmarkEpisodes_CleanStone is the fault-free counterpart: no corruption
+// draws, no VS predictor — isolates the expert/softmax/world step cost.
+func BenchmarkEpisodes_CleanStone(b *testing.B) {
+	cfg := agent.Config{Task: world.TaskStone, UniformBER: 0, StepLimit: 1200, Seed: 2026}
+	agent.RunManyOpts(cfg, 1, agent.RunOptions{Workers: 1, DiscardResults: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	agent.RunManyOpts(cfg, b.N, agent.RunOptions{Workers: 1, DiscardResults: true})
+}
 
 // BenchmarkFig01_VoltageBER regenerates the voltage -> BER curve (Fig. 1(b)).
 func BenchmarkFig01_VoltageBER(b *testing.B) {

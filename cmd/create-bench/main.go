@@ -37,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/embodiedai/create/internal/dispatch"
@@ -52,6 +54,8 @@ func main() {
 	cacheMaxMB := flag.Int("cache-max-mb", 0, "cap the disk cache at this many MiB, evicting least-recently-used entries (0 = unbounded)")
 	merge := flag.String("merge", "", "comma-separated shard cache dirs to union into -cache-dir before running")
 	plan := flag.Bool("plan", false, "plan only: probe the cache and print per-experiment points to compute, without running")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	flag.Parse()
 
 	l, err := dispatch.OpenLocal(*shardSel, *cacheDir)
@@ -80,6 +84,40 @@ func main() {
 		os.Exit(2)
 	}
 	opt := l.Options(*trials, *seed, *workers)
+
+	// Profiling hooks: future hot-path work starts from a profile of the
+	// real sweep, not a guess (see PERFORMANCE.md for the workflow). Armed
+	// only now — past every setup error that os.Exits — so an aborted run
+	// cannot leave a truncated, trailer-less profile behind.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating cpu profile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting cpu profile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle retained heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing mem profile: %v\n", err)
+			}
+		}()
+	}
 
 	if *plan {
 		l.RenderPlans(os.Stdout, selection, opt)

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +44,7 @@ func main() {
 	jobs := flag.Int("jobs", 2, "concurrent job executors; the worker budget is split between them")
 	queue := flag.Int("queue", 64, "bounded FIFO queue depth; a full queue rejects submissions with 503")
 	finishedTTL := flag.Duration("finished-ttl", 0, "expire finished jobs this long after completion (0 = count cap only)")
+	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers (CPU, heap, goroutine) on the service listener")
 	flag.Parse()
 
 	store, err := cache.New(*cacheDir)
@@ -70,7 +72,24 @@ func main() {
 	})
 	srv.Start()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *enablePprof {
+		// Profiling stays opt-in: the daemon may face untrusted clients,
+		// and pprof endpoints leak heap contents. Explicit registrations on
+		// a wrapping mux (rather than the package's DefaultServeMux side
+		// effect) keep the service routes untouched.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("create-serve: /debug/pprof/ enabled")
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("create-serve: %v", err)

@@ -34,6 +34,7 @@ func main() {
 		UniformBER:  agent.VoltageMode,
 		Timing:      sys.Timing,
 		VSPolicy:    m.Func(),
+		VSLevels:    m.VoltageLevels(),
 		Trace:       true,
 		Seed:        7,
 	}

@@ -8,6 +8,18 @@
 // planner invocations corrupt plan subtasks, and controller steps corrupt
 // sampled actions. Voltage scaling (Sec. 5.3) modulates the controller's
 // corruption probability and is captured per step for energy accounting.
+//
+// The step loop is the hottest code in the repository — every layer above
+// it (parallel trials, cached sweeps, serving, distributed dispatch)
+// multiplies its cost — so it is written to be allocation-free in steady
+// state: the softmax is computed once per step into a reused probability
+// buffer (entropy and the sampled action both derive from it), the expert's
+// logits and the world live in per-worker scratch, the controller
+// corruption table is precomputed once per RunMany call, and the voltage
+// histogram is a compact indexed structure converted to the public map
+// shape only at the Result boundary. Every reuse path is bit-identical to
+// the allocating one (see PERFORMANCE.md for the rules future optimizations
+// must obey).
 package agent
 
 import (
@@ -17,6 +29,7 @@ import (
 	"github.com/embodiedai/create/internal/bridge"
 	"github.com/embodiedai/create/internal/planner"
 	"github.com/embodiedai/create/internal/sim"
+	"github.com/embodiedai/create/internal/tensor"
 	"github.com/embodiedai/create/internal/timing"
 	"github.com/embodiedai/create/internal/world"
 )
@@ -51,6 +64,16 @@ type Config struct {
 	// VSPolicy, when set, maps predicted entropy to the controller voltage
 	// (autonomy-adaptive voltage scaling). It overrides ControllerVoltage.
 	VSPolicy func(predictedEntropy float64) float64
+	// VSLevels optionally declares the voltages VSPolicy can return. It is
+	// purely a performance hint: when set, the controller corruption table
+	// is precomputed at exactly these supply values (plus the nominal
+	// start) once per RunMany call and shared read-only across all trials,
+	// instead of being derived lazily per episode. A voltage the policy
+	// returns that is not declared here falls back to the per-episode lazy
+	// cache, so an incomplete (or absent) declaration only costs speed,
+	// never correctness — and the hint is deliberately not part of the
+	// cache fingerprint.
+	VSLevels []float64
 	// VSInterval is the number of steps between voltage updates (Fig. 15).
 	VSInterval int
 	// PredictEntropy estimates the step's error-free entropy before
@@ -70,6 +93,30 @@ type Config struct {
 	Trace bool
 
 	Seed int64
+}
+
+// withDefaults fills the zero-value knobs exactly the way Run historically
+// did, so the episode engine below can assume a fully resolved config.
+func (cfg Config) withDefaults() Config {
+	if cfg.ReplanLimit == 0 {
+		cfg.ReplanLimit = DefaultReplanLimit
+	}
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = DefaultStepLimit
+	}
+	if cfg.VSInterval == 0 {
+		cfg.VSInterval = DefaultVSInterval
+	}
+	if cfg.PredictEntropy == nil {
+		cfg.PredictEntropy = NoisyOracle(0.34)
+	}
+	if cfg.PlannerVoltage == 0 {
+		cfg.PlannerVoltage = timing.VNominal
+	}
+	if cfg.ControllerVoltage == 0 {
+		cfg.ControllerVoltage = timing.VNominal
+	}
+	return cfg
 }
 
 // Result summarizes one episode.
@@ -107,105 +154,331 @@ func NoisyOracle(sigma float64) func(float64, *rand.Rand) float64 {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Shared per-config state (hoisted out of the per-trial path).
+
+// corruptTable is the controller's voltage -> corruption-probability lookup,
+// precomputed once per RunMany call from the voltages the config declares it
+// can visit (the constant supply, or nominal plus VSLevels) and shared
+// read-only by every trial. It replaces recomputing the fault-model
+// composition per episode — through the bridge's severity mutex — with a
+// per-config tabulation.
+//
+// A hit requires the *exact* float64 supply to match a declared one, not
+// just its millivolt key: q is then bit-identical to computing it at that
+// voltage, so declaring levels can never change a result. Episode-level
+// semantics (the legacy first-seen-wins per-mv cache) live in stepCorrupt,
+// which consults this table only the first time an episode sees an mv key.
+type corruptTable struct {
+	vs  []float64
+	mvs []int
+	qs  []float64
+}
+
+// newCorruptTable tabulates q at every declared voltage of a resolved
+// config. Undeclared voltages (a VSPolicy without VSLevels, or a policy
+// returning something outside its declaration) miss the table and are
+// computed lazily by the episode with legacy semantics.
+func newCorruptTable(cfg Config) *corruptTable {
+	var vs []float64
+	if cfg.VSPolicy == nil {
+		vs = []float64{cfg.ControllerVoltage}
+	} else {
+		// The episode starts at nominal until the first prediction; the
+		// policy's reachable set is its declared levels.
+		vs = make([]float64, 0, len(cfg.VSLevels)+1)
+		vs = append(vs, timing.VNominal)
+		vs = append(vs, cfg.VSLevels...)
+	}
+	t := &corruptTable{}
+	for _, v := range vs {
+		if _, ok := t.lookup(mv(v), v); ok {
+			continue // duplicate declaration of the same supply
+		}
+		t.vs = append(t.vs, v)
+		t.mvs = append(t.mvs, mv(v))
+		t.qs = append(t.qs, cfg.controllerCorruptProb(v))
+	}
+	return t
+}
+
+// lookup returns the tabulated q for an exactly matching declared supply.
+// The table is tiny (one entry per declared voltage level), so a linear
+// scan beats hashing.
+func (t *corruptTable) lookup(key int, v float64) (float64, bool) {
+	for i, k := range t.mvs {
+		if k == key && t.vs[i] == v {
+			return t.qs[i], true
+		}
+	}
+	return 0, false
+}
+
+// mvHist is the compact per-episode voltage histogram: parallel mv/count
+// slices with a most-recent-bucket fast path (the voltage changes at most
+// every VSInterval steps, so almost every add hits the previous bucket).
+// It exists so the steady-state step loop never touches a Go map; the
+// public Result keeps its map shape via toMap at the episode boundary.
+type mvHist struct {
+	mvs    []int
+	counts []int
+	last   int
+}
+
+func (h *mvHist) reset() {
+	h.mvs = h.mvs[:0]
+	h.counts = h.counts[:0]
+	h.last = -1
+}
+
+func (h *mvHist) add(key int) {
+	if h.last >= 0 && h.mvs[h.last] == key {
+		h.counts[h.last]++
+		return
+	}
+	for i, k := range h.mvs {
+		if k == key {
+			h.counts[i]++
+			h.last = i
+			return
+		}
+	}
+	h.mvs = append(h.mvs, key)
+	h.counts = append(h.counts, 1)
+	h.last = len(h.mvs) - 1
+}
+
+// toMap converts to the public Result/energy-accounting shape. Always
+// non-nil, matching the historical always-allocated map.
+func (h *mvHist) toMap() map[int]int {
+	m := make(map[int]int, len(h.mvs))
+	for i, k := range h.mvs {
+		m[k] = h.counts[i]
+	}
+	return m
+}
+
+// runScratch is one worker's reusable episode state: the world, the expert
+// (each fully reseeded per trial), the shared step probability buffer, the
+// voltage histogram, and the episode's corruption cache. sim.MapWith hands
+// each worker goroutine exactly one of these, so buffer reuse composes with
+// parallelism without locks.
+type runScratch struct {
+	rng    *rand.Rand
+	w      *world.World
+	expert *world.Expert
+	probs  []float32
+	hist   mvHist
+	// qmvs/qvals is the per-episode corruption cache (reset per trial):
+	// first-seen-wins per mv key, exactly the legacy lazy map but on
+	// reusable slices.
+	qmvs  []int
+	qvals []float64
+	ep    episode
+}
+
+func newRunScratch() *runScratch {
+	return &runScratch{
+		rng:   rand.New(rand.NewSource(0)),
+		probs: make([]float32, world.NumActions),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Episode engine.
+
+// episode is one in-flight episode over a worker's scratch. Its step method
+// is the steady-state hot loop and is allocation-free (locked by the
+// TestStepLoopZeroAllocs regression gate).
+type episode struct {
+	cfg   Config
+	table *corruptTable
+	sc    *runScratch
+	spec  world.TaskSpec
+
+	res            Result
+	plan           []world.Subtask
+	stepsInSubtask int
+	voltage        float64
+
+	// Index of the episode corruption cache's most recently used bucket:
+	// between VS updates the voltage is constant, so nearly every step
+	// short-circuits on it. -1 = nothing resolved yet.
+	lastQIdx int
+}
+
 // Run executes one episode.
 func Run(cfg Config) Result {
-	if cfg.ReplanLimit == 0 {
-		cfg.ReplanLimit = DefaultReplanLimit
-	}
-	if cfg.StepLimit == 0 {
-		cfg.StepLimit = DefaultStepLimit
-	}
-	if cfg.VSInterval == 0 {
-		cfg.VSInterval = DefaultVSInterval
-	}
-	if cfg.PredictEntropy == nil {
-		cfg.PredictEntropy = NoisyOracle(0.34)
-	}
-	if cfg.PlannerVoltage == 0 {
-		cfg.PlannerVoltage = timing.VNominal
-	}
-	if cfg.ControllerVoltage == 0 {
-		cfg.ControllerVoltage = timing.VNominal
-	}
+	cfg = cfg.withDefaults()
+	return runEpisode(cfg, newCorruptTable(cfg), newRunScratch())
+}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// runEpisode plays one episode on a worker's scratch. cfg must be resolved
+// (withDefaults) and carry its per-config corruption table.
+func runEpisode(cfg Config, table *corruptTable, sc *runScratch) Result {
+	ep := startEpisode(cfg, table, sc)
+	for ep.res.Steps < cfg.StepLimit {
+		if ep.step() {
+			break
+		}
+	}
+	ep.res.StepsAtMV = sc.hist.toMap()
+	ep.plan = nil // drop the last plan's backing array until the next trial
+	return ep.res
+}
+
+// startEpisode resets the scratch for cfg and plays the opening planner
+// invocation, returning the episode ready to step. Split from runEpisode so
+// the allocation-regression test can measure a mid-episode step window.
+func startEpisode(cfg Config, table *corruptTable, sc *runScratch) *episode {
+	sc.rng.Seed(cfg.Seed)
 	spec := world.Specs[cfg.Task]
-	w := world.New(spec.Biome, cfg.Seed+1)
-	expert := world.NewExpert(cfg.Seed + 2)
+	if sc.w == nil {
+		sc.w = world.New(spec.Biome, cfg.Seed+1)
+	} else {
+		sc.w.Reset(spec.Biome, cfg.Seed+1)
+	}
+	if sc.expert == nil {
+		sc.expert = world.NewExpert(cfg.Seed + 2)
+	} else {
+		sc.expert.Reseed(cfg.Seed + 2)
+	}
+	sc.hist.reset()
+	sc.qmvs = sc.qmvs[:0]
+	sc.qvals = sc.qvals[:0]
 
-	res := Result{StepsAtMV: make(map[int]int), PlannerVoltageMV: mv(cfg.PlannerVoltage)}
-
-	// Per-voltage controller corruption cache (the fault-model composition
-	// is deterministic per voltage).
-	qCache := map[int]float64{}
-	stepCorrupt := func(v float64) float64 {
-		key := mv(v)
-		if q, ok := qCache[key]; ok {
-			return q
+	ep := &sc.ep
+	*ep = episode{cfg: cfg, table: table, sc: sc, spec: spec, lastQIdx: -1}
+	ep.res = Result{PlannerVoltageMV: mv(cfg.PlannerVoltage)}
+	if cfg.Trace {
+		// Traced episodes historically regrew four slices thousands of
+		// times via append; one up-front allocation each replaces that. The
+		// capacity is clamped: short traced episodes (OracleR2's clean
+		// calibration runs finish in a few hundred steps) should not pay
+		// four StepLimit-sized buffers, and past the clamp a long trace
+		// costs only a couple of amortized doublings. The slices are
+		// returned in the Result, so they cannot live in scratch.
+		traceCap := cfg.StepLimit
+		if traceCap > 4096 {
+			traceCap = 4096
 		}
-		q := cfg.controllerCorruptProb(v)
-		qCache[key] = q
-		return q
+		ep.res.EntropyTrace = make([]float64, 0, traceCap)
+		ep.res.PredictedTrace = make([]float64, 0, traceCap)
+		ep.res.VoltageTrace = make([]float64, 0, traceCap)
+		ep.res.PhaseTrace = make([]world.Phase, 0, traceCap)
 	}
 
-	plan := invokePlanner(cfg, w, rng, &res)
-	goal := world.Subtask{}
-	stepsInSubtask := 0
-	voltage := cfg.ControllerVoltage
+	ep.plan = invokePlanner(cfg, sc.w, sc.rng, &ep.res)
+	ep.voltage = cfg.ControllerVoltage
 	if cfg.VSPolicy != nil {
-		voltage = timing.VNominal // until the first prediction
+		ep.voltage = timing.VNominal // until the first prediction
 	}
+	return ep
+}
 
-	for res.Steps < cfg.StepLimit {
-		// Finished plan but task incomplete (corrupted plan): replan.
-		for len(plan) > 0 && plan[0].Done(w) {
-			plan = plan[1:]
-			stepsInSubtask = 0
-		}
-		if w.Count(spec.Goal) >= spec.Count {
-			res.Success = true
-			return res
-		}
-		if len(plan) == 0 || stepsInSubtask >= cfg.ReplanLimit {
-			plan = invokePlanner(cfg, w, rng, &res)
-			stepsInSubtask = 0
-			if len(plan) == 0 {
-				// Planner believes everything is done but the goal is not
-				// reached; burn a step exploring to avoid a live-lock.
-				plan = []world.Subtask{{Kind: world.Nonsense}}
-			}
-		}
-		goal = plan[0]
+// step advances the episode by one controller step (or replans), returning
+// true once the task is complete. It is the allocation-free hot loop; the
+// only allocating paths are planner invocations (plan construction) and
+// trace capture growth, both excluded from steady state.
+func (ep *episode) step() (done bool) {
+	cfg, sc, w, spec := &ep.cfg, ep.sc, ep.sc.w, &ep.spec
 
-		dec := expert.Decide(w, goal)
-		entropy := dec.Entropy()
-
-		// Autonomy-adaptive voltage scaling: update every VSInterval steps
-		// from the pre-execution entropy prediction (Sec. 5.3).
-		if cfg.VSPolicy != nil && res.Steps%cfg.VSInterval == 0 {
-			voltage = cfg.VSPolicy(cfg.PredictEntropy(entropy, rng))
-		}
-
-		action := dec.Sample(rng)
-		q := stepCorrupt(voltage)
-		if q > 0 && rng.Float64() < q {
-			action = world.Action(rng.Intn(world.NumActions))
-			res.CorruptedActions++
-		}
-		w.Step(action, dec.Goal)
-
-		res.StepsAtMV[mv(voltage)]++
-		res.Steps++
-		stepsInSubtask++
-
-		if cfg.Trace {
-			res.EntropyTrace = append(res.EntropyTrace, entropy)
-			res.PredictedTrace = append(res.PredictedTrace, cfg.PredictEntropy(entropy, rng))
-			res.VoltageTrace = append(res.VoltageTrace, voltage)
-			res.PhaseTrace = append(res.PhaseTrace, dec.Phase)
+	// Finished plan but task incomplete (corrupted plan): replan.
+	for len(ep.plan) > 0 && ep.plan[0].Done(w) {
+		ep.plan = ep.plan[1:]
+		ep.stepsInSubtask = 0
+	}
+	if w.Count(spec.Goal) >= spec.Count {
+		ep.res.Success = true
+		return true
+	}
+	if len(ep.plan) == 0 || ep.stepsInSubtask >= cfg.ReplanLimit {
+		ep.plan = invokePlanner(*cfg, w, sc.rng, &ep.res)
+		ep.stepsInSubtask = 0
+		if len(ep.plan) == 0 {
+			// Planner believes everything is done but the goal is not
+			// reached; burn a step exploring to avoid a live-lock.
+			ep.plan = []world.Subtask{{Kind: world.Nonsense}}
 		}
 	}
-	return res
+	goal := ep.plan[0]
+
+	dec := sc.expert.Decide(w, goal)
+	// One softmax per step: entropy and the sampled action both derive from
+	// this probability vector. The arithmetic (SoftmaxInto, EntropyOfProbs,
+	// SampleFromProbs) matches the historical Decision.Entropy +
+	// Decision.Sample double computation bit for bit — same max
+	// subtraction, same float64 accumulation order, same single
+	// rng.Float64() draw.
+	probs := tensor.SoftmaxInto(sc.probs, dec.Logits)
+	needEntropy := cfg.Trace || (cfg.VSPolicy != nil && ep.res.Steps%cfg.VSInterval == 0)
+	var entropy float64
+	if needEntropy {
+		// Entropy is consumed only by the VS predictor and traces; skipping
+		// it elsewhere touches no RNG stream, so bytes cannot change.
+		entropy = tensor.EntropyOfProbs(probs)
+	}
+
+	// Autonomy-adaptive voltage scaling: update every VSInterval steps
+	// from the pre-execution entropy prediction (Sec. 5.3).
+	if cfg.VSPolicy != nil && ep.res.Steps%cfg.VSInterval == 0 {
+		ep.voltage = cfg.VSPolicy(cfg.PredictEntropy(entropy, sc.rng))
+	}
+
+	action := world.Action(tensor.SampleFromProbs(probs, sc.rng))
+	q := ep.stepCorrupt(ep.voltage)
+	if q > 0 && sc.rng.Float64() < q {
+		action = world.Action(sc.rng.Intn(world.NumActions))
+		ep.res.CorruptedActions++
+	}
+	w.Step(action, dec.Goal)
+
+	sc.hist.add(mv(ep.voltage))
+	ep.res.Steps++
+	ep.stepsInSubtask++
+
+	if cfg.Trace {
+		ep.res.EntropyTrace = append(ep.res.EntropyTrace, entropy)
+		// On VS-update steps this is a second predictor draw for the same
+		// entropy. Reusing the VS path's value would skip one NormFloat64
+		// and shift every subsequent draw in the stream — changing the
+		// published bytes of every traced artifact (Fig. 10, Fig. 14's
+		// dataset and tracking trace) — so the draw deliberately stays.
+		ep.res.PredictedTrace = append(ep.res.PredictedTrace, cfg.PredictEntropy(entropy, sc.rng))
+		ep.res.VoltageTrace = append(ep.res.VoltageTrace, ep.voltage)
+		ep.res.PhaseTrace = append(ep.res.PhaseTrace, dec.Phase)
+	}
+	return false
+}
+
+// stepCorrupt resolves the controller corruption probability at voltage v
+// with exactly the legacy per-episode semantics: one first-seen-wins cache
+// keyed by millivolts, whose first resolution for a key is q at the first
+// voltage seen under it. The only difference is where that first q comes
+// from — the shared per-config table when the voltage exactly matches a
+// declared supply (bit-identical to computing it), a fresh computation
+// otherwise — so neither the table nor the VSLevels hint can ever change
+// an episode's bytes.
+func (ep *episode) stepCorrupt(v float64) float64 {
+	sc := ep.sc
+	key := mv(v)
+	if ep.lastQIdx >= 0 && sc.qmvs[ep.lastQIdx] == key {
+		return sc.qvals[ep.lastQIdx]
+	}
+	for i, k := range sc.qmvs {
+		if k == key {
+			ep.lastQIdx = i
+			return sc.qvals[i]
+		}
+	}
+	q, ok := ep.table.lookup(key, v)
+	if !ok {
+		q = ep.cfg.controllerCorruptProb(v)
+	}
+	sc.qmvs = append(sc.qmvs, key)
+	sc.qvals = append(sc.qvals, q)
+	ep.lastQIdx = len(sc.qmvs) - 1
+	return q
 }
 
 // VoltageMode is the UniformBER sentinel selecting voltage-driven error
@@ -278,6 +551,20 @@ type Summary struct {
 	Results               []Result
 }
 
+// RunOptions tune a RunMany invocation without touching the episode
+// semantics.
+type RunOptions struct {
+	// Workers bounds the trial fan-out: <= 0 selects runtime.GOMAXPROCS(0),
+	// 1 is the fully serial path.
+	Workers int
+	// DiscardResults drops the per-trial Result slice once the Summary
+	// aggregates are computed. Sweeps that only read aggregates (every
+	// experiments grid job) would otherwise retain trials x grid-points
+	// Result structs — including their StepsAtMV maps and any traces — for
+	// the lifetime of the sweep.
+	DiscardResults bool
+}
+
 // RunMany executes trials episodes with distinct seeds and aggregates them,
 // fanning trials out over all schedulable cores. Per-trial seeds are pure
 // functions of the trial index (cfg.Seed + t*7919), so the parallel schedule
@@ -285,17 +572,28 @@ type Summary struct {
 // result slice — the Summary is bit-for-bit identical to a serial loop (see
 // TestRunManyParallelDeterminism).
 func RunMany(cfg Config, trials int) Summary {
-	return RunManyWorkers(cfg, trials, 0)
+	return RunManyOpts(cfg, trials, RunOptions{})
 }
 
 // RunManyWorkers is RunMany with an explicit parallelism knob: workers <= 0
 // selects runtime.GOMAXPROCS(0), workers == 1 is the fully serial path.
 func RunManyWorkers(cfg Config, trials, workers int) Summary {
+	return RunManyOpts(cfg, trials, RunOptions{Workers: workers})
+}
+
+// RunManyOpts is the full-control entry point behind RunMany and
+// RunManyWorkers. Per-config work — default resolution and the controller
+// corruption table — happens exactly once here and is shared read-only by
+// every trial; per-worker scratch (world, expert, buffers) rides through
+// sim.MapWith, so steady-state trials allocate nothing but their Results.
+func RunManyOpts(cfg Config, trials int, o RunOptions) Summary {
+	cfg = cfg.withDefaults()
+	table := newCorruptTable(cfg)
 	s := Summary{Trials: trials, StepsAtMV: make(map[int]int)}
-	s.Results = sim.Map(trials, workers, func(t int) Result {
+	s.Results = sim.MapWith(trials, o.Workers, newRunScratch, func(t int, sc *runScratch) Result {
 		c := cfg
 		c.Seed = cfg.Seed + int64(t)*7919
-		return Run(c)
+		return runEpisode(c, table, sc)
 	})
 	successes := 0
 	var stepSum, planSum float64
@@ -322,5 +620,8 @@ func RunManyWorkers(cfg Config, trials, workers int) Summary {
 		s.AvgSteps = stepSum / float64(successes)
 	}
 	s.AvgPlannerInvocations = planSum / float64(trials)
+	if o.DiscardResults {
+		s.Results = nil
+	}
 	return s
 }

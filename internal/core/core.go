@@ -118,14 +118,19 @@ func (s *System) Run(task world.TaskName, cfg Config) Report {
 		if cfg.Policy != nil {
 			m = *cfg.Policy
 		}
+		// Closure and VSLevels declaration share one quantize-then-ceiling
+		// transform (VoltageLevelsWith), so the corruption table is built
+		// once per Run from exactly the closure's image.
 		ceiling := ac.ControllerVoltage
-		ac.VSPolicy = func(h float64) float64 {
-			v := s.LDO.Quantize(m.Voltage(h))
+		xform := func(pv float64) float64 {
+			v := s.LDO.Quantize(pv)
 			if v > ceiling {
 				v = ceiling
 			}
 			return v
 		}
+		ac.VSPolicy = func(h float64) float64 { return xform(m.Voltage(h)) }
+		ac.VSLevels = m.VoltageLevelsWith(xform)
 	}
 	sum := agent.RunMany(ac, cfg.Trials)
 

@@ -65,8 +65,9 @@ func (e *Env) createConfig(v float64) (agent.Config, string) {
 	// The shared ceiling-at-supply policy of runOverall's "AD+WR+VS": same
 	// closure, same cache identity, so matching (task, v, trials, seed)
 	// points are shared with the Fig. 16 sweeps outright.
-	vs, policyID := ceiledPolicy(v)
+	vs, levels, policyID := ceiledPolicy(v)
 	cfg.VSPolicy = vs
+	cfg.VSLevels = levels
 	return cfg, policyID
 }
 
@@ -145,6 +146,7 @@ func PolicySearch(e *Env, opt Options, candidates []policy.Mapping, task world.T
 			UniformBER:  agent.VoltageMode,
 			Timing:      e.Timing,
 			VSPolicy:    m.Func(),
+			VSLevels:    m.VoltageLevels(),
 		}
 		s := e.runTask(task, cfg, opt)
 		scored = append(scored, policy.Scored{

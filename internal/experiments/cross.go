@@ -155,6 +155,7 @@ func (e *Env) jarvisControllerConfig() (agent.Config, string) {
 		Controller: e.Controller, ControlProt: bridge.Protection{AD: true},
 		UniformBER: agent.VoltageMode, Timing: e.Timing,
 		VSPolicy: policy.PolicyF.Func(),
+		VSLevels: policy.PolicyF.VoltageLevels(),
 	}, policy.PolicyF.Name
 }
 

@@ -129,6 +129,7 @@ type vsJob struct {
 	name   string
 	prot   bridge.Protection
 	vs     func(float64) float64
+	levels []float64 // the policy's reachable voltages (agent.Config.VSLevels)
 	constV float64
 }
 
@@ -140,11 +141,12 @@ func fig13VSJobs() []vsJob {
 			prot := bridge.Protection{AD: ad}
 			// Constant-voltage baselines.
 			for _, v := range []float64{0.90, 0.85, 0.80, 0.75, 0.70, 0.65} {
-				jobs = append(jobs, vsJob{task, "const", prot, nil, v})
+				jobs = append(jobs, vsJob{task: task, name: "const", prot: prot, constV: v})
 			}
 			// Adaptive policies A-F.
 			for _, m := range policy.Selected {
-				jobs = append(jobs, vsJob{task, m.Name, prot, m.Func(), 0})
+				jobs = append(jobs, vsJob{task: task, name: m.Name, prot: prot,
+					vs: m.Func(), levels: m.VoltageLevels()})
 			}
 		}
 	}
@@ -161,6 +163,7 @@ func (e *Env) vsConfig(j vsJob) (agent.Config, string) {
 	}
 	if j.vs != nil {
 		cfg.VSPolicy = j.vs
+		cfg.VSLevels = j.levels
 		return cfg, j.name
 	}
 	cfg.ControllerVoltage = j.constV
@@ -218,6 +221,7 @@ func fig15Jobs(e *Env) []gridJob {
 				UniformBER:  agent.VoltageMode,
 				Timing:      e.Timing,
 				VSPolicy:    policy.Default.Func(),
+				VSLevels:    policy.Default.VoltageLevels(),
 				VSInterval:  interval,
 			}
 			jobs = append(jobs, gridJob{task: task, cfg: cfg, policyID: policy.Default.Name})
@@ -308,7 +312,7 @@ func (e *Env) overallConfig(name string, v float64) (agent.Config, string) {
 	}
 	policyID := ""
 	if name == "AD+WR+VS" {
-		cfg.VSPolicy, policyID = ceiledPolicy(v)
+		cfg.VSPolicy, cfg.VSLevels, policyID = ceiledPolicy(v)
 	}
 	return cfg, policyID
 }
@@ -320,23 +324,26 @@ func (e *Env) runOverall(task world.TaskName, name string, v float64, opt Option
 }
 
 // ceiledPolicy returns the default VS mapping ceilinged at supply v (never
-// above the scenario's budget) together with its cache identity. runOverall
-// and Fig. 20's createPoint share this exact closure and therefore its
-// fingerprint — keeping both in one place is what makes that sharing safe:
-// the behaviour and the identity cannot drift apart. The ceiling is spelled
-// into the identity rather than inferred from the voltage fields, so the
-// fingerprint stays correct even for call sites whose planner supply
-// differs from the ceiling.
-func ceiledPolicy(v float64) (func(float64) float64, string) {
+// above the scenario's budget) together with its reachable voltage set and
+// its cache identity. runOverall and Fig. 20's createPoint share this exact
+// closure and therefore its fingerprint — keeping both in one place is what
+// makes that sharing safe: the behaviour and the identity cannot drift
+// apart. The ceiling is spelled into the identity rather than inferred from
+// the voltage fields, so the fingerprint stays correct even for call sites
+// whose planner supply differs from the ceiling. Closure and VSLevels
+// declaration share one clamp transform (VoltageLevelsWith), so the
+// declared set is exactly the closure's image — the precondition for the
+// precomputed corruption table to be bit-identical to the lazy path.
+func ceiledPolicy(v float64) (func(float64) float64, []float64, string) {
 	base := policy.Default
-	vs := func(h float64) float64 {
-		pv := base.Voltage(h)
+	clamp := func(pv float64) float64 {
 		if pv > v {
-			pv = v
+			return v
 		}
 		return pv
 	}
-	return vs, base.Name + "<=" + strconv.FormatFloat(v, 'g', -1, 64)
+	vs := func(h float64) float64 { return clamp(base.Voltage(h)) }
+	return vs, base.VoltageLevelsWith(clamp), base.Name + "<=" + strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // EfficiencyPoint is one task's minimal-voltage energy for a configuration

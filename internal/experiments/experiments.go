@@ -298,13 +298,21 @@ func (e *Env) EpisodeEnergy(s agent.Summary, vsActive bool) float64 {
 // runTask is the shared episode sweep helper. The base seed always comes
 // from Options — callers pass fault/voltage configs, never seeds — so
 // Options{Seed: 0} is honoured instead of being mistaken for "unset".
+//
+// Every sweep above this helper reads only the Summary aggregates, so the
+// per-trial Result slice is dropped at the aggregation boundary
+// (DiscardResults): without it, a grid sweep retained trials x points
+// Result structs — each with its own StepsAtMV map — for the whole run.
+// Callers that need per-trial results (traces, single-episode studies) use
+// agent.Run/RunMany directly.
 func (e *Env) runTask(task world.TaskName, cfg agent.Config, opt Options) agent.Summary {
 	cfg.Task = task
 	cfg.Seed = opt.Seed
 	if cfg.Timing == nil {
 		cfg.Timing = e.Timing
 	}
-	return agent.RunManyWorkers(cfg, opt.Trials, opt.Workers)
+	return agent.RunManyOpts(cfg, opt.Trials,
+		agent.RunOptions{Workers: opt.Workers, DiscardResults: true})
 }
 
 // cachePoint derives the canonical content-address of a runTask invocation.

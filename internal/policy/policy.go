@@ -43,6 +43,39 @@ func (m Mapping) Func() func(float64) float64 {
 	return func(h float64) float64 { return m.Voltage(h) }
 }
 
+// VoltageLevels returns the distinct supply voltages the mapping can emit,
+// in level order — the declaration agent.Config.VSLevels expects, letting
+// the episode engine precompute its corruption table once per config
+// instead of lazily per episode.
+func (m Mapping) VoltageLevels() []float64 { return m.VoltageLevelsWith(nil) }
+
+// VoltageLevelsWith returns the distinct values of transform applied to the
+// mapping's level voltages (nil means identity), in level order — the exact
+// image of a VSPolicy built as transform(m.Voltage(h)). Call sites that
+// wrap a mapping (supply ceilings, LDO quantization) derive both the
+// closure and its VSLevels declaration from one transform, so the two
+// cannot drift apart.
+func (m Mapping) VoltageLevelsWith(transform func(float64) float64) []float64 {
+	out := make([]float64, 0, len(m.Levels))
+	for _, l := range m.Levels {
+		v := l.Voltage
+		if transform != nil {
+			v = transform(v)
+		}
+		dup := false
+		for _, have := range out {
+			if have == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // Valid checks the structural invariants: thresholds ascend from 0,
 // voltages are within the LDO range and non-increasing.
 func (m Mapping) Valid() bool {

@@ -40,14 +40,32 @@ func Workers(workers, n int) int {
 // goroutine — no goroutines, no synchronization — so the serial path stays
 // exactly the pre-engine code shape.
 func Map[T any](n, workers int, fn func(i int) T) []T {
+	return MapWith(n, workers,
+		func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) T { return fn(i) })
+}
+
+// MapWith is Map with a per-worker scratch slot: newScratch runs once per
+// worker goroutine (once total on the serial path), and fn receives that
+// worker's scratch alongside the index. This is how per-episode buffer
+// reuse composes with parallelism — workers × scratch instead of items ×
+// scratch — without any locking on the hot path.
+//
+// The determinism contract extends to scratch: fn must fully reset every
+// scratch field it reads before using it, so which worker (and therefore
+// which scratch instance) serves an index cannot influence the result.
+// Under that contract MapWith(n, w, ...) returns the same slice for every
+// w, exactly like Map.
+func MapWith[T, S any](n, workers int, newScratch func() S, fn func(i int, scratch S) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
 	workers = Workers(workers, n)
 	if workers == 1 {
+		scratch := newScratch()
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			out[i] = fn(i, scratch)
 		}
 		return out
 	}
@@ -79,12 +97,13 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 					panicMu.Unlock()
 				}
 			}()
+			scratch := newScratch()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = fn(i, scratch)
 			}
 		}()
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -122,6 +123,65 @@ func TestMapPropagatesWorkerPanic(t *testing.T) {
 		}()
 		if got != "boom" {
 			t.Fatalf("workers=%d: panic %v did not propagate to the caller", workers, got)
+		}
+	}
+}
+
+func TestMapWithScratchPerWorker(t *testing.T) {
+	// Each worker goroutine gets exactly one scratch: the number of
+	// newScratch calls equals the (clamped) worker count, and every fn call
+	// receives a non-nil slot.
+	var made atomic.Int64
+	newScratch := func() *[]int {
+		made.Add(1)
+		s := make([]int, 0, 8)
+		return &s
+	}
+	n, workers := 64, 4
+	out := MapWith(n, workers, newScratch, func(i int, s *[]int) int {
+		if s == nil {
+			t.Error("nil scratch")
+		}
+		*s = append((*s)[:0], i) // reset-then-use, per the contract
+		return (*s)[0] * 2
+	})
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+	if got := made.Load(); got != int64(workers) {
+		t.Fatalf("newScratch ran %d times, want one per worker (%d)", got, workers)
+	}
+}
+
+func TestMapWithSerialSingleScratch(t *testing.T) {
+	made := 0
+	out := MapWith(10, 1, func() int { made++; return made }, func(i, s int) int { return s })
+	if made != 1 {
+		t.Fatalf("serial path made %d scratches, want 1", made)
+	}
+	for _, v := range out {
+		if v != 1 {
+			t.Fatal("serial path must reuse the single scratch")
+		}
+	}
+}
+
+func TestMapWithDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The scratch contract: fn resets what it reads, so results are
+	// independent of which worker served which index.
+	run := func(workers int) []int {
+		return MapWith(100, workers, func() *int { v := -1; return &v },
+			func(i int, s *int) int {
+				*s = i * i // full reset before use
+				return *s
+			})
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 7, 0} {
+		if got := run(w); !slices.Equal(got, want) {
+			t.Fatalf("workers=%d diverged from serial", w)
 		}
 	}
 }

@@ -7,6 +7,7 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"math/rand"
 )
 
 // Mat is a dense row-major float32 matrix.
@@ -178,8 +179,22 @@ func Histogram(xs []float32, lo, hi float64, bins int) []int {
 // usual max-subtraction trick for numerical stability.
 func Softmax(logits []float32) []float32 {
 	out := make([]float32, len(logits))
+	SoftmaxInto(out, logits)
+	return out
+}
+
+// SoftmaxInto writes the softmax of logits into dst (which must have the
+// same length) and returns dst. It is the allocation-free primitive behind
+// Softmax: both share one arithmetic sequence — max-subtraction, float64
+// exponential accumulation, one float32 inverse-sum scale — so a caller
+// switching from Softmax to a reused dst buffer gets bit-identical
+// probabilities (the episode hot loop depends on this; see PERFORMANCE.md).
+func SoftmaxInto(dst, logits []float32) []float32 {
+	if len(dst) != len(logits) {
+		panic(fmt.Sprintf("tensor: softmax dst length %d != logits length %d", len(dst), len(logits)))
+	}
 	if len(logits) == 0 {
-		return out
+		return dst
 	}
 	mx := logits[0]
 	for _, v := range logits[1:] {
@@ -190,14 +205,14 @@ func Softmax(logits []float32) []float32 {
 	var sum float64
 	for i, v := range logits {
 		e := math.Exp(float64(v - mx))
-		out[i] = float32(e)
+		dst[i] = float32(e)
 		sum += e
 	}
 	inv := float32(1.0 / sum)
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out
+	return dst
 }
 
 // Entropy returns the Shannon entropy in nats of a probability vector.
@@ -212,8 +227,30 @@ func Entropy(probs []float32) float64 {
 	return h
 }
 
+// EntropyOfProbs is Entropy under its hot-path name: the in-place episode
+// loop computes one probability vector per step (SoftmaxInto) and derives
+// both the entropy and the sampled action from it.
+func EntropyOfProbs(probs []float32) float64 { return Entropy(probs) }
+
 // EntropyOfLogits is the entropy of Softmax(logits).
 func EntropyOfLogits(logits []float32) float64 { return Entropy(Softmax(logits)) }
+
+// SampleFromProbs draws an index from a probability vector by inverse-CDF
+// sampling with float64 accumulation, consuming exactly one rng.Float64().
+// The accumulation order is part of the determinism contract: it must stay
+// a single left-to-right float64 sum (the historical Decision.Sample
+// arithmetic) or published episode bytes change.
+func SampleFromProbs(probs []float32, rng *rand.Rand) int {
+	r := rng.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += float64(p)
+		if r < cum {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
 
 // ArgMax returns the index of the largest element (-1 for empty input).
 // Ties resolve to the lowest index.

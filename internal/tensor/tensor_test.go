@@ -169,3 +169,83 @@ func TestL2NormAndDot(t *testing.T) {
 		t.Fatalf("dot = %v", d)
 	}
 }
+
+func TestSoftmaxIntoMatchesSoftmaxBitwise(t *testing.T) {
+	// The episode hot loop swaps Softmax for SoftmaxInto on a reused
+	// buffer; published bytes depend on the two being bit-identical.
+	rng := rand.New(rand.NewSource(5))
+	dst := make([]float32, 63)
+	for trial := 0; trial < 50; trial++ {
+		logits := make([]float32, 63)
+		for i := range logits {
+			logits[i] = float32(rng.NormFloat64() * 4)
+		}
+		fresh := Softmax(logits)
+		// Dirty buffer: reuse must not depend on prior contents.
+		for i := range dst {
+			dst[i] = float32(trial)
+		}
+		SoftmaxInto(dst, logits)
+		for i := range fresh {
+			if math.Float32bits(fresh[i]) != math.Float32bits(dst[i]) {
+				t.Fatalf("trial %d: SoftmaxInto[%d] = %x, Softmax = %x",
+					trial, i, math.Float32bits(dst[i]), math.Float32bits(fresh[i]))
+			}
+		}
+	}
+}
+
+func TestSoftmaxIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	SoftmaxInto(make([]float32, 2), make([]float32, 3))
+}
+
+func TestSampleFromProbsMatchesDecisionSampleArithmetic(t *testing.T) {
+	// One rng.Float64 per draw, inverse-CDF over a left-to-right float64
+	// cumulative sum: drawing with a cloned rng must agree with a manual
+	// replication of that exact arithmetic.
+	probs := Softmax([]float32{2, 0.5, 1, 0.25, 3})
+	a, b := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		got := SampleFromProbs(probs, a)
+		r := b.Float64()
+		var cum float64
+		want := len(probs) - 1
+		for i, p := range probs {
+			cum += float64(p)
+			if r < cum {
+				want = i
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: sampled %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestSampleFromProbsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// A degenerate all-mass-on-one-entry vector always returns that entry.
+	for i := 0; i < 20; i++ {
+		if got := SampleFromProbs([]float32{0, 0, 1, 0}, rng); got != 2 {
+			t.Fatalf("degenerate draw returned %d", got)
+		}
+	}
+	// Float32 round-off can leave the cumulative sum below 1; the final
+	// index is the documented clamp.
+	if got := SampleFromProbs([]float32{0, 0}, rng); got != 1 {
+		t.Fatalf("clamp returned %d, want last index", got)
+	}
+}
+
+func TestEntropyOfProbsAliasesEntropy(t *testing.T) {
+	probs := Softmax([]float32{1, 2, 3, 4})
+	if EntropyOfProbs(probs) != Entropy(probs) {
+		t.Fatal("EntropyOfProbs must be exactly Entropy")
+	}
+}

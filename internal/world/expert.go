@@ -34,6 +34,11 @@ func (p Phase) String() string {
 // vector (what a trained controller's policy head would emit), the desired
 // action, and the phase. Logit sharpness tracks phase criticality, which is
 // exactly the signal the entropy predictor learns to anticipate (Sec. 5.3).
+//
+// Logits aliases the issuing Expert's reusable scratch buffer and is valid
+// only until that Expert's next Decide call. Every step consumer (entropy,
+// sampling, tracing) reads it within the step; a caller that needs the
+// vector longer must copy it.
 type Decision struct {
 	Logits  []float32
 	Desired Action
@@ -53,11 +58,39 @@ type Expert struct {
 	rng         *rand.Rand
 	exploreMove Move
 	exploreLeft int
+	// logits is the reusable buffer backing every returned Decision — the
+	// episode loop runs up to 12,000 Decide calls, and a fresh NumActions
+	// slice per call was the single largest steady-state allocation.
+	logits []float32
 }
 
 // NewExpert returns an expert with its own deterministic stream.
 func NewExpert(seed int64) *Expert {
-	return &Expert{rng: rand.New(rand.NewSource(seed)), exploreMove: MoveN}
+	return &Expert{
+		rng:         rand.New(rand.NewSource(seed)),
+		exploreMove: MoveN,
+		logits:      make([]float32, NumActions),
+	}
+}
+
+// Reseed rewinds the expert to the exact state NewExpert(seed) constructs,
+// reusing its allocations. rand's source re-initializes fully on Seed, so a
+// reseeded expert emits the same decision stream as a fresh one — which is
+// what lets the trial engine keep one Expert per worker (see agent's
+// per-worker scratch).
+func (e *Expert) Reseed(seed int64) {
+	e.rng.Seed(seed)
+	e.exploreMove = MoveN
+	e.exploreLeft = 0
+}
+
+// zeroLogits clears and returns the scratch logit buffer.
+func (e *Expert) zeroLogits() []float32 {
+	l := e.logits
+	for i := range l {
+		l[i] = 0
+	}
+	return l
 }
 
 // Logit sharpness per phase, tuned so execution entropy sits well below 1
@@ -199,7 +232,7 @@ func (e *Expert) execute(desired Action, st Subtask, deterministic bool) Decisio
 	if !deterministic {
 		peak = logitStochastic
 	}
-	logits := make([]float32, NumActions)
+	logits := e.zeroLogits()
 	logits[desired] = float32(peak)
 	return Decision{Logits: logits, Desired: desired, Phase: PhaseExecute, Goal: st.Item}
 }
@@ -207,7 +240,7 @@ func (e *Expert) execute(desired Action, st Subtask, deterministic bool) Decisio
 // approach builds a medium-entropy decision: the distance-reducing moves are
 // all plausible, the best one preferred.
 func (e *Expert) approach(w *World, st Subtask, tx, ty int) Decision {
-	logits := make([]float32, NumActions)
+	logits := e.zeroLogits()
 	d0 := chebyshev(w.AgentX, w.AgentY, tx, ty)
 	best := MoveNone
 	bestD := d0
@@ -238,7 +271,7 @@ func (e *Expert) explore(w *World, st Subtask) Decision {
 		e.exploreMove = Move(1 + e.rng.Intn(int(NumMoves)-1))
 		e.exploreLeft = 8 + e.rng.Intn(10)
 	}
-	logits := make([]float32, NumActions)
+	logits := e.logits
 	for i := range logits {
 		logits[i] = logitFloor
 	}
@@ -259,15 +292,9 @@ func (e *Expert) blocked(w *World, m Move) bool {
 
 // Sample draws an action from the decision's softmax distribution — the
 // controller "samples actions based on its output action logits" (Sec. 2.1).
+// The episode hot loop does not call this (it would re-derive the softmax);
+// it samples via tensor.SampleFromProbs on the step's shared probability
+// vector, which consumes the identical single rng.Float64().
 func (d Decision) Sample(rng *rand.Rand) Action {
-	probs := tensor.Softmax(d.Logits)
-	r := rng.Float64()
-	var cum float64
-	for i, p := range probs {
-		cum += float64(p)
-		if r < cum {
-			return Action(i)
-		}
-	}
-	return Action(len(probs) - 1)
+	return Action(tensor.SampleFromProbs(tensor.Softmax(d.Logits), rng))
 }

@@ -164,12 +164,35 @@ func New(b Biome, seed int64) *World {
 		grid: make([]Block, size*size),
 		rng:  rand.New(rand.NewSource(seed)),
 	}
-	w.AgentX, w.AgentY = size/2, size/2
+	w.Reset(b, seed)
+	return w
+}
+
+// Reset regenerates the world in place to the exact state New(b, seed)
+// constructs, reusing the grid and mob storage. rand's source re-initializes
+// fully on Seed, so generation consumes an identical random stream and the
+// reset world is indistinguishable from a fresh one — the trial engine keeps
+// one World per worker and resets it per episode instead of reallocating
+// the 4 KiB grid trials-many times (see TestResetMatchesNew).
+func (w *World) Reset(b Biome, seed int64) {
+	w.rng.Seed(seed)
+	for i := range w.grid {
+		w.grid[i] = Air
+	}
+	w.Inventory = [NumItems]int{}
+	w.Mobs = w.Mobs[:0]
+	w.Steps = 0
+	w.AgentX, w.AgentY = w.Size/2, w.Size/2
 	w.generate(b)
-	w.mineX, w.mineY = -1, -1
+	if len(w.Mobs) == 0 {
+		// A mob-free biome leaves a fresh world's slice nil; match that
+		// exactly so a reset world is deeply equal to a new one.
+		w.Mobs = nil
+	}
+	w.mineX, w.mineY, w.mineHits = -1, -1, 0
+	w.smeltGoal, w.smeltHits = NoItem, 0
 	w.TableX, w.TableY = -1, -1
 	w.FurnaceX, w.FurnaceY = -1, -1
-	return w
 }
 
 // At returns the block at (x, y); out-of-range coordinates read as Bedrock.
@@ -276,20 +299,13 @@ func (w *World) NearestBlock(kind Block) (x, y int, ok bool) {
 	}
 	bestD := VisionRange + 1
 	ax, ay := w.AgentX, w.AgentY
-	lo := func(v int) int {
-		if v < 0 {
-			return 0
-		}
-		return v
-	}
-	hi := func(v int) int {
-		if v >= w.Size {
-			return w.Size - 1
-		}
-		return v
-	}
-	for yy := lo(ay - VisionRange); yy <= hi(ay+VisionRange); yy++ {
-		for xx := lo(ax - VisionRange); xx <= hi(ax+VisionRange); xx++ {
+	// Plain clamped bounds (no closures): this scan runs on most steps of
+	// every approach/execute phase and must stay allocation- and
+	// indirection-free.
+	yLo, yHi := max(ay-VisionRange, 0), min(ay+VisionRange, w.Size-1)
+	xLo, xHi := max(ax-VisionRange, 0), min(ax+VisionRange, w.Size-1)
+	for yy := yLo; yy <= yHi; yy++ {
+		for xx := xLo; xx <= xHi; xx++ {
 			if w.grid[yy*w.Size+xx] != kind {
 				continue
 			}

@@ -2,6 +2,7 @@ package world
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -251,12 +252,16 @@ func TestExpertPhaseEntropyOrdering(t *testing.T) {
 	e := NewExpert(1)
 	st := Subtask{Kind: MineLog, Item: Log, Count: 1}
 
+	// Decision.Logits aliases the expert's scratch buffer and is only valid
+	// until the next Decide call, so each phase's entropy is taken
+	// immediately.
 	// Execution: tree adjacent.
 	w.set(w.AgentX+1, w.AgentY, Tree)
 	exec := e.Decide(w, st)
 	if exec.Phase != PhaseExecute {
 		t.Fatalf("expected execute, got %v", exec.Phase)
 	}
+	he := exec.Entropy()
 	// Approach: tree visible but not adjacent.
 	w.set(w.AgentX+1, w.AgentY, Air)
 	w.set(w.AgentX+6, w.AgentY, Tree)
@@ -264,6 +269,7 @@ func TestExpertPhaseEntropyOrdering(t *testing.T) {
 	if app.Phase != PhaseApproach {
 		t.Fatalf("expected approach, got %v", app.Phase)
 	}
+	ha := app.Entropy()
 	// Exploration: nothing visible.
 	w.set(w.AgentX+6, w.AgentY, Air)
 	for yy := 0; yy < w.Size; yy++ {
@@ -277,8 +283,7 @@ func TestExpertPhaseEntropyOrdering(t *testing.T) {
 	if exp.Phase != PhaseExplore {
 		t.Fatalf("expected explore, got %v", exp.Phase)
 	}
-
-	he, ha, hx := exec.Entropy(), app.Entropy(), exp.Entropy()
+	hx := exp.Entropy()
 	if !(he < ha && ha < hx) {
 		t.Fatalf("entropy ordering violated: exec %.2f approach %.2f explore %.2f", he, ha, hx)
 	}
@@ -365,5 +370,64 @@ func TestSubtaskDeterministicClassification(t *testing.T) {
 	sto := Subtask{Kind: HuntChicken}
 	if !det.Deterministic() || sto.Deterministic() {
 		t.Fatal("subtask structural classification wrong")
+	}
+}
+
+// TestResetMatchesNew: a reset world must be indistinguishable from a fresh
+// one — same grid, mobs, landmarks, and (critically) the same RNG stream
+// going forward. The trial engine reuses one World per worker on this
+// guarantee.
+func TestResetMatchesNew(t *testing.T) {
+	for _, b := range []Biome{Plains, ForestBiome, Jungle, Savanna} {
+		fresh := New(b, 77)
+		reused := New(Savanna, 123) // dirty it with a different biome first
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 200; i++ {
+			reused.Step(Action(rng.Intn(NumActions)), Log)
+		}
+		reused.Reset(b, 77)
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Fatalf("biome %v: Reset state diverged from New", b)
+		}
+		// Post-reset stream: identical random evolution.
+		r2 := rand.New(rand.NewSource(6))
+		for i := 0; i < 100; i++ {
+			a := Action(r2.Intn(NumActions))
+			fresh.Step(a, Log)
+			reused.Step(a, Log)
+		}
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Fatalf("biome %v: post-Reset evolution diverged", b)
+		}
+	}
+}
+
+// TestExpertReseedMatchesNew: a reseeded expert must emit the same decision
+// stream as a fresh one, including explore-drift state.
+func TestExpertReseedMatchesNew(t *testing.T) {
+	w1 := New(Plains, 31)
+	w2 := New(Plains, 31)
+	fresh := NewExpert(9)
+	reused := NewExpert(1234)
+	// Dirty the reused expert's rng and drift state on an explore-heavy run.
+	for i := 0; i < 150; i++ {
+		reused.Decide(w2, Subtask{Kind: Nonsense})
+	}
+	w2.Reset(Plains, 31)
+	reused.Reseed(9)
+	rng1, rng2 := rand.New(rand.NewSource(2)), rand.New(rand.NewSource(2))
+	st := Subtask{Kind: MineLog, Item: Log, Count: 3}
+	for i := 0; i < 300; i++ {
+		d1 := fresh.Decide(w1, st)
+		d2 := reused.Decide(w2, st)
+		if d1.Desired != d2.Desired || d1.Phase != d2.Phase {
+			t.Fatalf("step %d: decisions diverged (%v/%v vs %v/%v)",
+				i, d1.Desired, d1.Phase, d2.Desired, d2.Phase)
+		}
+		if !reflect.DeepEqual(d1.Logits, d2.Logits) {
+			t.Fatalf("step %d: logits diverged", i)
+		}
+		w1.Step(d1.Sample(rng1), d1.Goal)
+		w2.Step(d2.Sample(rng2), d2.Goal)
 	}
 }

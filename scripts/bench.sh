@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and emit a machine-readable BENCH.json
+# alongside the raw `go test -bench` text, so the perf trajectory has data
+# points instead of scrollback. Every entry records ns/op, B/op and
+# allocs/op per benchmark (allocs/op is how the zero-allocation step-loop
+# guarantee stays observable).
+#
+# Environment knobs (all optional):
+#   BENCH_PATTERN  -bench regex                    (default: .)
+#   BENCH_TIME     -benchtime                      (default: 1x)
+#   BENCH_PKGS     packages to bench               (default: ./...)
+#   BENCH_OUT      JSON output path                (default: BENCH.json)
+#   BENCH_TXT      raw benchmark text path         (default: bench.txt)
+#
+# Examples:
+#   scripts/bench.sh                                        # everything, once
+#   BENCH_PATTERN='Fig16|StepLoop' scripts/bench.sh         # the hot subset
+#   BENCH_TIME=3x BENCH_OUT=after.json scripts/bench.sh     # steadier timing
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${BENCH_PATTERN:-.}"
+benchtime="${BENCH_TIME:-1x}"
+pkgs="${BENCH_PKGS:-./...}"
+out="${BENCH_OUT:-BENCH.json}"
+txt="${BENCH_TXT:-bench.txt}"
+
+# shellcheck disable=SC2086  # pkgs is deliberately word-split
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem $pkgs | tee "$txt"
+
+awk '
+  /^pkg: / {
+    pkg = $2
+    sub(/^github\.com\/embodiedai\/create\/?/, "", pkg)
+    if (pkg == "") pkg = "."
+    next
+  }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    iters = $2
+    ns = ""; bytes = "null"; allocs = "null"
+    for (i = 3; i < NF; i++) {
+      if ($(i + 1) == "ns/op") ns = $i
+      if ($(i + 1) == "B/op") bytes = $i
+      if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    lines[n++] = sprintf("    {\"pkg\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+                         pkg, name, iters, ns, bytes, allocs)
+  }
+  END {
+    printf "{\n  \"schema\": \"create-bench/v1\",\n  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$txt" > "$out"
+
+echo "bench.sh: wrote $out ($(grep -c '"name"' "$out") benchmarks) and $txt" >&2

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# benchdelta.sh OLD.json NEW.json — print a benchstat-style per-benchmark
+# ns/op delta (and the allocs/op movement) between two BENCH.json files
+# produced by scripts/bench.sh. Used non-blocking in CI to surface perf
+# regressions against the committed baseline without gating merges on noisy
+# shared runners.
+set -euo pipefail
+if [ $# -ne 2 ]; then
+  echo "usage: $0 OLD.json NEW.json" >&2
+  exit 2
+fi
+
+python3 - "$1" "$2" <<'PY'
+import json
+import sys
+
+def load(path):
+    with open(path) as f:
+        return {(b["pkg"], b["name"]): b for b in json.load(f)["benchmarks"]}
+
+old, new = load(sys.argv[1]), load(sys.argv[2])
+print(f'{"benchmark":44s} {"old ns/op":>14s} {"new ns/op":>14s} {"delta":>8s}  allocs/op')
+for key in sorted(set(old) | set(new)):
+    o, n = old.get(key), new.get(key)
+    pkg, name = key
+    label = name if pkg in (".", "") else f"{pkg}:{name}"
+    if o and n:
+        delta = (n["ns_per_op"] - o["ns_per_op"]) / o["ns_per_op"] * 100 if o["ns_per_op"] else 0.0
+        allocs = f'{o.get("allocs_per_op", "?")} -> {n.get("allocs_per_op", "?")}'
+        print(f'{label:44s} {o["ns_per_op"]:>14.1f} {n["ns_per_op"]:>14.1f} {delta:>+7.1f}%  {allocs}')
+    elif n:
+        print(f'{label:44s} {"-":>14s} {n["ns_per_op"]:>14.1f} {"new":>8s}  {n.get("allocs_per_op", "?")}')
+    else:
+        print(f'{label:44s} {o["ns_per_op"]:>14.1f} {"-":>14s} {"gone":>8s}  {o.get("allocs_per_op", "?")}')
+PY
