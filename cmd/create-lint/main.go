@@ -1,0 +1,95 @@
+// Command create-lint is the determinism-invariant checker for this
+// repository: a go vet tool bundling the custom analyzers that enforce the
+// PERFORMANCE.md bit-identity rules at compile time.
+//
+// Two ways to run it:
+//
+//	create-lint ./...
+//
+// builds nothing by hand — it re-executes `go vet -vettool=<itself>` with
+// the given package patterns, which is the supported way to drive per-unit
+// analyzers. CI and scripts/lint.sh call the explicit form:
+//
+//	go vet -vettool=$(command -v create-lint) ./...
+//
+// The analyzers (see internal/analysis/passes/...):
+//
+//	maprange      order-sensitive work inside for-range over maps
+//	walltime      wall-clock reads outside annotated service-tier files
+//	rngdiscipline global math/rand anywhere; unreviewed draws on the hot path
+//	hotalloc      allocation constructs in //create:zeroalloc functions
+//	directive     malformed or misplaced //create: annotations
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"github.com/embodiedai/create/internal/analysis"
+	"github.com/embodiedai/create/internal/analysis/passes/directive"
+	"github.com/embodiedai/create/internal/analysis/passes/hotalloc"
+	"github.com/embodiedai/create/internal/analysis/passes/maprange"
+	"github.com/embodiedai/create/internal/analysis/passes/rngdiscipline"
+	"github.com/embodiedai/create/internal/analysis/passes/walltime"
+	"github.com/embodiedai/create/internal/analysis/unitchecker"
+)
+
+// Suite is the full create analyzer set, in report order.
+var Suite = []*analysis.Analyzer{
+	directive.Analyzer,
+	hotalloc.Analyzer,
+	maprange.Analyzer,
+	rngdiscipline.Analyzer,
+	walltime.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(Suite...) // does not return
+	}
+	if len(args) == 0 {
+		usage()
+		os.Exit(1)
+	}
+	// Convenience mode: create-lint ./... re-executes go vet against itself.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create-lint: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "create-lint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetProtocol reports whether args look like the go vet driver calling us
+// (-V=full, -flags, or a path to a vet.cfg) rather than a human.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: create-lint <package patterns>\t(e.g. create-lint ./...)\n\nAnalyzers:\n")
+	for _, a := range Suite {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, doc)
+	}
+}

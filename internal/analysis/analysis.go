@@ -1,0 +1,158 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// typechecked package through a Pass and reports Diagnostics. It exists
+// because this repository's determinism rules (PERFORMANCE.md) deserve
+// compile-time enforcement, and the build environment bakes in only the
+// standard library — go/ast, go/types and go/importer are enough to drive
+// the same `go vet -vettool` protocol the x/tools unitchecker speaks.
+//
+// The deliberate differences from x/tools are scope, not shape: there is no
+// cross-package fact propagation (none of the CREATE invariants need it),
+// analyzers cannot depend on each other, and suppression runs through the
+// strict `//create:` directive grammar in this package instead of
+// free-form //lint: comments. Analyzer and Pass keep the upstream field
+// names so the suite could migrate to x/tools mechanically if the toolchain
+// ever ships it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer statically checks one invariant over one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, JSON output and the
+	// enable/disable command-line flags. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank line,
+	// then detail. The first line shows up in `create-lint` usage output.
+	Doc string
+
+	// Run performs the check. It reports findings through pass.Reportf and
+	// returns an error only for internal failures (which abort the whole
+	// run), never for findings.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Pass hands one analyzer everything it may inspect about one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Directives indexes every well-formed //create: directive in the
+	// package, shared by all analyzers of one run. Malformed directives are
+	// in Directives.Errors and never suppress anything — the directive
+	// analyzer turns them into findings.
+	Directives *Index
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several analyzers
+// relax their rules there: tests legitimately poll deadlines and construct
+// throwaway RNGs, and their outputs are assertions, not published bytes.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgPath returns the package-under-analysis import path with any go-test
+// variant decoration stripped: "pkg_test" external test packages and
+// "pkg [pkg.test]" compilation IDs classify like "pkg" itself.
+func (p *Pass) PkgPath() string {
+	path := p.Pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// CalleePkgFunc resolves a call of the form pkgname.F(...) to the imported
+// package's path and the function name. ok is false for method calls,
+// locally defined functions, and calls through variables.
+func (p *Pass) CalleePkgFunc(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn, okPkg := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// CalleeMethod resolves a method call x.M(...) to the defining type's
+// package path, type name, and method name. ok is false for anything that
+// is not a method value call on a named (possibly pointed-to) receiver.
+func (p *Pass) CalleeMethod(call *ast.CallExpr) (pkgPath, typeName, method string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", "", false
+	}
+	s := p.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", "", "", false
+	}
+	recv := s.Recv()
+	if ptr, okPtr := recv.(*types.Pointer); okPtr {
+		recv = ptr.Elem()
+	}
+	named, okNamed := recv.(*types.Named)
+	if !okNamed || named.Obj().Pkg() == nil {
+		return "", "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), sel.Sel.Name, true
+}
+
+// Run executes the analyzers over one typechecked package and returns their
+// findings sorted by position. The directive index is built once and shared.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	index := NewIndex(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			Directives: index,
+			report:     func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

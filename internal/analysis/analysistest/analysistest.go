@@ -1,0 +1,192 @@
+// Package analysistest runs an analyzer over golden testdata packages and
+// checks its diagnostics against `// want "regexp"` expectations, the same
+// convention as golang.org/x/tools/go/analysis/analysistest but built on
+// the standard library alone.
+//
+// Layout: <testdata>/src/<pkg>/*.go, one self-contained package per
+// directory. A line expecting diagnostics carries a trailing comment
+//
+//	x := rand.Float64() // want "global math/rand"
+//
+// with one quoted (or backquoted) regexp per expected diagnostic. Every
+// diagnostic must be expected and every expectation must fire; either
+// mismatch fails the test with positions.
+//
+// Imports inside testdata resolve through the standard library's source
+// importer, so fixtures may import stdlib packages (math/rand, time, fmt)
+// but not each other.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/embodiedai/create/internal/analysis"
+)
+
+// The source importer re-typechecks stdlib packages from source; share one
+// across all Run calls in a test binary so each dependency is checked once.
+var (
+	stdOnce sync.Once
+	stdFset *token.FileSet
+	stdImp  types.Importer
+	stdMu   sync.Mutex
+)
+
+func sharedImporter() (*token.FileSet, types.Importer) {
+	stdOnce.Do(func() {
+		stdFset = token.NewFileSet()
+		stdImp = importer.ForCompiler(stdFset, "source", nil)
+	})
+	return stdFset, stdImp
+}
+
+// Run checks analyzer a against each named package under dir/src.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(dir, "src", pkg), pkg, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset, imp := sharedImporter()
+
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no Go files under %s: %v", dir, err)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stdMu.Lock()
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		stdMu.Unlock()
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	stdMu.Lock()
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	stdMu.Unlock()
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", pkgPath, err)
+	}
+
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, fset, files, diags)
+}
+
+// lineKey identifies one file line.
+type lineKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re  *regexp.Regexp
+	pos string // printable position of the want comment
+	hit bool
+}
+
+// wantToken pulls quoted and backquoted strings out of a want comment.
+var wantToken = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Both comment forms carry expectations: `// want "re"`
+				// trails ordinary code; `/* want "re" */` precedes a
+				// //create: directive under test, which owns the rest of
+				// its line.
+				text := c.Text
+				if strings.HasPrefix(text, "/*") {
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				} else {
+					text = strings.TrimPrefix(text, "//")
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, tok := range wantToken.FindAllString(text[len("want "):], -1) {
+					pattern := strings.Trim(tok, "`")
+					if strings.HasPrefix(tok, "\"") {
+						var err error
+						pattern, err = strconv.Unquote(tok)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", posn, tok, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, pattern, err)
+					}
+					key := lineKey{posn.Filename, posn.Line}
+					wants[key] = append(wants[key], &expectation{re: re, pos: posn.String()})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := lineKey{posn.Filename, posn.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s: expected diagnostic matching %q was not reported", w.pos, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// A Verb names one //create: directive.
+//
+// The grammar is deliberately rigid — one directive per line comment, the
+// verb glued to the prefix, a justification where the table below demands
+// one:
+//
+//	//create:zeroalloc
+//	//create:rng-reviewed <justification>
+//	//create:walltime-ok <justification>
+//	//create:maprange-ok <justification>
+//	//create:alloc-ok <justification>
+//
+// Anything close-but-wrong (unknown verb, missing justification, a spaced
+// "// create:", a /* block */ form) is a parse error, and a parse error
+// never suppresses a finding: the malformed text is itself reported by the
+// directive analyzer, so a typo fails the lint run loudly instead of
+// silently disabling a check.
+type Verb string
+
+// The directive vocabulary.
+const (
+	// VerbZeroAlloc marks a function as part of the steady-state
+	// zero-allocation contract; the hotalloc analyzer then rejects
+	// allocation-introducing constructs in its body.
+	VerbZeroAlloc Verb = "zeroalloc"
+	// VerbRNGReviewed acknowledges one RNG draw site in an episode
+	// hot-path package: the justification records why this draw's position
+	// in the stream is intended (rngdiscipline).
+	VerbRNGReviewed Verb = "rng-reviewed"
+	// VerbWalltimeOK marks one service-tier file as allowed to read the
+	// wall clock (walltime). File-level: it must precede all declarations.
+	VerbWalltimeOK Verb = "walltime-ok"
+	// VerbMapRangeOK suppresses one maprange finding after a human has
+	// argued the iteration is order-insensitive.
+	VerbMapRangeOK Verb = "maprange-ok"
+	// VerbAllocOK suppresses one hotalloc finding, typically for an
+	// amortized append whose backing array survives in worker scratch.
+	VerbAllocOK Verb = "alloc-ok"
+)
+
+// verbSpec describes one verb's argument contract.
+type verbSpec struct {
+	needsArg bool
+}
+
+var verbs = map[Verb]verbSpec{
+	VerbZeroAlloc:   {needsArg: false},
+	VerbRNGReviewed: {needsArg: true},
+	VerbWalltimeOK:  {needsArg: true},
+	VerbMapRangeOK:  {needsArg: true},
+	VerbAllocOK:     {needsArg: true},
+}
+
+// Prefix is the exact byte sequence opening every directive.
+const Prefix = "//create:"
+
+// A Directive is one well-formed //create: comment.
+type Directive struct {
+	Pos  token.Pos
+	Verb Verb
+	// Arg is the justification text (empty exactly for zeroalloc).
+	Arg string
+}
+
+// A ParseError is one malformed would-be directive.
+type ParseError struct {
+	Pos token.Pos
+	Msg string
+}
+
+// nearMiss matches comments that were clearly meant to be directives but
+// do not use the exact canonical prefix (stray space, wrong case).
+var nearMiss = regexp.MustCompile(`^(//|/\*)[ \t]*(?i:create):`)
+
+// ParseComment classifies one comment's text. It returns (nil, nil) for
+// ordinary comments, a Directive for well-formed ones, and a ParseError
+// (with a zero Pos, filled in by the caller) for malformed ones.
+func ParseComment(text string) (*Directive, *ParseError) {
+	if !strings.HasPrefix(text, Prefix) {
+		if nearMiss.MatchString(text) {
+			return nil, &ParseError{Msg: fmt.Sprintf("malformed create directive %q: directives are spelled exactly %q with no space and in a // line comment", firstLine(text), Prefix+"<verb>")}
+		}
+		return nil, nil
+	}
+	rest := strings.TrimPrefix(text, Prefix)
+	verb := rest
+	arg := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb, arg = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if verb == "" {
+		return nil, &ParseError{Msg: fmt.Sprintf("malformed create directive %q: missing verb", firstLine(text))}
+	}
+	spec, known := verbs[Verb(verb)]
+	if !known {
+		return nil, &ParseError{Msg: fmt.Sprintf("unknown create directive verb %q (known: %s)", verb, knownVerbs())}
+	}
+	if spec.needsArg && arg == "" {
+		return nil, &ParseError{Msg: fmt.Sprintf("create directive %q requires a justification: %s<%s> <why this is safe>", verb, Prefix, verb)}
+	}
+	if !spec.needsArg && arg != "" {
+		return nil, &ParseError{Msg: fmt.Sprintf("create directive %q takes no argument (got %q)", verb, arg)}
+	}
+	return &Directive{Verb: Verb(verb), Arg: arg}, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + "..."
+	}
+	return s
+}
+
+func knownVerbs() string {
+	return strings.Join([]string{
+		string(VerbZeroAlloc), string(VerbRNGReviewed), string(VerbWalltimeOK),
+		string(VerbMapRangeOK), string(VerbAllocOK),
+	}, ", ")
+}
+
+// An Index holds every directive of one package, addressable by line, by
+// file, and by function.
+type Index struct {
+	fset  *token.FileSet
+	files []*ast.File
+	// byLine maps filename -> line -> the directives ending on that line.
+	byLine map[string]map[int][]*Directive
+	// perFile keeps each file's directives and its first-declaration
+	// boundary for file-level placement checks.
+	perFile map[*ast.File]*fileDirectives
+
+	// Errors are the malformed directives, in file order.
+	Errors []ParseError
+}
+
+type fileDirectives struct {
+	directives []*Directive
+	// headerEnd is the position before which a file-level directive must
+	// appear: the start of the first non-import declaration (or file end).
+	headerEnd token.Pos
+}
+
+// NewIndex parses every comment of every file. Files must have been parsed
+// with parser.ParseComments.
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{
+		fset:    fset,
+		files:   files,
+		byLine:  make(map[string]map[int][]*Directive),
+		perFile: make(map[*ast.File]*fileDirectives),
+	}
+	for _, f := range files {
+		fd := &fileDirectives{headerEnd: f.End()}
+		for _, decl := range f.Decls {
+			if g, ok := decl.(*ast.GenDecl); ok && g.Tok == token.IMPORT {
+				continue
+			}
+			fd.headerEnd = decl.Pos()
+			break
+		}
+		ix.perFile[f] = fd
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, perr := ParseComment(c.Text)
+				if perr != nil {
+					perr.Pos = c.Pos()
+					ix.Errors = append(ix.Errors, *perr)
+					continue
+				}
+				if d == nil {
+					continue
+				}
+				d.Pos = c.Pos()
+				fd.directives = append(fd.directives, d)
+				posn := fset.Position(c.Pos())
+				lines := ix.byLine[posn.Filename]
+				if lines == nil {
+					lines = make(map[int][]*Directive)
+					ix.byLine[posn.Filename] = lines
+				}
+				// Anchor the directive on its end line: a multi-line
+				// comment group's last line is what sits adjacent to code.
+				end := fset.Position(c.End()).Line
+				lines[end] = append(lines[end], d)
+			}
+		}
+	}
+	return ix
+}
+
+// At returns a directive with the given verb on the same line as pos or on
+// the line immediately above it — the two placements that count as
+// annotating a statement.
+func (ix *Index) At(pos token.Pos, verb Verb) *Directive {
+	posn := ix.fset.Position(pos)
+	lines := ix.byLine[posn.Filename]
+	for _, line := range [2]int{posn.Line, posn.Line - 1} {
+		for _, d := range lines[line] {
+			if d.Verb == verb {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// File returns a file-level directive with the given verb: one placed in
+// the file's header, before any non-import declaration.
+func (ix *Index) File(f *ast.File, verb Verb) *Directive {
+	fd := ix.perFile[f]
+	if fd == nil {
+		return nil
+	}
+	for _, d := range fd.directives {
+		if d.Verb == verb && d.Pos < fd.headerEnd {
+			return d
+		}
+	}
+	return nil
+}
+
+// ForFunc returns a directive with the given verb attached to fn: inside
+// its doc comment group, or on the line immediately above its declaration.
+func (ix *Index) ForFunc(fn *ast.FuncDecl, verb Verb) *Directive {
+	if fn.Doc != nil {
+		for _, d := range ix.fileDirectivesAt(fn.Doc.Pos()) {
+			if d.Verb == verb && fn.Doc.Pos() <= d.Pos && d.Pos <= fn.Doc.End() {
+				return d
+			}
+		}
+	}
+	return ix.At(fn.Pos(), verb)
+}
+
+// fileDirectivesAt returns all directives in the file containing pos.
+func (ix *Index) fileDirectivesAt(pos token.Pos) []*Directive {
+	for _, f := range ix.files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return ix.perFile[f].directives
+		}
+	}
+	return nil
+}
+
+// All returns every well-formed directive of file f, in source order.
+func (ix *Index) All(f *ast.File) []*Directive {
+	fd := ix.perFile[f]
+	if fd == nil {
+		return nil
+	}
+	return fd.directives
+}
+
+// HeaderEnd exposes the file-level placement boundary of f for the
+// directive analyzer's placement validation.
+func (ix *Index) HeaderEnd(f *ast.File) token.Pos {
+	fd := ix.perFile[f]
+	if fd == nil {
+		return token.NoPos
+	}
+	return fd.headerEnd
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseCommentWellFormed(t *testing.T) {
+	cases := []struct {
+		text string
+		verb Verb
+		arg  string
+	}{
+		{"//create:zeroalloc", VerbZeroAlloc, ""},
+		{"//create:rng-reviewed corrupt gate draw, stream position is load-bearing", VerbRNGReviewed, "corrupt gate draw, stream position is load-bearing"},
+		{"//create:walltime-ok cache eviction clock, operational only", VerbWalltimeOK, "cache eviction clock, operational only"},
+		{"//create:maprange-ok integer merge, addition commutes exactly", VerbMapRangeOK, "integer merge, addition commutes exactly"},
+		{"//create:alloc-ok amortized: scratch capacity survives across trials", VerbAllocOK, "amortized: scratch capacity survives across trials"},
+		{"//create:zeroalloc\t", VerbZeroAlloc, ""}, // trailing whitespace is not an argument
+	}
+	for _, c := range cases {
+		d, perr := ParseComment(c.text)
+		if perr != nil {
+			t.Errorf("ParseComment(%q): unexpected error %q", c.text, perr.Msg)
+			continue
+		}
+		if d == nil {
+			t.Errorf("ParseComment(%q): not recognized as a directive", c.text)
+			continue
+		}
+		if d.Verb != c.verb || d.Arg != c.arg {
+			t.Errorf("ParseComment(%q) = (%q, %q), want (%q, %q)", c.text, d.Verb, d.Arg, c.verb, c.arg)
+		}
+	}
+}
+
+// TestParseCommentMalformed is the loud-failure contract: anything close to
+// a directive that is not exactly well-formed must produce a ParseError —
+// never a nil,nil "not a directive" result that would silently disable a
+// suppression.
+func TestParseCommentMalformed(t *testing.T) {
+	cases := []struct {
+		text    string
+		wantMsg string
+	}{
+		{"//create:", "missing verb"},
+		{"//create:rngreviewed stream ok", "unknown create directive verb"},
+		{"//create:rng-reviewed", "requires a justification"},
+		{"//create:rng-reviewed ", "requires a justification"},
+		{"//create:walltime-ok", "requires a justification"},
+		{"//create:maprange-ok", "requires a justification"},
+		{"//create:alloc-ok", "requires a justification"},
+		{"//create:zeroalloc but with a trailing note", "takes no argument"},
+		{"//create:zero-alloc", "unknown create directive verb"},
+		{"//create:ZEROALLOC", "unknown create directive verb"},
+		{"// create:zeroalloc", "malformed create directive"},
+		{"//  create:rng-reviewed why", "malformed create directive"},
+		{"//Create:zeroalloc", "malformed create directive"},
+		{"//CREATE:walltime-ok why", "malformed create directive"},
+		{"/*create:zeroalloc*/", "malformed create directive"},
+		{"/* create:walltime-ok why */", "malformed create directive"},
+	}
+	for _, c := range cases {
+		d, perr := ParseComment(c.text)
+		if perr == nil {
+			t.Errorf("ParseComment(%q): want loud parse error containing %q, got directive=%v", c.text, c.wantMsg, d)
+			continue
+		}
+		if !strings.Contains(perr.Msg, c.wantMsg) {
+			t.Errorf("ParseComment(%q) error %q does not mention %q", c.text, perr.Msg, c.wantMsg)
+		}
+		if d != nil {
+			t.Errorf("ParseComment(%q): returned both a directive and an error; a malformed directive must never suppress", c.text)
+		}
+	}
+}
+
+func TestParseCommentIgnoresOrdinaryComments(t *testing.T) {
+	for _, text := range []string{
+		"// a normal comment",
+		"// created by hand",
+		"// the //create:zeroalloc directive is documented elsewhere",
+		"/* block prose */",
+		"//go:generate stringer",
+		"//nolint:gofmt",
+	} {
+		d, perr := ParseComment(text)
+		if d != nil || perr != nil {
+			t.Errorf("ParseComment(%q) = (%v, %v), want (nil, nil)", text, d, perr)
+		}
+	}
+}
+
+const indexSrc = `package p
+
+//create:walltime-ok this file talks to the scheduler, timestamps are operational
+
+import "fmt"
+
+//create:zeroalloc
+func hot(a, b int) int {
+	return a + b // fine
+}
+
+func warm() {
+	x := 1 //create:rng-reviewed the draw on this line is reviewed
+	_ = x
+	//create:maprange-ok next line's loop merges integers only
+	y := 2
+	_ = y
+	fmt.Println(x, y)
+}
+
+//create:walltime-ok too late, declarations already started
+var after = 3
+
+//create:bogus-verb nope
+var bad = 4
+`
+
+func TestIndex(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", indexSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(fset, []*ast.File{f})
+
+	// The malformed bogus-verb directive lands in Errors, not the index.
+	if len(ix.Errors) != 1 || !strings.Contains(ix.Errors[0].Msg, "unknown create directive verb") {
+		t.Fatalf("Errors = %+v, want exactly the bogus-verb parse error", ix.Errors)
+	}
+
+	// File-level lookup sees only the header walltime-ok, not the late one.
+	d := ix.File(f, VerbWalltimeOK)
+	if d == nil || !strings.Contains(d.Arg, "scheduler") {
+		t.Fatalf("File(walltime-ok) = %+v, want the header directive", d)
+	}
+
+	// Function attachment: hot carries zeroalloc, warm does not.
+	var hot, warm *ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			switch fn.Name.Name {
+			case "hot":
+				hot = fn
+			case "warm":
+				warm = fn
+			}
+		}
+	}
+	if ix.ForFunc(hot, VerbZeroAlloc) == nil {
+		t.Error("ForFunc(hot, zeroalloc) = nil, want the doc-comment directive")
+	}
+	if ix.ForFunc(warm, VerbZeroAlloc) != nil {
+		t.Error("ForFunc(warm, zeroalloc) != nil, want nil")
+	}
+
+	// Line anchoring: same line and line-above both count; two lines away
+	// does not.
+	lineOf := func(substr string) token.Pos {
+		off := strings.Index(indexSrc, substr)
+		if off < 0 {
+			t.Fatalf("substring %q not found", substr)
+		}
+		return f.FileStart + token.Pos(off)
+	}
+	if ix.At(lineOf("x := 1"), VerbRNGReviewed) == nil {
+		t.Error("At(same line, rng-reviewed) = nil, want directive")
+	}
+	if ix.At(lineOf("y := 2"), VerbMapRangeOK) == nil {
+		t.Error("At(line above, maprange-ok) = nil, want directive")
+	}
+	if ix.At(lineOf("fmt.Println"), VerbMapRangeOK) != nil {
+		t.Error("At(two lines below, maprange-ok) != nil, want nil")
+	}
+}

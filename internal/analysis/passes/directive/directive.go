@@ -1,0 +1,57 @@
+// Package directive validates every //create: annotation in a package.
+//
+// The suppression grammar only works if a typo cannot silently disable a
+// check: a malformed directive never suppresses anything (the other
+// analyzers ignore it), and this analyzer turns it into a finding of its
+// own, so the lint run fails loudly instead. It also validates placement —
+// a file-level verb buried mid-file or a function contract floating free
+// would otherwise quietly bind to nothing.
+package directive
+
+import (
+	"go/ast"
+
+	"github.com/embodiedai/create/internal/analysis"
+)
+
+// Analyzer is the directive pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "directive",
+	Doc: "validate //create: directive syntax and placement\n\n" +
+		"unknown verbs, missing justifications, spaced or block-comment\n" +
+		"spellings, misplaced file-level and function-level directives are\n" +
+		"all errors: a malformed directive never suppresses a finding.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range pass.Directives.Errors {
+		pass.Reportf(e.Pos, "%s", e.Msg)
+	}
+	for _, f := range pass.Files {
+		attached := make(map[*analysis.Directive]bool)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if d := pass.Directives.ForFunc(fn, analysis.VerbZeroAlloc); d != nil {
+				attached[d] = true
+			}
+		}
+		headerEnd := pass.Directives.HeaderEnd(f)
+		for _, d := range pass.Directives.All(f) {
+			switch d.Verb {
+			case analysis.VerbWalltimeOK:
+				if d.Pos >= headerEnd {
+					pass.Reportf(d.Pos, "//create:walltime-ok is file-level: place it before the file's first declaration")
+				}
+			case analysis.VerbZeroAlloc:
+				if !attached[d] {
+					pass.Reportf(d.Pos, "//create:zeroalloc must be attached to a function declaration (in its doc comment or on the line above)")
+				}
+			}
+		}
+	}
+	return nil
+}

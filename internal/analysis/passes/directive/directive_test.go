@@ -1,0 +1,12 @@
+package directive_test
+
+import (
+	"testing"
+
+	"github.com/embodiedai/create/internal/analysis/analysistest"
+	"github.com/embodiedai/create/internal/analysis/passes/directive"
+)
+
+func TestDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", directive.Analyzer, "a")
+}

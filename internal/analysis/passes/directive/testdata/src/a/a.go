@@ -1,0 +1,31 @@
+// Package a exercises the directive analyzer: every malformed or misplaced
+// //create: annotation is a finding, so a typo can never silently disable a
+// check.
+package a
+
+//create:walltime-ok fixture header directive, correctly placed before all declarations
+
+/* want `unknown create directive verb "frobnicate"` */ //create:frobnicate
+
+/* want `create directive "rng-reviewed" requires a justification` */ //create:rng-reviewed
+
+/* want `create directive "zeroalloc" takes no argument` */ //create:zeroalloc but with a trailing note
+
+/* want `malformed create directive` */ // create:zeroalloc
+
+/* want `malformed create directive` */ /*create:walltime-ok block comments are not directives*/
+
+/* want `missing verb` */ //create:
+
+func anchor() {}
+
+/* want `//create:walltime-ok is file-level` */ //create:walltime-ok too late, a declaration already passed
+
+/* want `//create:zeroalloc must be attached to a function declaration` */ //create:zeroalloc
+
+var floating = 1
+
+//create:zeroalloc
+func attached() int {
+	return floating
+}

@@ -1,0 +1,174 @@
+// Package hotalloc turns the zero-allocation hot path into a per-function
+// static contract.
+//
+// PR 5 made the steady-state episode step loop allocation-free and locked
+// it with a runtime gate (TestStepLoopZeroAllocs: one AllocsPerRun window
+// over one configuration). That gate is necessary but coarse: it fires
+// minutes after the offending line, and only for code the benchmark window
+// happens to execute. This analyzer checks the same contract function by
+// function at compile time. Marking a function
+//
+//	//create:zeroalloc
+//
+// (in its doc comment or on the line above) rejects allocation-introducing
+// constructs anywhere in its body:
+//
+//   - make, new, composite literals whose address is taken, and map/slice
+//     literals (their backing stores always heap-allocate when they escape,
+//     and escape is the default assumption here),
+//   - append (growth allocates; amortized-growth scratch appends are the
+//     canonical annotated exception),
+//   - closures (func literals capture by reference and escape),
+//   - fmt.Sprintf/Sprint/Sprintln/Errorf and string concatenation (string
+//     building allocates),
+//   - string <-> []byte/[]rune conversions (they copy),
+//   - go statements (a new goroutine is hardly allocation-free).
+//
+// A construct that is provably amortized or off the steady-state path is
+// acknowledged in place:
+//
+//	//create:alloc-ok <why this does not allocate in steady state>
+//
+// The analyzer is deliberately stricter than the optimizer: value-typed
+// struct literals assigned through a pointer (*ep = episode{…}) do not
+// allocate and are not flagged, but anything the compiler might heap-box is.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/embodiedai/create/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid allocation-introducing constructs in //create:zeroalloc functions\n\n" +
+		"make/new/literals/append/closures/fmt.Sprintf/string building are\n" +
+		"rejected inside functions marked with the zeroalloc directive unless\n" +
+		"a line carries //create:alloc-ok <justification>.",
+	Run: run,
+}
+
+// sprinters are fmt functions that build strings (and therefore allocate).
+var sprinters = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.Directives.ForFunc(fn, analysis.VerbZeroAlloc) == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if pass.Directives.At(pos, analysis.VerbAllocOK) != nil {
+			return
+		}
+		prefixed := append([]any{fn.Name.Name}, args...)
+		pass.Reportf(pos, "%s is marked //create:zeroalloc: "+format+" (annotate with //create:alloc-ok <why> if amortized or off the steady-state path)", prefixed...)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure literal captures variables and escapes to the heap")
+			return false // its body is the closure's problem, reported once
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement spawns a goroutine (stack + closure allocation)")
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates its hash table")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates its backing array")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "address of composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypesInfo.TypeOf(n)) {
+				report(n.Pos(), "string concatenation allocates the result")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass.TypesInfo.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "string concatenation allocates the result")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, report)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow and reallocate its backing array")
+			}
+			return
+		}
+	}
+	if pkgPath, name, ok := pass.CalleePkgFunc(call); ok && pkgPath == "fmt" && sprinters[name] {
+		report(call.Pos(), "fmt.%s formats into a fresh allocation", name)
+		return
+	}
+	// string <-> []byte/[]rune conversions copy their data.
+	if len(call.Args) == 1 && pass.TypesInfo.Types[call.Fun].IsType() {
+		from := pass.TypesInfo.TypeOf(call.Args[0])
+		to := pass.TypesInfo.TypeOf(call.Fun)
+		if conversionAllocates(from, to) {
+			report(call.Pos(), "string conversion copies its data")
+		}
+	}
+}
+
+func conversionAllocates(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isString(to))
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

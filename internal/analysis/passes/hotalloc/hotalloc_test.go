@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/embodiedai/create/internal/analysis/analysistest"
+	"github.com/embodiedai/create/internal/analysis/passes/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a")
+}

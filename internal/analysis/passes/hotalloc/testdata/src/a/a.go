@@ -1,0 +1,59 @@
+// Package a exercises the hotalloc analyzer: functions under the
+// //create:zeroalloc contract reject allocation-introducing constructs,
+// annotated amortized sites and unmarked functions do not.
+package a
+
+import "fmt"
+
+type state struct {
+	buf   []float64
+	table map[string]int
+}
+
+//create:zeroalloc
+func clean(s *state, x float64) float64 {
+	// In-place arithmetic over preallocated storage: the contract holds.
+	var acc float64
+	for i := range s.buf {
+		s.buf[i] *= x
+		acc += s.buf[i]
+	}
+	return acc
+}
+
+//create:zeroalloc
+func dirty(s *state, msg string) string {
+	b := make([]float64, 8)           // want `dirty is marked //create:zeroalloc: make allocates`
+	m := map[string]int{"a": 1}       // want `map literal allocates its hash table`
+	sl := []int{1, 2, 3}              // want `slice literal allocates its backing array`
+	p := &state{}                     // want `address of composite literal escapes`
+	q := new(state)                   // want `new allocates`
+	s.buf = append(s.buf, 1)          // want `append may grow and reallocate`
+	f := func() int { return len(m) } // want `closure literal captures variables`
+	go clean(s, 1)                    // want `go statement spawns a goroutine`
+	t := fmt.Sprintf("%d", f())       // want `fmt\.Sprintf formats into a fresh allocation`
+	t = t + msg                       // want `string concatenation allocates`
+	t += "!"                          // want `string concatenation allocates`
+	raw := []byte(t)                  // want `string conversion copies its data`
+	_, _, _, _, _ = b, sl, p, q, raw
+	return t
+}
+
+//create:zeroalloc
+func amortized(s *state, v float64) {
+	//create:alloc-ok scratch append is amortized: capacity is retained across episodes
+	s.buf = append(s.buf, v)
+}
+
+func unmarked() []float64 {
+	// No contract, no findings: allocate freely.
+	out := make([]float64, 0, 4)
+	return append(out, 1, 2, 3)
+}
+
+//create:zeroalloc
+func valueLiteral(s *state) {
+	// A value-typed struct literal stored through a pointer does not
+	// heap-allocate and is not flagged.
+	*s = state{}
+}

@@ -1,0 +1,239 @@
+// Package maprange flags order-sensitive work inside `for … range map`.
+//
+// Go randomizes map iteration order per run. Integer merges over maps are
+// fine (exact addition commutes), but the PERFORMANCE.md bit-identity rules
+// forbid anything whose result depends on visit order in deterministic
+// packages:
+//
+//   - float accumulation (float sums re-associate: the last ulp of
+//     power.EffectiveVoltage-style metrics flips between runs — the
+//     power.sortedMV bug class),
+//   - collecting float values into a slice (defers the same re-association
+//     to whoever consumes the slice),
+//   - early exit via break, or a return whose value depends on the
+//     iteration variables (which element wins is a coin flip),
+//   - writing output inside the loop (line order is nondeterministic).
+//
+// The fix is almost always to sort the keys first (see power.sortedMV,
+// world.inputOrder). A loop argued to be genuinely order-insensitive can be
+// annotated on its `for` line (or the line above):
+//
+//	//create:maprange-ok <why order cannot matter here>
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/embodiedai/create/internal/analysis"
+	"github.com/embodiedai/create/internal/analysis/scope"
+)
+
+// IsServiceTier classifies the package under analysis; a variable so the
+// analysistest suite can substitute testdata package names. Service-tier
+// packages are exempt: their maps hold operational state (job tables,
+// cache indexes), not figure bytes.
+var IsServiceTier = scope.ServiceTier
+
+// Analyzer is the maprange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag order-sensitive work inside for…range over a map\n\n" +
+		"float accumulation, float collection, break/value-dependent return\n" +
+		"and output writes depend on Go's randomized map iteration order;\n" +
+		"sort the keys first or annotate with //create:maprange-ok.",
+	Run: run,
+}
+
+// printers are fmt output calls whose emission order becomes output bytes.
+var printers = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if IsServiceTier(pass.PkgPath()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Directives.At(rs.Pos(), analysis.VerbMapRangeOK) != nil {
+				return true // the whole loop is argued order-insensitive
+			}
+			checkBody(pass, rs)
+			return true // nested map ranges are checked independently
+		})
+	}
+	return nil
+}
+
+// checkBody walks one map-range body looking for order-sensitive work.
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt) {
+	loopVars := rangeVarObjects(pass, rs)
+	// breakDepth tracks how many breakable statements (for/range/switch/
+	// select) are nested between the map range and the walker's position: a
+	// break at depth 0 exits the map range itself.
+	var walk func(n ast.Node, breakDepth int)
+	walk = func(n ast.Node, breakDepth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// A closure's body runs on its own schedule; if it captures
+			// the loop vars and misbehaves, the call site is the bug.
+			return
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					// A nested map range is a checking root of its own
+					// (run's Inspect visits it); don't double-report.
+					return
+				}
+			}
+			breakDepth++
+		case *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			breakDepth++
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && n.Label == nil && breakDepth == 0 {
+				pass.Reportf(n.Pos(), "break out of a map range: which key is visited before the exit is nondeterministic; iterate sorted keys or annotate the loop with //create:maprange-ok <why>")
+			}
+			return
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesAny(pass, res, loopVars) {
+					pass.Reportf(n.Pos(), "return of a value derived from map iteration variables: which key wins is nondeterministic; iterate sorted keys or annotate the loop with //create:maprange-ok <why>")
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		case *ast.IncDecStmt:
+			if isFloat(pass.TypesInfo.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "float update in map iteration order: float accumulation re-associates with visit order (PERFORMANCE.md); iterate sorted keys (see power.sortedMV)")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		// Manual recursion so breakDepth scopes to subtrees.
+		cur := n
+		ast.Inspect(cur, func(child ast.Node) bool {
+			if child == nil || child == cur {
+				return child == cur
+			}
+			walk(child, breakDepth)
+			return false
+		})
+	}
+	walk(rs.Body, 0)
+}
+
+// checkAssign flags float accumulation into variables that outlive the loop.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if isFloat(pass.TypesInfo.TypeOf(lhs)) {
+				pass.Reportf(as.Pos(), "float accumulation in map iteration order: the sum re-associates with visit order and can differ in the last ulp between runs (PERFORMANCE.md); iterate sorted keys (see power.sortedMV)")
+				return
+			}
+		}
+	case token.ASSIGN:
+		// x = x <op> … spelled long-hand.
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			obj := rootObject(pass, lhs)
+			if obj == nil || !isFloat(pass.TypesInfo.TypeOf(lhs)) {
+				continue
+			}
+			if usesAny(pass, as.Rhs[i], map[types.Object]bool{obj: true}) {
+				pass.Reportf(as.Pos(), "float accumulation in map iteration order: the sum re-associates with visit order and can differ in the last ulp between runs (PERFORMANCE.md); iterate sorted keys (see power.sortedMV)")
+				return
+			}
+		}
+	}
+}
+
+// checkCall flags float collection via append and output writes.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if sl, ok := pass.TypesInfo.TypeOf(call.Args[0]).Underlying().(*types.Slice); ok && isFloat(sl.Elem()) {
+				pass.Reportf(call.Pos(), "collecting floats in map iteration order: the slice's element order is nondeterministic and any later reduction re-associates; iterate sorted keys (see power.sortedMV)")
+			}
+		}
+		return
+	}
+	if pkgPath, name, ok := pass.CalleePkgFunc(call); ok && pkgPath == "fmt" && printers[name] {
+		pass.Reportf(call.Pos(), "fmt.%s inside a map range emits lines in nondeterministic order; iterate sorted keys (see world.inputOrder) or annotate the loop with //create:maprange-ok <why>", name)
+	}
+}
+
+// rangeVarObjects returns the objects bound by the range statement's key
+// and value, if any.
+func rangeVarObjects(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// usesAny reports whether expr references any of the given objects.
+func usesAny(pass *analysis.Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[pass.TypesInfo.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves the variable at the base of an assignable expression
+// (x, x.f, x[i] all root at x).
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isFloat reports whether t's core type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

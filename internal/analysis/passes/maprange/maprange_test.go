@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"github.com/embodiedai/create/internal/analysis/analysistest"
+	"github.com/embodiedai/create/internal/analysis/passes/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", maprange.Analyzer, "a")
+}

@@ -1,0 +1,118 @@
+// Package a exercises the maprange analyzer: order-sensitive work inside
+// map ranges is a finding, integer merges and the sorted-keys idiom are
+// not, and one loop demonstrates annotated suppression.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func sums(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `float accumulation in map iteration order`
+	}
+	var s2 float64
+	for _, v := range m {
+		s2 = s2 + v // want `float accumulation in map iteration order`
+	}
+	return s + s2
+}
+
+func sortedFix(m map[int]float64) float64 {
+	// The canonical repair (power.sortedMV): collect keys, sort, then sum.
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // int keys: no finding
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k] // slice range: order is deterministic
+	}
+	return s
+}
+
+func collect(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want `collecting floats in map iteration order`
+	}
+	return out
+}
+
+func intMerge(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer merge commutes exactly: no finding
+	}
+	return n
+}
+
+func search(m map[int]int, want int) int {
+	for k, v := range m {
+		if v == want {
+			return k // want `return of a value derived from map iteration`
+		}
+	}
+	return -1
+}
+
+func exit(m map[int]int) bool {
+	found := false
+	for k := range m {
+		if k > 10 {
+			found = true
+			break // want `break out of a map range`
+		}
+	}
+	return found
+}
+
+func existence(m map[int]bool, k int) bool {
+	for kk := range m {
+		if kk == k {
+			return true // constant result: which key triggered it cannot matter
+		}
+	}
+	return false
+}
+
+func show(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside a map range`
+	}
+}
+
+func suppressed(m map[int]float64) float64 {
+	var s float64
+	//create:maprange-ok demonstration: this fixture argues order-insensitivity in review
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func nestedInner(m map[int]int) int {
+	n := 0
+	for k := range m {
+		for i := 0; i < k; i++ {
+			if i == 3 {
+				break // breaks the inner for, not the map range: no finding
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func nestedMap(m map[int]map[int]float64) float64 {
+	var s float64
+	for _, inner := range m {
+		for _, v := range inner {
+			s += v // want `float accumulation in map iteration order`
+		}
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+// Package rngdiscipline enforces the repository's RNG stream rules.
+//
+// Two invariants from PERFORMANCE.md ("RNG stream consumption"):
+//
+//  1. The process-global math/rand source is banned everywhere. Its draws
+//     are unseeded (or globally seeded behind the program's back), so any
+//     call like rand.Float64() makes output depend on process history.
+//     Deterministic code constructs rand.New(rand.NewSource(seed)).
+//
+//  2. In the episode hot-path packages (internal/agent, internal/world)
+//     every method call on a *rand.Rand is part of the published byte
+//     stream: adding, removing or reordering one draw shifts every
+//     subsequent draw and silently changes figure bytes (the Fig. 10/14
+//     trace incident class). Each draw site must therefore carry
+//
+//     //create:rng-reviewed <why this draw sits exactly here in the stream>
+//
+//     on its line or the line above, making stream changes visible in
+//     review diffs instead of only in golden-hash failures minutes later.
+package rngdiscipline
+
+import (
+	"go/ast"
+
+	"github.com/embodiedai/create/internal/analysis"
+	"github.com/embodiedai/create/internal/analysis/scope"
+)
+
+// IsHotPath classifies the package under analysis; a variable so the
+// analysistest suite can substitute testdata package names.
+var IsHotPath = scope.EpisodeHotPath
+
+// globalBanned lists math/rand package-level functions that draw from (or
+// mutate) the shared global source. Constructors are exempt: rand.New,
+// rand.NewSource and rand.NewZipf build explicitly seeded streams.
+var globalBanned = map[string]bool{
+	"Float64": true, "Float32": true, "NormFloat64": true, "ExpFloat64": true,
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// randPkgs are the import paths whose global sources are banned.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Analyzer is the rngdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngdiscipline",
+	Doc: "enforce seeded RNG streams and reviewed hot-path draw sites\n\n" +
+		"global math/rand functions are banned everywhere; *rand.Rand method\n" +
+		"calls in episode hot-path packages need //create:rng-reviewed.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	hot := IsHotPath(pass.PkgPath())
+	for _, f := range pass.Files {
+		test := pass.InTestFile(f.Pos())
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, name, ok := pass.CalleePkgFunc(call); ok && randPkgs[pkgPath] && globalBanned[name] {
+				// Banned even in tests: an unseeded test is a flaky test.
+				pass.Reportf(call.Pos(), "global math/rand call rand.%s draws from the unseeded process-global source: construct rand.New(rand.NewSource(seed)) so the stream is reproducible", name)
+				return true
+			}
+			if !hot || test {
+				return true
+			}
+			pkgPath, typeName, method, ok := pass.CalleeMethod(call)
+			if !ok || !randPkgs[pkgPath] || typeName != "Rand" {
+				return true
+			}
+			if pass.Directives.At(call.Pos(), analysis.VerbRNGReviewed) == nil {
+				pass.Reportf(call.Pos(), "unreviewed RNG draw (*rand.Rand).%s in episode hot-path package %s: annotate the call with //create:rng-reviewed <why> — adding, removing or reordering a draw shifts the stream and changes published figure bytes (PERFORMANCE.md)", method, pass.PkgPath())
+			}
+			return true
+		})
+	}
+	return nil
+}

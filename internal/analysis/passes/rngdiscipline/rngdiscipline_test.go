@@ -1,0 +1,15 @@
+package rngdiscipline_test
+
+import (
+	"testing"
+
+	"github.com/embodiedai/create/internal/analysis/analysistest"
+	"github.com/embodiedai/create/internal/analysis/passes/rngdiscipline"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	orig := rngdiscipline.IsHotPath
+	rngdiscipline.IsHotPath = func(path string) bool { return path == "hot" }
+	defer func() { rngdiscipline.IsHotPath = orig }()
+	analysistest.Run(t, "testdata", rngdiscipline.Analyzer, "hot", "cold")
+}

@@ -1,0 +1,14 @@
+// Package cold stands in for a package off the episode hot path: seeded
+// streams draw freely, but the global source stays banned.
+package cold
+
+import "math/rand"
+
+func ok(rng *rand.Rand) int {
+	return rng.Intn(10) // off the hot path: no annotation needed
+}
+
+func bad() {
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand`
+	rand.Seed(1)                       // want `global math/rand`
+}

@@ -1,0 +1,31 @@
+// Package hot stands in for an episode hot-path package: every *rand.Rand
+// draw site must be reviewed, and the global source is banned like
+// everywhere else.
+package hot
+
+import "math/rand"
+
+func draws(rng *rand.Rand) float64 {
+	bad := rng.Float64() // want `unreviewed RNG draw \(\*rand\.Rand\)\.Float64`
+	//create:rng-reviewed predictor noise draw; its stream position anchors the traced dataset
+	good := rng.NormFloat64()
+	reseed(rng)
+	return bad + good
+}
+
+func reseed(rng *rand.Rand) {
+	rng.Seed(2026) // want `unreviewed RNG draw \(\*rand\.Rand\)\.Seed`
+}
+
+func sameLine(rng *rand.Rand) int {
+	return rng.Intn(10) //create:rng-reviewed corrupt-action resample, consumes one draw after the gate
+}
+
+func global() float64 {
+	return rand.Float64() // want `global math/rand`
+}
+
+func seeded() *rand.Rand {
+	// Constructors build explicit streams; only draws need review.
+	return rand.New(rand.NewSource(7))
+}

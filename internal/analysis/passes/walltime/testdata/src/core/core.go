@@ -1,0 +1,24 @@
+// Package core stands in for a deterministic-core package: wall-clock
+// reads are findings here no matter what, and the file-level annotation is
+// itself a finding.
+package core
+
+import "time"
+
+/* want `has no effect in deterministic-core package` */ //create:walltime-ok pleading does not make the core reproducible
+
+func bad() time.Time {
+	return time.Now() // want `wall-clock call time\.Now in deterministic-core package`
+}
+
+func worse() {
+	time.Sleep(time.Second)     // want `wall-clock call time\.Sleep`
+	_ = time.Since(time.Time{}) // want `wall-clock call time\.Since`
+	t := time.NewTimer(0)       // want `wall-clock call time\.NewTimer`
+	t.Stop()
+}
+
+func fine() time.Time {
+	// Constructing times from explicit integers reads no clock.
+	return time.Unix(0, 0).Add(3 * time.Second)
+}

@@ -1,0 +1,11 @@
+// The header annotation below is the blessed service-tier pattern: one
+// justification per file, before any declaration.
+
+//create:walltime-ok job timestamps are operational metadata, never figure bytes
+package svc
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // annotated file: no finding
+}

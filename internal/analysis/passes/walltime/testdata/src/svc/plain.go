@@ -1,0 +1,7 @@
+package svc
+
+import "time"
+
+func sinceStart(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock call time\.Since in an unannotated file`
+}

@@ -1,0 +1,84 @@
+// Package walltime forbids wall-clock reads in the deterministic core.
+//
+// Every published figure is a pure function of (config, seed); a time.Now
+// anywhere in the episode engine, the world, the kernels or the experiment
+// sweeps would thread nondeterminism straight into the byte streams the CI
+// determinism gates pin. Service-tier files (cache eviction clocks, job
+// timestamps, dispatch retries) legitimately read the clock, but must say
+// so with a file-level annotation:
+//
+//	//create:walltime-ok <why this file is operational, not reproducible>
+//
+// placed before the file's first declaration. In deterministic-core
+// packages the annotation is rejected outright — no justification makes a
+// wall-clock read reproducible.
+package walltime
+
+import (
+	"go/ast"
+
+	"github.com/embodiedai/create/internal/analysis"
+	"github.com/embodiedai/create/internal/analysis/scope"
+)
+
+// IsServiceTier classifies the package under analysis; it is a variable so
+// the analysistest suite can substitute testdata package names.
+var IsServiceTier = scope.ServiceTier
+
+// forbidden is the set of time package functions that read or schedule
+// against the wall clock. Purely arithmetic helpers (time.Duration math,
+// time.Unix construction from explicit integers) stay legal.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+	"Sleep":     true,
+}
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads outside annotated service-tier files\n\n" +
+		"time.Now/Since/Until/After/Tick/NewTimer/NewTicker/AfterFunc/Sleep are\n" +
+		"banned in the deterministic core and require a file-level\n" +
+		"//create:walltime-ok <justification> in service-tier packages.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	service := IsServiceTier(pass.PkgPath())
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			// Tests poll deadlines and time out; their outputs are
+			// assertions, not published bytes.
+			continue
+		}
+		fileOK := pass.Directives.File(f, analysis.VerbWalltimeOK)
+		if fileOK != nil && !service {
+			pass.Reportf(fileOK.Pos, "//create:walltime-ok has no effect in deterministic-core package %s: no annotation can allow wall-clock reads here (PERFORMANCE.md, bit-identity rules)", pass.PkgPath())
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pass.CalleePkgFunc(call)
+			if !ok || pkgPath != "time" || !forbidden[name] {
+				return true
+			}
+			switch {
+			case !service:
+				pass.Reportf(call.Pos(), "wall-clock call time.%s in deterministic-core package %s: published figure bytes must be a pure function of (config, seed)", name, pass.PkgPath())
+			case fileOK == nil:
+				pass.Reportf(call.Pos(), "wall-clock call time.%s in an unannotated file: add a file-level //create:walltime-ok <justification> before the first declaration if this file is genuinely operational", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

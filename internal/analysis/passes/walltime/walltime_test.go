@@ -1,0 +1,15 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"github.com/embodiedai/create/internal/analysis/analysistest"
+	"github.com/embodiedai/create/internal/analysis/passes/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	orig := walltime.IsServiceTier
+	walltime.IsServiceTier = func(path string) bool { return path == "svc" }
+	defer func() { walltime.IsServiceTier = orig }()
+	analysistest.Run(t, "testdata", walltime.Analyzer, "core", "svc")
+}

@@ -1,0 +1,43 @@
+// Package scope classifies this module's packages for the determinism
+// analyzers. The split mirrors the architecture: a deterministic core whose
+// outputs are published figure bytes (episode engine, world, kernels,
+// energy model, experiments), and a service tier (cache, serving daemon,
+// dispatch coordinator, CLIs) that may read the wall clock because its job
+// is operational, not reproducible.
+package scope
+
+import "strings"
+
+// Module is this repository's module path.
+const Module = "github.com/embodiedai/create"
+
+// serviceTier lists the exact internal packages allowed to interact with
+// wall-clock time when annotated. Everything else under the module —
+// including the root package and every other internal package — is
+// deterministic core.
+var serviceTier = map[string]bool{
+	Module + "/internal/cache":    true,
+	Module + "/internal/service":  true,
+	Module + "/internal/dispatch": true,
+}
+
+// ServiceTier reports whether pkgPath belongs to the operational service
+// tier: the listed internal packages, every command under cmd/, and the
+// runnable examples. Test-variant suffixes must already be stripped
+// (analysis.Pass.PkgPath does this).
+func ServiceTier(pkgPath string) bool {
+	if serviceTier[pkgPath] {
+		return true
+	}
+	return strings.HasPrefix(pkgPath, Module+"/cmd/") ||
+		strings.HasPrefix(pkgPath, Module+"/examples/") ||
+		strings.HasPrefix(pkgPath, Module+"/internal/analysis")
+}
+
+// EpisodeHotPath reports whether pkgPath is part of the episode hot path,
+// where every RNG draw site is load-bearing for the published byte streams
+// (PERFORMANCE.md: "RNG stream consumption") and therefore must carry a
+// review annotation.
+func EpisodeHotPath(pkgPath string) bool {
+	return pkgPath == Module+"/internal/agent" || pkgPath == Module+"/internal/world"
+}

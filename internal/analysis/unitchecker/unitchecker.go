@@ -1,0 +1,225 @@
+// Package unitchecker makes an analyzer suite callable by the go vet
+// driver, one compilation unit at a time.
+//
+// `go vet -vettool=<tool>` speaks a small protocol to the tool:
+//
+//  1. `<tool> -V=full` must print a version line whose content changes
+//     whenever the tool binary changes (vet keys its result cache on it);
+//  2. `<tool> -flags` must print a JSON description of the tool's flags so
+//     vet knows which of the user's command-line flags to forward;
+//  3. per package, `<tool> <dir>/vet.cfg` runs the analysis: vet.cfg is a
+//     JSON file naming the unit's Go sources, its import map, and the
+//     export-data files of every dependency (already compiled — vet
+//     guarantees dependency order), plus the .vetx facts file the tool must
+//     write for units that import this one.
+//
+// The usual implementation of the tool side lives in
+// golang.org/x/tools/go/analysis/unitchecker; this package is a
+// self-contained stdlib-only reimplementation of the subset the create
+// suite needs, because the build environment vendors nothing and fetches
+// nothing. Facts are not implemented: every create analyzer is local to one
+// package, so the .vetx files written here are empty placeholders.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strings"
+
+	"github.com/embodiedai/create/internal/analysis"
+)
+
+// Config is the JSON schema of a vet.cfg file, as written by the go
+// command (see cmd/go/internal/work.vetConfig).
+type Config struct {
+	ID                        string // e.g. "fmt [fmt.test]"
+	Compiler                  string // gc or gccgo; affects export-data format
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path as written -> canonical path
+	PackageFile               map[string]string // canonical path -> export-data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // canonical path -> dependency .vetx (unused: no facts)
+	VetxOnly                  bool              // facts only, no diagnostics wanted
+	VetxOutput                string            // where to write this unit's facts
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool built around an analyzer suite.
+// It dispatches on the protocol argument and does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion()
+		os.Exit(0)
+	case len(args) == 2 && args[0] == "-V" && args[1] == "full":
+		printVersion()
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		// No tool flags: analyzers are always-on and unconfigurable.
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		run(args[0], analyzers)
+		os.Exit(0)
+	}
+	fmt.Fprintf(os.Stderr, "usage: %s <unit>.cfg\t(invoked by go vet -vettool)\n", os.Args[0])
+	os.Exit(1)
+}
+
+// printVersion emits the cache-busting version line. The shape replicates
+// cmd/internal/objabi.AddVersionFlag's devel form, which is what the vet
+// driver parses; the buildID is a content hash so rebuilding the tool
+// invalidates vet's cache.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer) {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// A unit's facts file must exist for vet's bookkeeping even though the
+	// create suite exports none.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fatalf("writing vetx: %v", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	diags, err := analyze(fset, cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The go command will report the type error itself.
+			writeVetx()
+			return
+		}
+		fatalf("%v", err)
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+		os.Exit(2)
+	}
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", path, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", path)
+	}
+	return cfg, nil
+}
+
+// goMajorMinor trims a toolchain version like go1.24.5 to the go1.24 form
+// go/types accepts as a language version.
+var goMajorMinor = regexp.MustCompile(`^go\d+\.\d+`)
+
+func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies arrive as compiler export data; resolve source import
+	// paths through the vendor/ImportMap indirection first, then read the
+	// named export-data file.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		canonical, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if canonical == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(canonical)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: goMajorMinor.FindString(cfg.GoVersion),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(analyzers, fset, files, pkg, info)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "create-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

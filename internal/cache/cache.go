@@ -36,6 +36,8 @@ import (
 	"github.com/embodiedai/create/internal/agent"
 )
 
+//create:walltime-ok hit/miss latency accounting in Stats is operational telemetry; no cached Summary byte depends on it
+
 // Point is the canonical fingerprint of one Monte-Carlo grid point. Its
 // fields must fully determine the agent.Config (plus trial count and base
 // seed) of the run it names; call sites whose configs contain function

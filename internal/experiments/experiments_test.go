@@ -209,6 +209,7 @@ func TestFig16ReliabilityOrdering(t *testing.T) {
 		avg[p.Config] += p.SuccessRate
 		n[p.Config]++
 	}
+	//create:maprange-ok per-key normalization: each avg[k] is divided once by its own count, no cross-iteration accumulation
 	for k := range avg {
 		avg[k] /= float64(n[k])
 	}

@@ -2,6 +2,7 @@ package power
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -46,9 +47,15 @@ func TestEffectiveVoltageEnergyEquivalence(t *testing.T) {
 		hist := map[int]int{820: na, 660: nb}
 		veff := m.EffectiveVoltage(hist)
 		macs := 1e9
+		mvs := make([]int, 0, len(hist))
+		for mv := range hist {
+			mvs = append(mvs, mv)
+		}
+		sort.Ints(mvs)
 		var actual float64
 		total := 0
-		for mv, n := range hist {
+		for _, mv := range mvs {
+			n := hist[mv]
 			actual += float64(n) * m.ComputeEnergy(macs, float64(mv)/1000)
 			total += n
 		}

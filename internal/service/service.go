@@ -44,6 +44,8 @@ import (
 	"github.com/embodiedai/create/internal/sim"
 )
 
+//create:walltime-ok job submit/start/finish timestamps, event-stream heartbeats and shutdown deadlines are operational metadata; figure bytes come from the deterministic engine underneath
+
 // DefaultTrials and DefaultSeed match the CLIs' defaults, so an
 // unqualified job renders exactly what an unqualified create-bench run
 // prints.

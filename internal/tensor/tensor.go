@@ -189,9 +189,11 @@ func Softmax(logits []float32) []float32 {
 // exponential accumulation, one float32 inverse-sum scale — so a caller
 // switching from Softmax to a reused dst buffer gets bit-identical
 // probabilities (the episode hot loop depends on this; see PERFORMANCE.md).
+//
+//create:zeroalloc
 func SoftmaxInto(dst, logits []float32) []float32 {
 	if len(dst) != len(logits) {
-		panic(fmt.Sprintf("tensor: softmax dst length %d != logits length %d", len(dst), len(logits)))
+		panic(fmt.Sprintf("tensor: softmax dst length %d != logits length %d", len(dst), len(logits))) //create:alloc-ok panic formatting is the failure path, never the steady state
 	}
 	if len(logits) == 0 {
 		return dst
@@ -217,6 +219,8 @@ func SoftmaxInto(dst, logits []float32) []float32 {
 
 // Entropy returns the Shannon entropy in nats of a probability vector.
 // Zero-probability entries contribute nothing.
+//
+//create:zeroalloc
 func Entropy(probs []float32) float64 {
 	var h float64
 	for _, p := range probs {
@@ -230,6 +234,8 @@ func Entropy(probs []float32) float64 {
 // EntropyOfProbs is Entropy under its hot-path name: the in-place episode
 // loop computes one probability vector per step (SoftmaxInto) and derives
 // both the entropy and the sampled action from it.
+//
+//create:zeroalloc
 func EntropyOfProbs(probs []float32) float64 { return Entropy(probs) }
 
 // EntropyOfLogits is the entropy of Softmax(logits).
@@ -240,6 +246,8 @@ func EntropyOfLogits(logits []float32) float64 { return Entropy(Softmax(logits))
 // The accumulation order is part of the determinism contract: it must stay
 // a single left-to-right float64 sum (the historical Decision.Sample
 // arithmetic) or published episode bytes change.
+//
+//create:zeroalloc
 func SampleFromProbs(probs []float32, rng *rand.Rand) int {
 	r := rng.Float64()
 	var cum float64
@@ -254,6 +262,8 @@ func SampleFromProbs(probs []float32, rng *rand.Rand) int {
 
 // ArgMax returns the index of the largest element (-1 for empty input).
 // Ties resolve to the lowest index.
+//
+//create:zeroalloc
 func ArgMax(xs []float32) int {
 	if len(xs) == 0 {
 		return -1
@@ -268,6 +278,8 @@ func ArgMax(xs []float32) int {
 }
 
 // Dot returns the float64 dot product of a and b.
+//
+//create:zeroalloc
 func Dot(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("tensor: dot length mismatch")

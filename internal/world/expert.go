@@ -79,12 +79,14 @@ func NewExpert(seed int64) *Expert {
 // what lets the trial engine keep one Expert per worker (see agent's
 // per-worker scratch).
 func (e *Expert) Reseed(seed int64) {
-	e.rng.Seed(seed)
+	e.rng.Seed(seed) //create:rng-reviewed rewinds the expert stream to NewExpert(seed)'s exact state for per-worker reuse
 	e.exploreMove = MoveN
 	e.exploreLeft = 0
 }
 
 // zeroLogits clears and returns the scratch logit buffer.
+//
+//create:zeroalloc
 func (e *Expert) zeroLogits() []float32 {
 	l := e.logits
 	for i := range l {
@@ -108,6 +110,8 @@ const (
 
 // Decide produces the expert's decision for the current world state and
 // subtask.
+//
+//create:zeroalloc
 func (e *Expert) Decide(w *World, st Subtask) Decision {
 	switch st.Kind {
 	case MineLog:
@@ -137,6 +141,7 @@ func (e *Expert) Decide(w *World, st Subtask) Decision {
 	}
 }
 
+//create:zeroalloc
 func (e *Expert) mine(w *World, st Subtask, kind Block) Decision {
 	// Required tool missing (a corrupted or mis-ordered plan): nothing
 	// useful to do but wander.
@@ -152,6 +157,7 @@ func (e *Expert) mine(w *World, st Subtask, kind Block) Decision {
 	return e.explore(w, st)
 }
 
+//create:zeroalloc
 func (e *Expert) craft(w *World, st Subtask) Decision {
 	r, ok := Recipes[st.Item]
 	if !ok {
@@ -171,6 +177,7 @@ func (e *Expert) craft(w *World, st Subtask) Decision {
 	return e.explore(w, st)
 }
 
+//create:zeroalloc
 func (e *Expert) place(w *World, st Subtask, item Item) Decision {
 	if w.Count(item) > 0 {
 		return e.execute(MakeAction(MoveNone, IntPlace), st, true)
@@ -178,6 +185,7 @@ func (e *Expert) place(w *World, st Subtask, item Item) Decision {
 	return e.explore(w, st)
 }
 
+//create:zeroalloc
 func (e *Expert) smelt(w *World, st Subtask) Decision {
 	r, ok := SmeltRecipes[st.Item]
 	if !ok || w.Count(r.In) == 0 || !w.hasFuel() {
@@ -192,6 +200,7 @@ func (e *Expert) smelt(w *World, st Subtask) Decision {
 	return e.explore(w, st)
 }
 
+//create:zeroalloc
 func (e *Expert) hunt(w *World, st Subtask) Decision {
 	if i, ok := w.NearestMob(Chicken, false); ok {
 		m := w.Mobs[i]
@@ -203,6 +212,7 @@ func (e *Expert) hunt(w *World, st Subtask) Decision {
 	return e.explore(w, st)
 }
 
+//create:zeroalloc
 func (e *Expert) shear(w *World, st Subtask) Decision {
 	if i, ok := w.NearestMob(Sheep, true); ok {
 		m := w.Mobs[i]
@@ -214,6 +224,7 @@ func (e *Expert) shear(w *World, st Subtask) Decision {
 	return e.explore(w, st)
 }
 
+//create:zeroalloc
 func (e *Expert) gather(w *World, st Subtask) Decision {
 	if x, y, ok := w.NearestBlock(Grass); ok {
 		if w.AdjacentTo(x, y) || (x == w.AgentX && y == w.AgentY) {
@@ -227,6 +238,8 @@ func (e *Expert) gather(w *World, st Subtask) Decision {
 // execute builds a sharply peaked decision. Deterministic chains get the
 // sharpest logits; stochastic interactions (hunting, shearing) are
 // moderately peaked, reflecting their tolerance (Fig. 6).
+//
+//create:zeroalloc
 func (e *Expert) execute(desired Action, st Subtask, deterministic bool) Decision {
 	peak := logitExecute
 	if !deterministic {
@@ -239,6 +252,8 @@ func (e *Expert) execute(desired Action, st Subtask, deterministic bool) Decisio
 
 // approach builds a medium-entropy decision: the distance-reducing moves are
 // all plausible, the best one preferred.
+//
+//create:zeroalloc
 func (e *Expert) approach(w *World, st Subtask, tx, ty int) Decision {
 	logits := e.zeroLogits()
 	d0 := chebyshev(w.AgentX, w.AgentY, tx, ty)
@@ -265,10 +280,12 @@ func (e *Expert) approach(w *World, st Subtask, tx, ty int) Decision {
 
 // explore builds a high-entropy decision: a persistent drift direction with
 // every movement plausible — the searching behaviour of Fig. 7(a).
+//
+//create:zeroalloc
 func (e *Expert) explore(w *World, st Subtask) Decision {
 	e.exploreLeft--
 	if e.exploreLeft <= 0 || e.blocked(w, e.exploreMove) {
-		e.exploreMove = Move(1 + e.rng.Intn(int(NumMoves)-1))
+		e.exploreMove = Move(1 + e.rng.Intn(int(NumMoves)-1)) //create:rng-reviewed drift refresh consumes two draws (direction, duration) only when a leg expires or is blocked
 		e.exploreLeft = 8 + e.rng.Intn(10)
 	}
 	logits := e.logits
@@ -285,6 +302,7 @@ func (e *Expert) explore(w *World, st Subtask) Decision {
 	return Decision{Logits: logits, Desired: desired, Phase: PhaseExplore, Goal: st.Item}
 }
 
+//create:zeroalloc
 func (e *Expert) blocked(w *World, m Move) bool {
 	dx, dy := m.Delta()
 	return w.At(w.AgentX+dx, w.AgentY+dy).Solid()

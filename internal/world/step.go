@@ -70,6 +70,8 @@ func (w *World) adjacentBlock(b Block) bool {
 // Step advances the world by one tick with the agent performing action a in
 // pursuit of goal (the item the current subtask wants; crafting and smelting
 // resolve against the goal's prerequisite chain).
+//
+//create:zeroalloc
 func (w *World) Step(a Action, goal Item) {
 	w.Steps++
 	mv, in := a.Parts()
@@ -122,6 +124,8 @@ func (w *World) mobAt(x, y int) bool {
 
 // doAttack progresses a mining chain or strikes an adjacent mob. It returns
 // whether a mining chain advanced (so decay is skipped).
+//
+//create:zeroalloc
 func (w *World) doAttack() bool {
 	// Mobs take priority if adjacent (hunting).
 	if i := w.adjacentMob(); i >= 0 {
@@ -204,6 +208,8 @@ func mineable(b Block) bool {
 
 // doUse shears an adjacent sheep or harvests adjacent grass for seeds
 // (stochastic interactions, Fig. 6's error-tolerant subtask family).
+//
+//create:zeroalloc
 func (w *World) doUse() {
 	if i := w.adjacentMobOfKind(Sheep, true); i >= 0 {
 		w.Mobs[i].Sheared = true
@@ -215,7 +221,7 @@ func (w *World) doUse() {
 			x, y := w.AgentX+dx, w.AgentY+dy
 			if w.At(x, y) == Grass {
 				w.set(x, y, Air)
-				if w.rng.Float64() < 0.5 {
+				if w.rng.Float64() < 0.5 { //create:rng-reviewed 50% seed drop: exactly one draw per grass block broken
 					w.Inventory[WheatSeeds]++
 				}
 				return
@@ -248,6 +254,8 @@ func (w *World) adjacentMobOfKind(kind MobKind, needUnsheared bool) int {
 }
 
 // doCraft crafts the deepest missing prerequisite of the goal item.
+//
+//create:zeroalloc
 func (w *World) doCraft(goal Item) {
 	r, ok := nextCraft(w, goal)
 	if !ok {
@@ -309,8 +317,10 @@ func inputOrder(r Recipe) []Item { return inputOrders[r.Out] }
 
 // doPlace places a crafting table or furnace from the inventory into an
 // adjacent free cell (table first — the order tasks need them).
+//
+//create:zeroalloc
 func (w *World) doPlace() {
-	place := func(item Item, block Block) bool {
+	place := func(item Item, block Block) bool { //create:alloc-ok closure is called directly and never escapes doPlace; the runtime gate (TestStepLoopZeroAllocs) confirms it stays on the stack
 		if w.Inventory[item] == 0 || w.adjacentBlock(block) {
 			return false
 		}
@@ -342,6 +352,8 @@ func (w *World) doPlace() {
 
 // doSmelt progresses a smelting chain at an adjacent furnace. Returns
 // whether the chain advanced.
+//
+//create:zeroalloc
 func (w *World) doSmelt(goal Item) bool {
 	r, ok := SmeltRecipes[goal]
 	if !ok || !w.adjacentBlock(FurnaceBlock) || w.Inventory[r.In] == 0 {
@@ -383,6 +395,8 @@ func (w *World) consumeFuel() {
 
 // stepMobs moves animals: chickens flee an adjacent agent, everything else
 // drifts randomly every other tick.
+//
+//create:zeroalloc
 func (w *World) stepMobs() {
 	for i := range w.Mobs {
 		m := &w.Mobs[i]
@@ -392,10 +406,10 @@ func (w *World) stepMobs() {
 		var dx, dy int
 		d := chebyshev(w.AgentX, w.AgentY, m.X, m.Y)
 		switch {
-		case m.Kind == Chicken && d <= 2 && w.rng.Float64() < 0.6:
+		case m.Kind == Chicken && d <= 2 && w.rng.Float64() < 0.6: //create:rng-reviewed chicken flee check draws once only when adjacent; the conditioning is part of the fixed mob stream
 			dx, dy = sign(m.X-w.AgentX), sign(m.Y-w.AgentY)
 		case w.Steps%2 == 0:
-			dx, dy = w.rng.Intn(3)-1, w.rng.Intn(3)-1
+			dx, dy = w.rng.Intn(3)-1, w.rng.Intn(3)-1 //create:rng-reviewed random mob walk: two draws on even world steps, argument order fixed by the assignment
 		}
 		nx, ny := m.X+dx, m.Y+dy
 		if (dx != 0 || dy != 0) && !w.At(nx, ny).Solid() && !w.mobAt(nx, ny) &&

@@ -175,7 +175,7 @@ func New(b Biome, seed int64) *World {
 // one World per worker and resets it per episode instead of reallocating
 // the 4 KiB grid trials-many times (see TestResetMatchesNew).
 func (w *World) Reset(b Biome, seed int64) {
-	w.rng.Seed(seed)
+	w.rng.Seed(seed) //create:rng-reviewed rewinds the world stream to New(b, seed)'s exact state for per-worker reuse
 	for i := range w.grid {
 		w.grid[i] = Air
 	}
@@ -239,12 +239,12 @@ func (w *World) generate(b Biome) {
 			// resource trip, like the open-world spawns the paper's tasks
 			// start from.
 			if chebyshev(x, y, w.AgentX, w.AgentY) <= 9 {
-				if w.rng.Float64() < d.grass {
+				if w.rng.Float64() < d.grass { //create:rng-reviewed terrain generation: one draw per spawn-area cell in fixed raster order
 					w.set(x, y, Grass)
 				}
 				continue
 			}
-			r := w.rng.Float64()
+			r := w.rng.Float64() //create:rng-reviewed terrain generation: one draw per far cell in fixed raster order
 			switch {
 			case r < d.tree:
 				w.set(x, y, Tree)
@@ -271,7 +271,7 @@ func (w *World) generate(b Biome) {
 
 func (w *World) randomOpenCell() (int, int) {
 	for i := 0; i < 10000; i++ {
-		x := 1 + w.rng.Intn(w.Size-2)
+		x := 1 + w.rng.Intn(w.Size-2) //create:rng-reviewed rejection sampling draws x,y pairs until an open cell; the attempt count depends only on the stream so far
 		y := 1 + w.rng.Intn(w.Size-2)
 		if !w.At(x, y).Solid() && (x != w.AgentX || y != w.AgentY) {
 			return x, y

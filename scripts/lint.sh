@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# lint.sh — run the full lint stack locally with the same flags CI uses
+# (.github/workflows/ci.yml, lint job):
+#
+#   1. gofmt       — formatting (fails listing unformatted files)
+#   2. go vet      — the standard analyzers
+#   3. create-lint — the repo's determinism invariants (internal/analysis),
+#                    run the supported way: go vet -vettool
+#   4. staticcheck — if installed (CI pins honnef.co/go/tools @2025.1.1;
+#                    skipped with a notice when absent locally)
+#   5. govulncheck — if installed (CI pins golang.org/x/vuln @v1.1.4;
+#                    skipped with a notice when absent locally)
+#
+# Usage: scripts/lint.sh [package patterns]   (default: ./...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pkgs=("${@:-./...}")
+fail=0
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+echo "== go vet"
+go vet "${pkgs[@]}" || fail=1
+
+echo "== create-lint (determinism invariants)"
+tool=$(mktemp -t create-lint.XXXXXX)
+trap 'rm -f "$tool"' EXIT
+go build -o "$tool" ./cmd/create-lint
+go vet -vettool="$tool" "${pkgs[@]}" || fail=1
+
+echo "== staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck "${pkgs[@]}" || fail=1
+else
+  echo "staticcheck not installed; skipping (CI runs honnef.co/go/tools/cmd/staticcheck@2025.1.1)"
+fi
+
+echo "== govulncheck"
+if command -v govulncheck >/dev/null 2>&1; then
+  govulncheck "${pkgs[@]}" || fail=1
+else
+  echo "govulncheck not installed; skipping (CI runs golang.org/x/vuln/cmd/govulncheck@v1.1.4)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK"
