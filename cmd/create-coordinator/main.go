@@ -37,6 +37,7 @@ import (
 	"syscall"
 
 	"github.com/embodiedai/create/internal/dispatch"
+	"github.com/embodiedai/create/internal/obs"
 	"github.com/embodiedai/create/internal/service"
 )
 
@@ -52,6 +53,7 @@ func main() {
 	prewarm := flag.Bool("prewarm", false, "push locally cached points to each worker before it runs its shard")
 	planOnly := flag.Bool("plan", false, "print the shard plan and exit without running")
 	events := flag.Bool("events", false, "log every worker progress event (verbose)")
+	metricsOut := flag.String("metrics-out", "", "write the run's metrics in Prometheus text format to this file (\"-\" for stderr)")
 	flag.Parse()
 
 	l, err := dispatch.OpenLocal("", *cacheDir)
@@ -130,9 +132,15 @@ func main() {
 		return
 	}
 
+	// One registry carries both tiers' families: the store's create_cache_*
+	// counters (the same numbers the final summary line prints) and the
+	// coordinator's create_dispatch_* shard/retry/merge accounting.
+	reg := obs.NewRegistry()
+	l.Store.Register(reg)
 	coord := &dispatch.Coordinator{
 		Env: l.Env, Store: l.Store, Runners: runners,
-		Logf: log.New(os.Stderr, "coordinator: ", 0).Printf,
+		Logf:    log.New(os.Stderr, "coordinator: ", 0).Printf,
+		Metrics: reg,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -146,6 +154,29 @@ func main() {
 	}
 	log.Printf("coordinator: %d shards planned (%d points, %d cached, %d to compute)",
 		plan.NumShards, plan.GridPoints, plan.Cached, plan.ToCompute)
+	st := l.Store.Stats()
 	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d points resident\n",
-		l.Store.Hits(), l.Store.Misses(), l.Store.Len())
+		st.Hits, st.Misses, st.Resident)
+	if *metricsOut != "" {
+		if err := dumpMetrics(reg, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "coordinator: writing metrics: %v\n", err)
+			cleanup()
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics renders the registry to path ("-" = stderr) after the run —
+// the batch-CLI counterpart of create-serve's GET /metrics.
+func dumpMetrics(reg *obs.Registry, path string) error {
+	if path == "-" {
+		reg.WritePrometheus(os.Stderr)
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	reg.WritePrometheus(f)
+	return f.Close()
 }

@@ -12,7 +12,13 @@
 //	curl localhost:8080/v1/jobs/job-1
 //	curl localhost:8080/v1/jobs/job-1/events        # NDJSON progress
 //	curl localhost:8080/v1/jobs/job-1/result        # rendered figure
+//	curl localhost:8080/v1/jobs/job-1/timing        # per-stage timing record
 //	curl localhost:8080/v1/cache/stats
+//	curl localhost:8080/metrics                     # Prometheus exposition
+//
+// Every job records queued→planned→computed→rendered timestamps, and the
+// /metrics endpoint exposes the service, cache, and per-stage latency
+// families documented in docs/METRICS.md.
 //
 // On SIGINT/SIGTERM the daemon stops accepting submissions, drains every
 // queued and running job, then shuts the listener down.
@@ -109,6 +115,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
+	st := store.Stats()
 	log.Printf("create-serve: cache %d hits, %d misses, %d points resident",
-		store.Hits(), store.Misses(), store.Len())
+		st.Hits, st.Misses, st.Resident)
 }

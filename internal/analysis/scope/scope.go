@@ -19,6 +19,7 @@ var serviceTier = map[string]bool{
 	Module + "/internal/cache":    true,
 	Module + "/internal/service":  true,
 	Module + "/internal/dispatch": true,
+	Module + "/internal/obs":      true,
 }
 
 // ServiceTier reports whether pkgPath belongs to the operational service

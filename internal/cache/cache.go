@@ -30,10 +30,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/obs"
 )
 
 //create:walltime-ok hit/miss latency accounting in Stats is operational telemetry; no cached Summary byte depends on it
@@ -124,7 +124,10 @@ type Store struct {
 	payloads    map[string]json.RawMessage // by fingerprint; auxiliary artifacts
 	maxResident int
 
-	hits, misses atomic.Int64
+	// hits/misses/evictions are obs counters so /v1/cache/stats, the
+	// coordinator summary, and /metrics all read one set of numbers
+	// (Register exposes them as create_cache_* families).
+	hits, misses, evictions obs.Counter
 
 	// lru tracks the disk footprint once SetMaxBytes arms a size cap.
 	// Separate from mu: eviction does file I/O and must not block readers
@@ -214,7 +217,7 @@ func (s *Store) Get(p Point) (agent.Summary, bool) {
 	s.mu.RUnlock()
 	if ok {
 		s.touchMem(key)
-		s.hits.Add(1)
+		s.hits.Inc()
 		return sum, true
 	}
 	if s.dir != "" {
@@ -227,12 +230,12 @@ func (s *Store) Get(p Point) (agent.Summary, bool) {
 				s.dropOverResidentLocked(key)
 				s.mu.Unlock()
 				s.touch(path, int64(len(data)))
-				s.hits.Add(1)
+				s.hits.Inc()
 				return e.Summary, true
 			}
 		}
 	}
-	s.misses.Add(1)
+	s.misses.Inc()
 	return agent.Summary{}, false
 }
 
@@ -407,6 +410,7 @@ func (s *Store) evictLocked() {
 		s.lru.total -= s.lru.entries[oldest].size
 		delete(s.lru.entries, oldest)
 		_ = os.Remove(oldest)
+		s.evictions.Inc()
 	}
 }
 
@@ -440,15 +444,59 @@ func writeFileAtomic(path string, data []byte) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// Hits and Misses report Get accounting; Len is the number of distinct
-// points resident in memory (every Put and every promoted disk hit).
-func (s *Store) Hits() int64   { return s.hits.Load() }
-func (s *Store) Misses() int64 { return s.misses.Load() }
+// Hits and Misses report Get accounting; Evictions counts disk files
+// removed by the LRU cap; Len is the number of distinct points resident in
+// memory (every Put and every promoted disk hit).
+func (s *Store) Hits() int64      { return s.hits.Value() }
+func (s *Store) Misses() int64    { return s.misses.Value() }
+func (s *Store) Evictions() int64 { return s.evictions.Value() }
 
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.mem)
+}
+
+// Stats is one consistent snapshot of the store's accounting — the single
+// source behind /v1/cache/stats, the CLI shutdown summaries, and the
+// /metrics families, so the numbers cannot drift between surfaces.
+type Stats struct {
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Evictions int64  `json:"evictions"`
+	Resident  int    `json:"resident"`
+	DiskBytes int64  `json:"disk_bytes"`
+	Dir       string `json:"dir,omitempty"`
+}
+
+// Stats returns the current accounting snapshot.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.Hits(),
+		Misses:    s.Misses(),
+		Evictions: s.Evictions(),
+		Resident:  s.Len(),
+		DiskBytes: s.DiskBytes(),
+		Dir:       s.dir,
+	}
+}
+
+// Register exposes the store's accounting on reg as the create_cache_*
+// metric families. The registered functions read the same counters Stats
+// reports — one code path for every surface.
+func (s *Store) Register(reg *obs.Registry) {
+	reg.CounterFunc("create_cache_hits_total",
+		"Cache reads served from memory or disk.", s.Hits)
+	reg.CounterFunc("create_cache_misses_total",
+		"Cache reads that found nothing and forced a compute.", s.Misses)
+	reg.CounterFunc("create_cache_evictions_total",
+		"Disk entries removed by the LRU byte cap.", s.Evictions)
+	reg.GaugeFunc("create_cache_resident_points",
+		"Distinct grid points resident in the memory layer.",
+		func() float64 { return float64(s.Len()) })
+	reg.GaugeFunc("create_cache_disk_bytes",
+		"Tracked on-disk footprint (0 until a byte cap arms the index).",
+		func() float64 { return float64(s.DiskBytes()) })
 }
 
 // ---------------------------------------------------------------------------
@@ -494,10 +542,10 @@ func (s *Store) GetPayload(fingerprint string, v any) bool {
 	s.mu.RUnlock()
 	if ok {
 		if json.Unmarshal(raw, v) == nil {
-			s.hits.Add(1)
+			s.hits.Inc()
 			return true
 		}
-		s.misses.Add(1)
+		s.misses.Inc()
 		return false
 	}
 	if s.dir != "" {
@@ -510,12 +558,12 @@ func (s *Store) GetPayload(fingerprint string, v any) bool {
 				s.payloads[fingerprint] = e.Payload
 				s.mu.Unlock()
 				s.touch(path, int64(len(data)))
-				s.hits.Add(1)
+				s.hits.Inc()
 				return true
 			}
 		}
 	}
-	s.misses.Add(1)
+	s.misses.Inc()
 	return false
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/embodiedai/create/internal/agent"
+	"github.com/embodiedai/create/internal/obs"
 	"github.com/embodiedai/create/internal/world"
 )
 
@@ -270,6 +271,49 @@ func TestEvictionLRU(t *testing.T) {
 	// memory layer of the store that computed it.
 	if _, ok := s.Get(pts[1]); !ok {
 		t.Fatal("evicted point should remain resident in memory")
+	}
+	if got := s.Evictions(); got != 1 {
+		t.Fatalf("evictions counter = %d, want 1", got)
+	}
+}
+
+// TestStatsAndRegister asserts the Stats snapshot and the registered
+// create_cache_* metric families report the same numbers as the accessor
+// methods — the single-source-of-truth contract behind /v1/cache/stats
+// and /metrics.
+func TestStatsAndRegister(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(dir)
+	p := testPoint()
+	if _, ok := s.Get(p); ok { // one miss
+		t.Fatal("unexpected hit")
+	}
+	if err := s.Put(p, testSummary(2, 2026)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(p); !ok { // one hit
+		t.Fatal("expected hit")
+	}
+
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Resident != 1 || st.Dir != dir {
+		t.Fatalf("stats snapshot out of sync with accessors: %+v", st)
+	}
+
+	reg := obs.NewRegistry()
+	s.Register(reg)
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	for _, line := range []string{
+		"create_cache_hits_total 1",
+		"create_cache_misses_total 1",
+		"create_cache_evictions_total 0",
+		"create_cache_resident_points 1",
+		"create_cache_disk_bytes 0",
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("registered metrics missing %q:\n%s", line, b.String())
+		}
 	}
 }
 

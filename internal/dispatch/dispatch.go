@@ -28,6 +28,13 @@
 //     (cache.MergeDirs — content addressing makes the union the complete
 //     merge), and finally replays the selection unsharded against the
 //     merged cache, rendering output byte-identical to a single machine.
+//
+// The coordinator accounts every scheduling decision — shards dispatched,
+// re-queued after worker loss, workers retired, entries merged — on
+// internal/obs counters at shard granularity (observe.go), surfaced by
+// cmd/create-coordinator's -metrics-out flag and catalogued in
+// docs/METRICS.md. The tier's place in the stack is drawn out in
+// docs/ARCHITECTURE.md.
 package dispatch
 
 import (
@@ -41,6 +48,7 @@ import (
 
 	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/obs"
 	"github.com/embodiedai/create/internal/registry"
 )
 
@@ -199,6 +207,11 @@ type Coordinator struct {
 	MaxAttempts int
 	// Logf, when set, receives human-readable progress (stderr-style).
 	Logf func(format string, args ...any)
+	// Metrics receives the create_dispatch_* instrument families (shard
+	// dispatch/retry/merge counters, worker health gauge). nil lazily
+	// allocates a private registry, so accounting is always on; inject a
+	// shared registry to surface it (cmd/create-coordinator -metrics-out).
+	Metrics *obs.Registry
 
 	mu     sync.Mutex
 	merged map[int]bool // shards whose entries have landed, for at-most-once merge
@@ -260,6 +273,7 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 	if maxAttempts <= 0 {
 		maxAttempts = 3
 	}
+	c.healthyWorkers().Set(int64(len(c.Runners)))
 
 	// Hit-aware schedule: heaviest shards first; fully cached shards are
 	// never dispatched at all — the replay serves their points locally.
@@ -267,6 +281,7 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 	for _, w := range plan.Shards {
 		if w.Free() {
 			c.logf("shard %s: all %d points cached; not dispatching", w.Selector, w.GridPoints)
+			c.countShard("free")
 			continue
 		}
 		pending = append(pending, w.Index)
@@ -310,6 +325,8 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 			w := plan.Shards[shard]
 			c.logf("shard %s -> %s (%d points, %d cached, %d to compute)",
 				w.Selector, c.Runners[r].Label(), w.GridPoints, w.Cached, w.ToCompute)
+			c.countShard("dispatched")
+			c.countAttempt(w.Selector)
 			outstanding++
 			go func(shard, r int) {
 				dir, err := c.Runners[r].RunShard(ctx, plan, shard)
@@ -329,12 +346,14 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 		if res.err != nil {
 			// Worker loss: retire the runner, re-queue the shard.
 			attempts[res.shard]++
+			c.countRetry(c.Runners[res.runner].Label())
 			c.logf("shard %s failed on %s (attempt %d/%d): %v",
 				w.Selector, c.Runners[res.runner].Label(), attempts[res.shard], maxAttempts, res.err)
 			if attempts[res.shard] >= maxAttempts {
 				return fmt.Errorf("shard %s failed %d times, last on %s: %w",
 					w.Selector, attempts[res.shard], c.Runners[res.runner].Label(), res.err)
 			}
+			c.countShard("requeued")
 			pending = append(pending, res.shard)
 			continue
 		}
@@ -348,11 +367,13 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 			// never pollute cache-dir scans or later merges.
 			_ = os.RemoveAll(res.dir)
 		}
+		c.countShard("completed")
 		switch {
 		case dup:
 			c.logf("shard %s completed again on %s; merge skipped (already landed)",
 				w.Selector, c.Runners[res.runner].Label())
 		case res.dir != "":
+			c.countMergedEntries(n)
 			c.logf("shard %s done on %s: merged %d entries", w.Selector, c.Runners[res.runner].Label(), n)
 		default:
 			c.logf("shard %s done on %s", w.Selector, c.Runners[res.runner].Label())

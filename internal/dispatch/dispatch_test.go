@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -257,6 +258,38 @@ func TestCoordinatorWorkerLossRequeues(t *testing.T) {
 	}
 	if store.Misses() != 0 {
 		t.Fatalf("replay recomputed %d points", store.Misses())
+	}
+
+	// The loss is visible in the dispatch counters: the dead worker's
+	// failures were counted as retries, exactly one runner was retired
+	// (leaving one healthy), and every failed shard was re-queued.
+	reg := coord.Metrics
+	if reg == nil {
+		t.Fatal("coordinator collected no metrics")
+	}
+	counter := func(name string, labels ...string) int64 {
+		return reg.Counter(name, "", labels...).Value()
+	}
+	if got := counter("create_dispatch_retries_total", "worker", dead); got < 1 {
+		t.Errorf("retries for the dead worker = %d, want >= 1", got)
+	}
+	if got := counter("create_dispatch_workers_retired_total"); got != 1 {
+		t.Errorf("workers retired = %d, want 1", got)
+	}
+	if got := reg.Gauge("create_dispatch_workers_healthy", "").Value(); got != 1 {
+		t.Errorf("healthy workers = %d, want 1", got)
+	}
+	if got := counter("create_dispatch_shards_total", "state", "requeued"); got < 1 {
+		t.Errorf("requeued shards = %d, want >= 1", got)
+	}
+	if disp, done := counter("create_dispatch_shards_total", "state", "dispatched"),
+		counter("create_dispatch_shards_total", "state", "completed"); disp != done+counter("create_dispatch_shards_total", "state", "requeued") {
+		t.Errorf("dispatched (%d) should equal completed (%d) + requeued", disp, done)
+	}
+	var exp bytes.Buffer
+	reg.WritePrometheus(&exp)
+	if !strings.Contains(exp.String(), "create_dispatch_merged_entries_total") {
+		t.Errorf("exposition missing merge counter:\n%s", exp.String())
 	}
 }
 

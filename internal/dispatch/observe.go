@@ -1,0 +1,52 @@
+package dispatch
+
+import (
+	"github.com/embodiedai/create/internal/obs"
+)
+
+// reg returns the coordinator's metric registry, creating a private one on
+// first use so dispatch accounting is always collected; cmd/create-coordinator
+// injects a registry to surface it (-metrics-out), and tests read it back.
+func (c *Coordinator) reg() *obs.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c.Metrics
+}
+
+// Dispatch metric helpers. All counters live at shard granularity — one
+// increment per dispatch/retry/merge decision — far off the episode hot
+// path.
+
+func (c *Coordinator) countShard(state string) {
+	c.reg().Counter("create_dispatch_shards_total",
+		"Shard scheduling decisions by state: free (never dispatched), dispatched, requeued, completed.",
+		"state", state).Inc()
+}
+
+func (c *Coordinator) countAttempt(selector string) {
+	c.reg().Counter("create_dispatch_shard_attempts_total",
+		"Dispatch attempts per shard selector; >1 means the shard was retried after worker loss.",
+		"shard", selector).Inc()
+}
+
+func (c *Coordinator) countRetry(worker string) {
+	c.reg().Counter("create_dispatch_retries_total",
+		"Shard failures by worker; each one retires the worker and re-queues its shard.",
+		"worker", worker).Inc()
+	c.reg().Counter("create_dispatch_workers_retired_total",
+		"Runners retired after a shard failure (worker loss).").Inc()
+	c.healthyWorkers().Add(-1)
+}
+
+func (c *Coordinator) countMergedEntries(n int) {
+	c.reg().Counter("create_dispatch_merged_entries_total",
+		"Cache entries merged back from completed shards.").Add(int64(n))
+}
+
+func (c *Coordinator) healthyWorkers() *obs.Gauge {
+	return c.reg().Gauge("create_dispatch_workers_healthy",
+		"Runners currently eligible for shard dispatch.")
+}

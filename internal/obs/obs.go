@@ -1,0 +1,458 @@
+// Package obs is the observability core for the serving tier: atomic
+// counters, gauges, and fixed-bucket histograms collected in a Registry
+// that renders Prometheus text exposition format (version 0.0.4), plus
+// per-job flat timing records (JobTiming) in the style of stage-timestamped
+// CSV rows.
+//
+// The package is dependency-free and wall-clock-free: it never reads the
+// clock itself — callers stamp time.Time values and pass durations in as
+// float64 seconds — so it needs no walltime annotation and can never leak
+// nondeterminism into figure bytes. Instrumentation call sites live at
+// job and grid-point boundaries in internal/service, internal/dispatch,
+// and internal/cache, never inside the episode hot path.
+//
+// Instruments are memoized by (family name, label set): calling
+// Registry.Counter twice with the same name and labels returns the same
+// *Counter, so packages can resolve handles at call sites without
+// plumbing. CounterFunc and GaugeFunc register read-only views over
+// externally owned state (e.g. the cache store's hit counters), which is
+// how /v1/cache/stats and /metrics are kept on one code path.
+//
+// docs/METRICS.md catalogues every family the stack registers here;
+// docs/ARCHITECTURE.md places the package in the tier diagram.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use, so structs can embed Counters directly and register views
+// over them with Registry.CounterFunc.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters are monotonic; negative n is a programmer error
+// and panics rather than silently corrupting rates.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: negative Counter.Add")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down (queue depths,
+// resident entries, healthy workers). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations. Bucket
+// upper bounds are set at registration and immutable; observations and
+// the running sum are lock-free.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; bucket i counts v <= bounds[i]
+	counts []atomic.Int64 // len(bounds)+1; the last bucket is +Inf
+	sum    atomic.Uint64  // float64 bits, updated by CAS
+	count  atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefaultStageBuckets are the bucket bounds used for job-stage latency
+// histograms: sub-millisecond plan/render stages up through multi-minute
+// cold sweeps.
+var DefaultStageBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120}
+
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instrument inside a family. Exactly one of the
+// value fields is set, matching the family's kind.
+type series struct {
+	labels    string // canonical rendered label block, "" for unlabeled
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() int64
+	gaugeFn   func() float64
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64
+	series map[string]*series
+}
+
+// Registry collects instrument families and renders them in Prometheus
+// text exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter for name and the given label pairs,
+// creating it on first use. labels alternate key, value. Registering the
+// same name with a different kind panics.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.seriesFor(name, help, counterKind, nil, labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name and the given label pairs, creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.seriesFor(name, help, gaugeKind, nil, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram for name and the given label pairs,
+// creating it on first use with the given bucket upper bounds (which must
+// be sorted ascending and are shared by every series in the family; a
+// mismatch on a later call panics).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound: " + name)
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted ascending: " + name)
+	}
+	s := r.seriesFor(name, help, histogramKind, bounds, labels)
+	if s.hist == nil {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		s.hist = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	}
+	return s.hist
+}
+
+// CounterFunc registers a read-only counter view computed by fn at scrape
+// time — for exposing counters owned elsewhere (e.g. cache store hits)
+// without double-counting. Re-registering the same name+labels replaces
+// the function.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...string) {
+	s := r.seriesFor(name, help, counterKind, nil, labels)
+	s.counterFn = fn
+}
+
+// GaugeFunc registers a read-only gauge view computed by fn at scrape
+// time (queue depth, resident cache points, disk bytes).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	s := r.seriesFor(name, help, gaugeKind, nil, labels)
+	s.gaugeFn = fn
+}
+
+// seriesFor resolves (or creates) the series for name+labels, enforcing
+// kind, help, and bound consistency across the family.
+func (r *Registry) seriesFor(name, help string, k kind, bounds []float64, labels []string) *series {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name: " + name)
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, bounds: bounds, series: make(map[string]*series)}
+		r.families[name] = f
+	} else {
+		if f.kind != k {
+			panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", name, f.kind, k))
+		}
+		if k == histogramKind && !equalBounds(f.bounds, bounds) {
+			panic("obs: histogram bounds differ across series of " + name)
+		}
+	}
+	s := f.series[sig]
+	if s == nil {
+		s = &series{labels: sig}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// WritePrometheus renders every family in text exposition format 0.0.4,
+// families sorted by name and series by label signature, so output is
+// deterministic and golden-testable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the family/series structure under the lock; values are
+	// read atomically afterwards.
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			renderSeries(&b, f, f.series[sig])
+		}
+	}
+	io.WriteString(w, b.String())
+}
+
+// renderSeries appends one series' sample lines.
+func renderSeries(b *strings.Builder, f *family, s *series) {
+	switch f.kind {
+	case counterKind:
+		v := int64(0)
+		switch {
+		case s.counterFn != nil:
+			v = s.counterFn()
+		case s.counter != nil:
+			v = s.counter.Value()
+		}
+		fmt.Fprintf(b, "%s%s %d\n", f.name, s.labels, v)
+	case gaugeKind:
+		if s.gaugeFn != nil {
+			fmt.Fprintf(b, "%s%s %s\n", f.name, s.labels, formatFloat(s.gaugeFn()))
+			return
+		}
+		v := int64(0)
+		if s.gauge != nil {
+			v = s.gauge.Value()
+		}
+		fmt.Fprintf(b, "%s%s %d\n", f.name, s.labels, v)
+	case histogramKind:
+		h := s.hist
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, spliceLabel(s.labels, "le", formatFloat(bound)), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, spliceLabel(s.labels, "le", "+Inf"), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, s.labels, h.Count())
+	}
+}
+
+// Handler returns an http.Handler serving the registry in text exposition
+// format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// labelSignature canonicalizes label pairs into a rendered label block:
+// pairs sorted by key, values escaped. Returns "" for no labels. Odd pair
+// counts, invalid names, and duplicate keys panic — these are call-site
+// typos, not runtime conditions.
+func labelSignature(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd label list; want alternating key, value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			panic("obs: invalid label name: " + labels[i])
+		}
+		pairs = append(pairs, pair{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			if pairs[i-1].k == p.k {
+				panic("obs: duplicate label key: " + p.k)
+			}
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// spliceLabel inserts one extra label pair (already escaped by the
+// caller's construction — le values are numeric) into a rendered block.
+func spliceLabel(block, key, value string) string {
+	extra := key + `="` + value + `"`
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// equalBounds reports whether two bound slices are identical.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

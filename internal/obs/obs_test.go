@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the full exposition rendering: HELP/TYPE
+// comments, family and series sort order, label canonicalization and
+// escaping, cumulative histogram buckets, and value formatting. Any
+// format drift breaks real scrapers, so the expected output is exact.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	jobs := r.Counter("create_jobs_total", "Jobs by terminal state.", "state", "done", "experiment", "fig19")
+	jobs.Add(3)
+	r.Counter("create_jobs_total", "Jobs by terminal state.", "state", "failed", "experiment", "fig19").Inc()
+
+	g := r.Gauge("create_jobs_inflight", "Jobs currently executing.")
+	g.Set(2)
+	g.Add(-1)
+
+	r.GaugeFunc("create_cache_disk_bytes", "Bytes on disk under the cache dir.", func() float64 { return 4096 })
+	r.CounterFunc("create_cache_hits_total", "Cache hits.", func() int64 { return 41 })
+
+	h := r.Histogram("create_job_stage_seconds", "Stage latency.", []float64{0.1, 1, 10}, "stage", "compute")
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(1.0) // lands in le="1" exactly
+	h.Observe(25)  // +Inf only
+
+	// Label values with every escapable character, keys deliberately
+	// passed in non-sorted order.
+	r.Counter("create_escapes_total", `Help with \ backslash and
+newline.`, "zkey", "a\\b\"c\nd", "akey", "plain").Inc()
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+
+	want := strings.Join([]string{
+		`# HELP create_cache_disk_bytes Bytes on disk under the cache dir.`,
+		`# TYPE create_cache_disk_bytes gauge`,
+		`create_cache_disk_bytes 4096`,
+		`# HELP create_cache_hits_total Cache hits.`,
+		`# TYPE create_cache_hits_total counter`,
+		`create_cache_hits_total 41`,
+		`# HELP create_escapes_total Help with \\ backslash and\nnewline.`,
+		`# TYPE create_escapes_total counter`,
+		`create_escapes_total{akey="plain",zkey="a\\b\"c\nd"} 1`,
+		`# HELP create_job_stage_seconds Stage latency.`,
+		`# TYPE create_job_stage_seconds histogram`,
+		`create_job_stage_seconds_bucket{stage="compute",le="0.1"} 2`,
+		`create_job_stage_seconds_bucket{stage="compute",le="1"} 3`,
+		`create_job_stage_seconds_bucket{stage="compute",le="10"} 3`,
+		`create_job_stage_seconds_bucket{stage="compute",le="+Inf"} 4`,
+		`create_job_stage_seconds_sum{stage="compute"} 26.1`,
+		`create_job_stage_seconds_count{stage="compute"} 4`,
+		`# HELP create_jobs_inflight Jobs currently executing.`,
+		`# TYPE create_jobs_inflight gauge`,
+		`create_jobs_inflight 1`,
+		`# HELP create_jobs_total Jobs by terminal state.`,
+		`# TYPE create_jobs_total counter`,
+		`create_jobs_total{experiment="fig19",state="done"} 3`,
+		`create_jobs_total{experiment="fig19",state="failed"} 1`,
+		``,
+	}, "\n")
+	if b.String() != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestInstrumentMemoization asserts same name+labels returns the same
+// instrument regardless of label pair order.
+func TestInstrumentMemoization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "a", "1", "b", "2")
+	b := r.Counter("x_total", "x", "b", "2", "a", "1")
+	if a != b {
+		t.Fatal("label order should not change instrument identity")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("shared counter value = %d, want 1", b.Value())
+	}
+	if r.Gauge("y", "y") != r.Gauge("y", "y") {
+		t.Fatal("gauge not memoized")
+	}
+	h1 := r.Histogram("z", "z", []float64{1, 2})
+	h2 := r.Histogram("z", "z", []float64{1, 2})
+	if h1 != h2 {
+		t.Fatal("histogram not memoized")
+	}
+}
+
+// TestRegistryPanics asserts misuse fails loudly at the call site.
+func TestRegistryPanics(t *testing.T) {
+	cases := map[string]func(r *Registry){
+		"kind mismatch":   func(r *Registry) { r.Counter("m", "m"); r.Gauge("m", "m") },
+		"odd labels":      func(r *Registry) { r.Counter("m", "m", "key") },
+		"bad metric name": func(r *Registry) { r.Counter("0bad", "m") },
+		"bad label name":  func(r *Registry) { r.Counter("m", "m", "0bad", "v") },
+		"duplicate label": func(r *Registry) { r.Counter("m", "m", "k", "1", "k", "2") },
+		"bounds mismatch": func(r *Registry) {
+			r.Histogram("h", "h", []float64{1}, "a", "1")
+			r.Histogram("h", "h", []float64{2}, "a", "2")
+		},
+		"unsorted bounds":  func(r *Registry) { r.Histogram("h", "h", []float64{2, 1}) },
+		"negative counter": func(r *Registry) { r.Counter("m", "m").Add(-1) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn(NewRegistry())
+		})
+	}
+}
+
+// TestHandler asserts the /metrics content type and body.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "Up.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("body missing sample: %q", body)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+// TestJobTimingFinalizeAndCSV covers duration derivation and the CSV row
+// shape, including an early-canceled job with unreached stages.
+func TestJobTimingFinalizeAndCSV(t *testing.T) {
+	base := time.Date(2026, 2, 3, 4, 5, 6, 0, time.UTC)
+	jt := &JobTiming{
+		Job:        "j1",
+		Experiment: "fig19",
+		Tenant:     "default",
+		Shard:      "2/4",
+		Outcome:    "done",
+		QueuedAt:   base,
+		StartedAt:  base.Add(100 * time.Millisecond),
+		PlannedAt:  base.Add(150 * time.Millisecond),
+		ComputedAt: base.Add(2 * time.Second),
+		RenderedAt: base.Add(2*time.Second + 10*time.Millisecond),
+		GridPoints: 24, CacheHits: 8, ComputedPoints: 16, DedupeJoins: 1,
+	}
+	jt.Finalize()
+	for name, got := range map[string]float64{
+		"queue": jt.QueueWaitSeconds, "plan": jt.PlanSeconds,
+		"compute": jt.ComputeSeconds, "render": jt.RenderSeconds, "total": jt.TotalSeconds,
+	} {
+		if got <= 0 {
+			t.Errorf("%s duration = %v, want > 0", name, got)
+		}
+	}
+	if jt.TotalSeconds != 2.01 {
+		t.Errorf("total = %v, want 2.01", jt.TotalSeconds)
+	}
+
+	row := jt.CSVRow()
+	if got, want := len(strings.Split(row, ",")), len(strings.Split(TimingCSVHeader, ",")); got != want {
+		t.Fatalf("row has %d fields, header has %d\nrow: %s", got, want, row)
+	}
+	if !strings.Contains(row, `"2/4"`) && !strings.Contains(row, ",2/4,") {
+		t.Errorf("row missing shard: %s", row)
+	}
+
+	canceled := &JobTiming{Job: "j2", Experiment: "fig19", Tenant: "default", Outcome: "canceled", QueuedAt: base}
+	canceled.Finalize()
+	if canceled.TotalSeconds != 0 || canceled.QueueWaitSeconds != 0 {
+		t.Errorf("canceled-in-queue job should have zero durations: %+v", canceled)
+	}
+	if got, want := len(strings.Split(canceled.CSVRow(), ",")), len(strings.Split(TimingCSVHeader, ",")); got != want {
+		t.Fatalf("canceled row field count = %d, want %d", got, want)
+	}
+}
+
+// TestHistogramBuckets pins the le boundary semantics: v == bound counts
+// in that bucket, v above every bound only in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", []float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	for _, line := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 2`,
+		`h_bucket{le="+Inf"} 3`,
+		`h_sum 6`,
+		`h_count 3`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, b.String())
+		}
+	}
+}

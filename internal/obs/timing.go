@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// JobTiming is the flat per-job timing record: one CSV-friendly row per
+// job capturing the queued→planned→computing→rendered stage timestamps,
+// grid-point accounting (computed vs cache-hit), shard id, and tenant
+// label. The service stamps the timestamps at stage boundaries (the only
+// places the serving tier reads the wall clock) and calls Finalize once
+// the job reaches a terminal state; obs itself never touches the clock.
+//
+// Timestamps are absolute wall-clock times; the derived *Seconds fields
+// are the stage durations a latency dashboard wants without doing
+// timestamp arithmetic. For a job that never ran (canceled while queued,
+// or failed during planning) the unreached stage timestamps are zero and
+// their durations 0.
+type JobTiming struct {
+	Job        string `json:"job"`
+	Experiment string `json:"experiment"`
+	Tenant     string `json:"tenant"`
+	Shard      string `json:"shard,omitempty"`
+	Outcome    string `json:"outcome"` // done | failed | canceled
+
+	QueuedAt   time.Time `json:"queued_at"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	PlannedAt  time.Time `json:"planned_at,omitzero"`
+	ComputedAt time.Time `json:"computed_at,omitzero"`
+	RenderedAt time.Time `json:"rendered_at,omitzero"`
+
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	PlanSeconds      float64 `json:"plan_seconds"`
+	ComputeSeconds   float64 `json:"compute_seconds"`
+	RenderSeconds    float64 `json:"render_seconds"`
+	TotalSeconds     float64 `json:"total_seconds"`
+
+	GridPoints     int `json:"grid_points"`
+	CacheHits      int `json:"cache_hits"`
+	ComputedPoints int `json:"computed_points"`
+	DedupeJoins    int `json:"dedupe_joins"`
+}
+
+// Finalize derives the stage durations from whichever timestamps were
+// stamped. It is pure timestamp arithmetic (time.Time.Sub), so it may run
+// anywhere.
+func (t *JobTiming) Finalize() {
+	if !t.StartedAt.IsZero() {
+		t.QueueWaitSeconds = t.StartedAt.Sub(t.QueuedAt).Seconds()
+	}
+	if !t.PlannedAt.IsZero() {
+		t.PlanSeconds = t.PlannedAt.Sub(t.StartedAt).Seconds()
+	}
+	if !t.ComputedAt.IsZero() {
+		t.ComputeSeconds = t.ComputedAt.Sub(t.PlannedAt).Seconds()
+	}
+	if !t.RenderedAt.IsZero() {
+		t.RenderSeconds = t.RenderedAt.Sub(t.ComputedAt).Seconds()
+	}
+	end := t.RenderedAt
+	for _, ts := range []time.Time{t.ComputedAt, t.PlannedAt, t.StartedAt} {
+		if end.IsZero() {
+			end = ts
+		}
+	}
+	if !end.IsZero() {
+		t.TotalSeconds = end.Sub(t.QueuedAt).Seconds()
+	}
+}
+
+// TimingCSVHeader is the header row matching JobTiming.CSVRow.
+const TimingCSVHeader = "job,experiment,tenant,shard,outcome," +
+	"queued_at,started_at,planned_at,computed_at,rendered_at," +
+	"queue_wait_seconds,plan_seconds,compute_seconds,render_seconds,total_seconds," +
+	"grid_points,cache_hits,computed_points,dedupe_joins"
+
+// CSVRow renders the record as one comma-separated row in header order.
+// Timestamps are RFC 3339 with nanoseconds (empty for unreached stages);
+// durations use fixed six-decimal seconds so rows column-align.
+func (t *JobTiming) CSVRow() string {
+	stamp := func(ts time.Time) string {
+		if ts.IsZero() {
+			return ""
+		}
+		return ts.UTC().Format(time.RFC3339Nano)
+	}
+	dur := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	fields := []string{
+		csvEscape(t.Job), csvEscape(t.Experiment), csvEscape(t.Tenant), csvEscape(t.Shard), t.Outcome,
+		stamp(t.QueuedAt), stamp(t.StartedAt), stamp(t.PlannedAt), stamp(t.ComputedAt), stamp(t.RenderedAt),
+		dur(t.QueueWaitSeconds), dur(t.PlanSeconds), dur(t.ComputeSeconds), dur(t.RenderSeconds), dur(t.TotalSeconds),
+		strconv.Itoa(t.GridPoints), strconv.Itoa(t.CacheHits), strconv.Itoa(t.ComputedPoints), strconv.Itoa(t.DedupeJoins),
+	}
+	return strings.Join(fields, ",")
+}
+
+// csvEscape quotes a field if it contains a comma, quote, or newline.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -11,6 +11,11 @@
 // (internal/cache), and PlanFor probes them against a store to predict
 // cache hits versus points-to-compute before any work is scheduled — the
 // primitive behind "this whole figure is already served by the cache".
+// Every tier plans through it: create-bench -plan prints the prediction,
+// the service surfaces it per job, and internal/dispatch plans per shard
+// so fully cached shards are never dispatched. The registry sits between
+// the serving/dispatch tiers and the deterministic core in the stack
+// described by docs/ARCHITECTURE.md.
 package registry
 
 import (

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"github.com/embodiedai/create/internal/obs"
+)
+
+// serviceMetrics gathers the serving tier's instrument families in one
+// place, so every metric name and help string the daemon exposes is
+// declared here (and documented in docs/METRICS.md). All observation
+// happens at job boundaries — submit, dequeue, terminal transition —
+// never inside the episode hot path.
+type serviceMetrics struct {
+	reg      *obs.Registry
+	inflight *obs.Gauge
+}
+
+func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
+	return &serviceMetrics{
+		reg: reg,
+		inflight: reg.Gauge("create_jobs_inflight",
+			"Jobs currently executing on the worker pool."),
+	}
+}
+
+// registerQueueDepth exposes the live submission-queue length. Called once
+// the queue channel exists.
+func (m *serviceMetrics) registerQueueDepth(depth func() float64) {
+	m.reg.GaugeFunc("create_queue_depth",
+		"Jobs waiting in the bounded FIFO submission queue.", depth)
+}
+
+// jobTerminal counts one job reaching a terminal state.
+func (m *serviceMetrics) jobTerminal(experiment, tenant string, state State) {
+	m.reg.Counter("create_jobs_total",
+		"Jobs by experiment, tenant, and terminal state.",
+		"experiment", experiment, "tenant", tenant, "state", string(state)).Inc()
+}
+
+// dedupeJoin counts a live submission coalescing onto an in-flight job.
+func (m *serviceMetrics) dedupeJoin(experiment, tenant string) {
+	m.reg.Counter("create_job_dedupe_joins_total",
+		"Submissions coalesced onto an identical live job.",
+		"experiment", experiment, "tenant", tenant).Inc()
+}
+
+// observeStages records the per-stage latency histograms from a finalized
+// timing record. Only stages the job actually reached are observed.
+func (m *serviceMetrics) observeStages(t *obs.JobTiming) {
+	stage := func(name string) *obs.Histogram {
+		return m.reg.Histogram("create_job_stage_seconds",
+			"Per-job latency by stage: queue wait, cache-aware planning, grid compute, render.",
+			obs.DefaultStageBuckets, "stage", name)
+	}
+	if !t.StartedAt.IsZero() {
+		stage("queue").Observe(t.QueueWaitSeconds)
+	}
+	if !t.PlannedAt.IsZero() {
+		stage("plan").Observe(t.PlanSeconds)
+	}
+	if !t.ComputedAt.IsZero() {
+		stage("compute").Observe(t.ComputeSeconds)
+	}
+	if !t.RenderedAt.IsZero() {
+		stage("render").Observe(t.RenderSeconds)
+	}
+}
+
+// points accounts a finished job's grid points by where they came from.
+func (m *serviceMetrics) points(cacheHits, computed int64) {
+	src := func(name string) *obs.Counter {
+		return m.reg.Counter("create_job_points_total",
+			"Grid points consumed by jobs, by source.", "source", name)
+	}
+	src("cache").Add(cacheHits)
+	src("computed").Add(computed)
+}

@@ -5,16 +5,25 @@
 // results computed anywhere (a CLI run, a sharded CI fleet, an earlier
 // job) are served to later submissions without recomputation.
 //
-// API (see the README for a worked curl session):
+// API (see docs/OPERATIONS.md for a worked curl session):
 //
-//	POST /v1/jobs            submit {experiment, trials, seed, workers, shard}
+//	POST /v1/jobs            submit {experiment, trials, seed, workers, shard, tenant}
 //	GET  /v1/jobs            list all jobs, newest last
 //	GET  /v1/jobs/{id}       poll one job
 //	GET  /v1/jobs/{id}/events NDJSON stream of state transitions until terminal
 //	GET  /v1/jobs/{id}/result rendered text (?format=json for typed rows)
-//	GET  /v1/cache/stats     shared cache accounting
+//	GET  /v1/jobs/{id}/timing flat per-job stage timing record (?format=csv)
+//	GET  /v1/cache/stats     shared cache accounting (one source with /metrics)
 //	GET  /v1/experiments     registry listing with per-experiment cache plans
+//	GET  /metrics            Prometheus text exposition of the obs registry
 //	GET  /healthz            liveness
+//
+// Observability: every job is stamped at its stage boundaries
+// (queued→planned→computed→rendered) into an obs.JobTiming record served
+// at /v1/jobs/{id}/timing once terminal, and the same boundaries feed the
+// create_job_* metric families on /metrics (see docs/METRICS.md).
+// Instrumentation lives only at job and grid-point boundaries — the
+// deterministic engine underneath is never touched.
 //
 // Scheduling: jobs enter a bounded FIFO queue and are executed by a fixed
 // pool of job workers. The total core budget is divided between concurrent
@@ -40,6 +49,7 @@ import (
 
 	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/obs"
 	"github.com/embodiedai/create/internal/registry"
 	"github.com/embodiedai/create/internal/sim"
 )
@@ -81,14 +91,19 @@ type JobSpec struct {
 	Seed       *int64 `json:"seed,omitempty"`
 	Workers    int    `json:"workers,omitempty"`
 	Shard      string `json:"shard,omitempty"`
+	// Tenant labels the submission for per-tenant accounting in metrics
+	// and timing records; empty normalizes to "default".
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // key is the dedupe identity of a normalized spec: two live submissions
 // with the same key coalesce onto one execution. Workers is excluded — it
-// changes wall-clock only, never rows.
+// changes wall-clock only, never rows. Tenant is included so each
+// tenant's jobs are accounted separately; identical grids still share
+// compute through the point cache and singleflight underneath.
 func (s JobSpec) key() string {
 	return s.Experiment + "|" + strconv.Itoa(s.Trials) + "|" +
-		strconv.FormatInt(*s.Seed, 10) + "|" + s.Shard
+		strconv.FormatInt(*s.Seed, 10) + "|" + s.Shard + "|" + s.Tenant
 }
 
 // CacheDelta is the shared store's accounting delta across one job's run:
@@ -143,9 +158,15 @@ type job struct {
 	delta    *CacheDelta
 	created  time.Time
 	started  time.Time
+	planned  time.Time
+	computed time.Time
 	finished time.Time
-	events   []Event
-	done     chan struct{} // closed at terminal state
+	// dedupeJoins counts submissions that coalesced onto this job while it
+	// was live; timing is the flat stage record, built at terminal state.
+	dedupeJoins int
+	timing      *obs.JobTiming
+	events      []Event
+	done        chan struct{} // closed at terminal state
 }
 
 func (j *job) appendEventLocked(state State, msg string) {
@@ -213,6 +234,10 @@ type Config struct {
 	// age: a janitor retires any job finished longer than this ago, even
 	// when the count cap has room. 0 disables age-based expiry.
 	FinishedJobTTL time.Duration
+	// Metrics receives the daemon's instrument families and is served at
+	// GET /metrics. nil allocates a private registry, so instrumentation
+	// is always on; pass a shared registry to co-expose other subsystems.
+	Metrics *obs.Registry
 }
 
 // Server is the HTTP daemon state. Create with New, launch workers with
@@ -221,6 +246,7 @@ type Server struct {
 	cfg        Config
 	jobWorkers int // concurrent job executors
 	perJob     int // default core budget per executing job
+	metrics    *serviceMetrics
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -256,16 +282,25 @@ func New(cfg Config) *Server {
 	if cfg.MaxFinishedJobs <= 0 {
 		cfg.MaxFinishedJobs = 256
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	jobWorkers, perJob := sim.Split(cfg.Workers, cfg.MaxConcurrentJobs)
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		jobWorkers:  jobWorkers,
 		perJob:      perJob,
+		metrics:     newServiceMetrics(cfg.Metrics),
 		jobs:        make(map[string]*job),
 		byKey:       make(map[string]*job),
 		queue:       make(chan *job, cfg.QueueDepth),
 		janitorStop: make(chan struct{}),
 	}
+	s.metrics.registerQueueDepth(func() float64 { return float64(len(s.queue)) })
+	if cfg.Store != nil {
+		cfg.Store.Register(cfg.Metrics)
+	}
+	return s
 }
 
 // Start launches the job worker pool and, with a FinishedJobTTL
@@ -332,6 +367,9 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
 		seed := int64(DefaultSeed)
 		spec.Seed = &seed
 	}
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
 	if _, ok := registry.Lookup(spec.Experiment); !ok {
 		return JobStatus{}, false, fmt.Errorf("unknown experiment %q (registered: %s)",
 			spec.Experiment, strings.Join(registry.Names(), ", "))
@@ -350,6 +388,10 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
 	key := spec.key()
 	if live, ok := s.byKey[key]; ok {
 		s.mu.Unlock()
+		live.mu.Lock()
+		live.dedupeJoins++
+		live.mu.Unlock()
+		s.metrics.dedupeJoin(spec.Experiment, spec.Tenant)
 		return live.status(), true, nil
 	}
 	s.nextID++
@@ -413,6 +455,8 @@ func (s *Server) run(j *job) {
 	j.started = time.Now()
 	j.appendEventLocked(StateRunning, "")
 	j.mu.Unlock()
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
 
 	// Cache-aware planning before compute: the plan is surfaced in the
 	// status and the event stream, so clients see upfront whether the job
@@ -420,6 +464,7 @@ func (s *Server) run(j *job) {
 	plan := registry.PlanFor(d, s.cfg.Env, opt)
 	j.mu.Lock()
 	j.plan = &plan
+	j.planned = time.Now()
 	j.appendEventLocked(StateRunning, fmt.Sprintf("planned: %d grid points, %d cached, %d to compute",
 		plan.GridPoints, plan.Cached, plan.ToCompute))
 	j.mu.Unlock()
@@ -431,6 +476,7 @@ func (s *Server) run(j *job) {
 
 	var buf bytes.Buffer
 	var rows any
+	var computedAt time.Time
 	canceled := false
 	err := func() (err error) {
 		defer func() {
@@ -444,6 +490,7 @@ func (s *Server) run(j *job) {
 			}
 		}()
 		res := d.Run(s.cfg.Env, opt)
+		computedAt = time.Now() // grid fully computed/replayed; render next
 		res.Render(&buf)
 		rows = res.Rows
 		return nil
@@ -459,6 +506,7 @@ func (s *Server) run(j *job) {
 
 	j.mu.Lock()
 	j.finished = time.Now()
+	j.computed = computedAt
 	j.delta = delta
 	switch {
 	case canceled:
@@ -479,13 +527,52 @@ func (s *Server) run(j *job) {
 		}
 		j.appendEventLocked(StateDone, msg)
 	}
+	state := j.state
+	tm := j.buildTimingLocked()
 	j.mu.Unlock()
 	close(j.done)
 	j.cancel() // release the context's resources
 
+	s.metrics.jobTerminal(j.spec.Experiment, j.spec.Tenant, state)
+	s.metrics.observeStages(tm)
+	if delta != nil {
+		s.metrics.points(delta.Hits, delta.Misses)
+	}
+
 	s.mu.Lock()
 	s.retireLocked(j)
 	s.mu.Unlock()
+}
+
+// buildTimingLocked assembles the flat stage-timing record from the
+// timestamps run stamped at each boundary. Caller holds j.mu and has
+// already set the terminal state; unreached stages stay zero.
+func (j *job) buildTimingLocked() *obs.JobTiming {
+	tm := &obs.JobTiming{
+		Job:         j.id,
+		Experiment:  j.spec.Experiment,
+		Tenant:      j.spec.Tenant,
+		Shard:       j.spec.Shard,
+		Outcome:     string(j.state),
+		QueuedAt:    j.created,
+		StartedAt:   j.started,
+		PlannedAt:   j.planned,
+		ComputedAt:  j.computed,
+		DedupeJoins: j.dedupeJoins,
+	}
+	if j.state == StateDone {
+		tm.RenderedAt = j.finished
+	}
+	if j.plan != nil {
+		tm.GridPoints = j.plan.GridPoints
+	}
+	if j.delta != nil {
+		tm.CacheHits = int(j.delta.Hits)
+		tm.ComputedPoints = int(j.delta.Misses)
+	}
+	tm.Finalize()
+	j.timing = tm
+	return tm
 }
 
 // retireLocked moves a job that just reached a terminal state into
@@ -551,9 +638,11 @@ func (s *Server) Cancel(id string) (JobStatus, bool, error) {
 		j.err = "canceled"
 		j.finished = time.Now()
 		j.appendEventLocked(StateCanceled, "canceled while queued")
+		j.buildTimingLocked()
 		j.mu.Unlock()
 		close(j.done)
 		j.cancel()
+		s.metrics.jobTerminal(j.spec.Experiment, j.spec.Tenant, StateCanceled)
 		s.mu.Lock()
 		s.retireLocked(j)
 		s.mu.Unlock()
@@ -573,10 +662,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/timing", s.handleTiming)
 	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
 	mux.HandleFunc("POST /v1/cache/export", s.handleCacheExport)
 	mux.HandleFunc("POST /v1/cache/import", s.handleCacheImport)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -781,19 +872,40 @@ func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"imported": n})
 }
 
+// handleTiming serves a job's flat stage-timing record. The record is
+// built exactly once, at the terminal transition; polling a live job is a
+// 409, like /result.
+func (s *Server) handleTiming(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	tm, state := j.timing, j.state
+	j.mu.Unlock()
+	if tm == nil {
+		writeError(w, http.StatusConflict, "job is "+string(state)+"; timing is recorded when it terminates")
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, obs.TimingCSVHeader)
+		fmt.Fprintln(w, tm.CSVRow())
+		return
+	}
+	writeJSON(w, http.StatusOK, tm)
+}
+
+// handleCacheStats reports the store's accounting snapshot — the same
+// counters Register exposes on /metrics, so the two surfaces can't drift.
 func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.cfg.Store
 	if st == nil {
 		writeError(w, http.StatusNotFound, "no cache attached")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"hits":       st.Hits(),
-		"misses":     st.Misses(),
-		"resident":   st.Len(),
-		"dir":        st.Dir(),
-		"disk_bytes": st.DiskBytes(),
-	})
+	writeJSON(w, http.StatusOK, st.Stats())
 }
 
 // handleExperiments lists the registry with a cache plan per experiment at

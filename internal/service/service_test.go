@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -12,6 +13,7 @@ import (
 
 	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/obs"
 	"github.com/embodiedai/create/internal/registry"
 )
 
@@ -735,5 +737,214 @@ func TestCacheExportImportEndpoints(t *testing.T) {
 	cresp.Body.Close()
 	if cresp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("forged import returned %d", cresp.StatusCode)
+	}
+}
+
+// TestTimingRecordEndToEnd: a finished job serves a flat stage-timing
+// record with monotonic non-zero stage timestamps and point counts that
+// reconcile with its plan; a cache-warm replay attributes every point to
+// the cache. Also scrapes /metrics for the families those stages feed.
+func TestTimingRecordEndToEnd(t *testing.T) {
+	spec := JobSpec{Experiment: "fig19", Trials: 4, Seed: seedOf(2026)}
+	_, ts, _ := testServer(t, t.TempDir())
+
+	st := submit(t, ts, spec, http.StatusAccepted)
+	st = await(t, ts, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+
+	fetchTiming := func(id string) obs.JobTiming {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/timing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("timing returned %d", resp.StatusCode)
+		}
+		var tm obs.JobTiming
+		if err := json.NewDecoder(resp.Body).Decode(&tm); err != nil {
+			t.Fatal(err)
+		}
+		return tm
+	}
+
+	tm := fetchTiming(st.ID)
+	if tm.Job != st.ID || tm.Experiment != "fig19" || tm.Tenant != "default" || tm.Outcome != "done" {
+		t.Fatalf("timing identity wrong: %+v", tm)
+	}
+	stages := []struct {
+		name string
+		at   time.Time
+	}{
+		{"queued", tm.QueuedAt}, {"started", tm.StartedAt}, {"planned", tm.PlannedAt},
+		{"computed", tm.ComputedAt}, {"rendered", tm.RenderedAt},
+	}
+	for i, s := range stages {
+		if s.at.IsZero() {
+			t.Fatalf("stage %s has zero timestamp: %+v", s.name, tm)
+		}
+		if i > 0 && s.at.Before(stages[i-1].at) {
+			t.Fatalf("stage %s precedes %s: %+v", s.name, stages[i-1].name, tm)
+		}
+	}
+	for name, d := range map[string]float64{
+		"queue_wait": tm.QueueWaitSeconds, "plan": tm.PlanSeconds,
+		"compute": tm.ComputeSeconds, "render": tm.RenderSeconds,
+	} {
+		if d < 0 {
+			t.Errorf("%s duration negative: %v", name, d)
+		}
+	}
+	if tm.TotalSeconds <= 0 {
+		t.Errorf("total duration = %v, want > 0", tm.TotalSeconds)
+	}
+	if st.Plan == nil || tm.GridPoints != st.Plan.GridPoints {
+		t.Fatalf("timing grid points %d != plan %+v", tm.GridPoints, st.Plan)
+	}
+	if tm.CacheHits+tm.ComputedPoints != tm.GridPoints {
+		t.Fatalf("cache hits %d + computed %d != grid points %d",
+			tm.CacheHits, tm.ComputedPoints, tm.GridPoints)
+	}
+	if tm.ComputedPoints != tm.GridPoints {
+		t.Fatalf("cold run should compute every point: %+v", tm)
+	}
+
+	// Replay: every point now comes from cache.
+	st2 := submit(t, ts, spec, http.StatusAccepted)
+	st2 = await(t, ts, st2.ID)
+	tm2 := fetchTiming(st2.ID)
+	if tm2.CacheHits != tm2.GridPoints || tm2.ComputedPoints != 0 {
+		t.Fatalf("replay should be all cache hits: %+v", tm2)
+	}
+
+	// CSV rendering: header plus one row with matching field counts.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/timing?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 || lines[0] != obs.TimingCSVHeader {
+		t.Fatalf("csv timing malformed:\n%s", buf.String())
+	}
+	if got, want := len(strings.Split(lines[1], ",")), len(strings.Split(lines[0], ",")); got != want {
+		t.Fatalf("csv row has %d fields, header %d", got, want)
+	}
+
+	// The same stages feed /metrics: scrape and check the families.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	var mb bytes.Buffer
+	if _, err := mb.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`create_jobs_total{experiment="fig19",state="done",tenant="default"} 2`,
+		`create_job_stage_seconds_count{stage="compute"} 2`,
+		`create_job_points_total{source="computed"} ` + strconv.Itoa(tm.GridPoints),
+		`create_job_points_total{source="cache"}`,
+		`create_cache_hits_total`,
+		`create_cache_misses_total`,
+		`create_queue_depth 0`,
+		`create_jobs_inflight 0`,
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Errorf("metrics missing %q in:\n%s", want, mb.String())
+		}
+	}
+}
+
+// TestTimingUnavailableBeforeTerminal: timing for a queued job is a 409,
+// and for an unknown job a 404.
+func TestTimingUnavailableBeforeTerminal(t *testing.T) {
+	store, _ := cache.New("")
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store}) // never Started: jobs stay queued
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, _, err := s.Submit(JobSpec{Experiment: "fig19", Trials: 4, Seed: seedOf(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/timing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("queued timing returned %d, want 409", resp.StatusCode)
+	}
+	missing, err := http.Get(ts.URL + "/v1/jobs/nope/timing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing timing returned %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestDedupeJoinAndTenantAccounting: a coalesced submission increments the
+// dedupe counter and lands in the job's timing record; a different tenant
+// never coalesces even with an otherwise identical spec.
+func TestDedupeJoinAndTenantAccounting(t *testing.T) {
+	store, _ := cache.New("")
+	env := experiments.NewEnv()
+	env.Cache = store
+	s := New(Config{Env: env, Store: store}) // never Started: jobs stay queued
+
+	spec := JobSpec{Experiment: "fig19", Trials: 4, Seed: seedOf(7)}
+	st1, dd1, err := s.Submit(spec)
+	if err != nil || dd1 {
+		t.Fatalf("first submit: dedup=%v err=%v", dd1, err)
+	}
+	st2, dd2, err := s.Submit(spec)
+	if err != nil || !dd2 || st2.ID != st1.ID {
+		t.Fatalf("identical live submit should coalesce: dedup=%v id=%s err=%v", dd2, st2.ID, err)
+	}
+	other := spec
+	other.Tenant = "acme"
+	st3, dd3, err := s.Submit(other)
+	if err != nil || dd3 || st3.ID == st1.ID {
+		t.Fatalf("cross-tenant submit must not coalesce: dedup=%v err=%v", dd3, err)
+	}
+
+	var b bytes.Buffer
+	s.cfg.Metrics.WritePrometheus(&b)
+	if want := `create_job_dedupe_joins_total{experiment="fig19",tenant="default"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("metrics missing %q in:\n%s", want, b.String())
+	}
+
+	// Cancel the queued job: its timing record exists at terminal state and
+	// carries the join count.
+	if _, changed, err := s.Cancel(st1.ID); err != nil || !changed {
+		t.Fatalf("cancel: changed=%v err=%v", changed, err)
+	}
+	s.mu.Lock()
+	j := s.jobs[st1.ID]
+	s.mu.Unlock()
+	j.mu.Lock()
+	tm := j.timing
+	j.mu.Unlock()
+	if tm == nil || tm.Outcome != string(StateCanceled) || tm.DedupeJoins != 1 {
+		t.Fatalf("canceled-queued timing record wrong: %+v", tm)
+	}
+	if tm.TotalSeconds != 0 || !tm.StartedAt.IsZero() {
+		t.Fatalf("never-started job should have zero stage timestamps: %+v", tm)
 	}
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# docscheck.sh — fail on dead relative links in the repo's Markdown.
+#
+# Scans every tracked *.md for [text](target) links, skips absolute URLs
+# (http/https/mailto) and pure in-page anchors (#...), strips #fragment
+# suffixes, resolves each target relative to the file that links it, and
+# reports targets that do not exist. CI runs this as the docs-check job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r md; do
+  case "$md" in
+    # Retrieval scaffolding (paper abstracts, exemplar snippets, session
+    # log) is machine-generated and may carry links into sources we do
+    # not vendor; only authored docs are held to the link contract.
+    PAPER.md|PAPERS.md|SNIPPETS.md|ISSUE.md|CHANGES.md) continue ;;
+  esac
+  dir=$(dirname "$md")
+  # One target per line; inline code spans are left in — a dead link in a
+  # code span is still a dead link to a reader.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;;
+      '') continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "docscheck: $md: dead link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\[[^][]*\]\(([^()[:space:]]+)\)' "$md" | sed -E 's/^\[[^][]*\]\(([^()[:space:]]+)\)$/\1/')
+done < <(git ls-files '*.md')
+
+if [ "$fail" -ne 0 ]; then
+  echo "docscheck: FAILED" >&2
+  exit 1
+fi
+echo "docscheck: all relative links resolve"
