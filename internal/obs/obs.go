@@ -161,7 +161,10 @@ func NewRegistry() *Registry {
 // creating it on first use. labels alternate key, value. Registering the
 // same name with a different kind panics.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	s := r.seriesFor(name, help, counterKind, nil, labels)
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.seriesForLocked(name, help, counterKind, nil, sig)
 	if s.counter == nil {
 		s.counter = &Counter{}
 	}
@@ -171,7 +174,10 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 // Gauge returns the gauge for name and the given label pairs, creating it
 // on first use.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	s := r.seriesFor(name, help, gaugeKind, nil, labels)
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.seriesForLocked(name, help, gaugeKind, nil, sig)
 	if s.gauge == nil {
 		s.gauge = &Gauge{}
 	}
@@ -189,7 +195,10 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 	if !sort.Float64sAreSorted(bounds) {
 		panic("obs: histogram bounds must be sorted ascending: " + name)
 	}
-	s := r.seriesFor(name, help, histogramKind, bounds, labels)
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.seriesForLocked(name, help, histogramKind, bounds, sig)
 	if s.hist == nil {
 		b := make([]float64, len(bounds))
 		copy(b, bounds)
@@ -203,26 +212,32 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 // without double-counting. Re-registering the same name+labels replaces
 // the function.
 func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...string) {
-	s := r.seriesFor(name, help, counterKind, nil, labels)
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.seriesForLocked(name, help, counterKind, nil, sig)
 	s.counterFn = fn
 }
 
 // GaugeFunc registers a read-only gauge view computed by fn at scrape
 // time (queue depth, resident cache points, disk bytes).
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
-	s := r.seriesFor(name, help, gaugeKind, nil, labels)
-	s.gaugeFn = fn
-}
-
-// seriesFor resolves (or creates) the series for name+labels, enforcing
-// kind, help, and bound consistency across the family.
-func (r *Registry) seriesFor(name, help string, k kind, bounds []float64, labels []string) *series {
-	if !validMetricName(name) {
-		panic("obs: invalid metric name: " + name)
-	}
 	sig := labelSignature(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	s := r.seriesForLocked(name, help, gaugeKind, nil, sig)
+	s.gaugeFn = fn
+}
+
+// seriesForLocked resolves (or creates) the series for name+sig, enforcing
+// kind, help, and bound consistency across the family. Caller holds r.mu
+// and installs the instrument (or scrape function) before releasing it, so
+// concurrent resolutions of the same name+labels always observe one fully
+// initialized instrument.
+func (r *Registry) seriesForLocked(name, help string, k kind, bounds []float64, sig string) *series {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name: " + name)
+	}
 	f := r.families[name]
 	if f == nil {
 		f = &family{name: name, help: help, kind: k, bounds: bounds, series: make(map[string]*series)}
@@ -247,39 +262,43 @@ func (r *Registry) seriesFor(name, help string, k kind, bounds []float64, labels
 // families sorted by name and series by label signature, so output is
 // deterministic and golden-testable.
 func (r *Registry) WritePrometheus(w io.Writer) {
-	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
+	// Snapshot families and series (by value — every series field is
+	// written only under r.mu, and instruments are internally atomic)
+	// under the lock, then render without it so scrape functions run
+	// outside the registry's critical section.
+	type famSnap struct {
+		name   string
+		help   string
+		kind   kind
+		series []series
 	}
-	sort.Strings(names)
-	// Snapshot the family/series structure under the lock; values are
-	// read atomically afterwards.
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.families[name]
+	r.mu.Lock()
+	fams := make([]famSnap, 0, len(r.families))
+	for name, f := range r.families {
+		fs := famSnap{name: name, help: f.help, kind: f.kind, series: make([]series, 0, len(f.series))}
+		for _, s := range f.series {
+			fs.series = append(fs.series, *s)
+		}
+		fams = append(fams, fs)
 	}
 	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	var b strings.Builder
 	for _, f := range fams {
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		sigs := make([]string, 0, len(f.series))
-		for sig := range f.series {
-			sigs = append(sigs, sig)
-		}
-		sort.Strings(sigs)
-		for _, sig := range sigs {
-			renderSeries(&b, f, f.series[sig])
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		for i := range f.series {
+			renderSeries(&b, f.name, f.kind, &f.series[i])
 		}
 	}
 	io.WriteString(w, b.String())
 }
 
 // renderSeries appends one series' sample lines.
-func renderSeries(b *strings.Builder, f *family, s *series) {
-	switch f.kind {
+func renderSeries(b *strings.Builder, name string, k kind, s *series) {
+	switch k {
 	case counterKind:
 		v := int64(0)
 		switch {
@@ -288,28 +307,33 @@ func renderSeries(b *strings.Builder, f *family, s *series) {
 		case s.counter != nil:
 			v = s.counter.Value()
 		}
-		fmt.Fprintf(b, "%s%s %d\n", f.name, s.labels, v)
+		fmt.Fprintf(b, "%s%s %d\n", name, s.labels, v)
 	case gaugeKind:
 		if s.gaugeFn != nil {
-			fmt.Fprintf(b, "%s%s %s\n", f.name, s.labels, formatFloat(s.gaugeFn()))
+			fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatFloat(s.gaugeFn()))
 			return
 		}
 		v := int64(0)
 		if s.gauge != nil {
 			v = s.gauge.Value()
 		}
-		fmt.Fprintf(b, "%s%s %d\n", f.name, s.labels, v)
+		fmt.Fprintf(b, "%s%s %d\n", name, s.labels, v)
 	case histogramKind:
 		h := s.hist
 		cum := int64(0)
 		for i, bound := range h.bounds {
 			cum += h.counts[i].Load()
-			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, spliceLabel(s.labels, "le", formatFloat(bound)), cum)
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, spliceLabel(s.labels, "le", formatFloat(bound)), cum)
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, spliceLabel(s.labels, "le", "+Inf"), cum)
-		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(h.Sum()))
-		fmt.Fprintf(b, "%s_count%s %d\n", f.name, s.labels, h.Count())
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, spliceLabel(s.labels, "le", "+Inf"), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum()))
+		// _count is rendered from the cumulative bucket total rather than
+		// h.Count(): the per-bucket and total counters are independent
+		// atomics, so a concurrent Observe between the two loads could
+		// otherwise break the le="+Inf" == _count invariant within one
+		// scrape.
+		fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, cum)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -200,6 +201,39 @@ func TestJobTimingFinalizeAndCSV(t *testing.T) {
 	}
 	if got, want := len(strings.Split(canceled.CSVRow(), ",")), len(strings.Split(TimingCSVHeader, ",")); got != want {
 		t.Fatalf("canceled row field count = %d, want %d", got, want)
+	}
+}
+
+// TestRegistryConcurrentResolution is the race regression for lazy
+// instrument creation: goroutines resolving the same name+labels
+// concurrently (the concurrent-job-worker pattern in internal/service)
+// must all get the one instrument, with scrapes interleaved throughout.
+// Run under -race this also proves registration and exposition are
+// data-race-free.
+func TestRegistryConcurrentResolution(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("conc_total", "c", "k", "v").Inc()
+				r.Gauge("conc_inflight", "g").Set(int64(i))
+				r.Histogram("conc_seconds", "h", []float64{1}, "k", "v").Observe(0.5)
+				r.GaugeFunc("conc_depth", "d", func() float64 { return 1 })
+				r.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "c", "k", "v").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d (lost increments mean duplicate instruments)", got, goroutines*perG)
+	}
+	if got := r.Histogram("conc_seconds", "h", []float64{1}, "k", "v").Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
 	}
 }
 

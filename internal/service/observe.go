@@ -1,6 +1,8 @@
 package service
 
 import (
+	"sync"
+
 	"github.com/embodiedai/create/internal/obs"
 )
 
@@ -12,14 +14,41 @@ import (
 type serviceMetrics struct {
 	reg      *obs.Registry
 	inflight *obs.Gauge
+
+	mu      sync.Mutex
+	tenants map[string]struct{} // distinct tenant label values admitted so far
 }
+
+// maxTenantSeries caps how many distinct tenant values become their own
+// metric label; the registry never expires series, so without a cap any
+// client could grow /metrics output and registry memory without bound by
+// inventing tenants. Tenants past the cap are accounted under "other".
+const maxTenantSeries = 64
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	return &serviceMetrics{
 		reg: reg,
 		inflight: reg.Gauge("create_jobs_inflight",
 			"Jobs currently executing on the worker pool."),
+		tenants: make(map[string]struct{}),
 	}
+}
+
+// tenantLabel maps a tenant to its metric label value, diverting tenants
+// past the cardinality cap into the shared "other" bucket. Timing records
+// and dedupe keys keep the exact tenant — only the label space is capped,
+// and job retention already bounds those surfaces.
+func (m *serviceMetrics) tenantLabel(tenant string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tenants[tenant]; ok {
+		return tenant
+	}
+	if len(m.tenants) >= maxTenantSeries {
+		return "other"
+	}
+	m.tenants[tenant] = struct{}{}
+	return tenant
 }
 
 // registerQueueDepth exposes the live submission-queue length. Called once
@@ -33,14 +62,14 @@ func (m *serviceMetrics) registerQueueDepth(depth func() float64) {
 func (m *serviceMetrics) jobTerminal(experiment, tenant string, state State) {
 	m.reg.Counter("create_jobs_total",
 		"Jobs by experiment, tenant, and terminal state.",
-		"experiment", experiment, "tenant", tenant, "state", string(state)).Inc()
+		"experiment", experiment, "tenant", m.tenantLabel(tenant), "state", string(state)).Inc()
 }
 
 // dedupeJoin counts a live submission coalescing onto an in-flight job.
 func (m *serviceMetrics) dedupeJoin(experiment, tenant string) {
 	m.reg.Counter("create_job_dedupe_joins_total",
 		"Submissions coalesced onto an identical live job.",
-		"experiment", experiment, "tenant", tenant).Inc()
+		"experiment", experiment, "tenant", m.tenantLabel(tenant)).Inc()
 }
 
 // observeStages records the per-stage latency histograms from a finalized

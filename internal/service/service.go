@@ -370,6 +370,9 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
 	if spec.Tenant == "" {
 		spec.Tenant = "default"
 	}
+	if err := validateTenant(spec.Tenant); err != nil {
+		return JobStatus{}, false, err
+	}
 	if _, ok := registry.Lookup(spec.Experiment); !ok {
 		return JobStatus{}, false, fmt.Errorf("unknown experiment %q (registered: %s)",
 			spec.Experiment, strings.Join(registry.Names(), ", "))
@@ -387,11 +390,21 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
 	}
 	key := spec.key()
 	if live, ok := s.byKey[key]; ok {
-		s.mu.Unlock()
+		// Count the join while still holding s.mu (lock order s.mu → j.mu):
+		// the job cannot be retired from byKey concurrently, and a job that
+		// already reached its terminal state — and froze its timing record —
+		// is joined without counting, so create_job_dedupe_joins_total and
+		// the timing record's DedupeJoins field always agree.
 		live.mu.Lock()
-		live.dedupeJoins++
+		counted := !terminal(live.state)
+		if counted {
+			live.dedupeJoins++
+		}
 		live.mu.Unlock()
-		s.metrics.dedupeJoin(spec.Experiment, spec.Tenant)
+		s.mu.Unlock()
+		if counted {
+			s.metrics.dedupeJoin(spec.Experiment, spec.Tenant)
+		}
 		return live.status(), true, nil
 	}
 	s.nextID++
@@ -424,6 +437,28 @@ var (
 	errQueueFull    = fmt.Errorf("job queue is full")
 	errShuttingDown = fmt.Errorf("server is shutting down")
 )
+
+// maxTenantLen bounds the tenant field. Tenant values become Prometheus
+// label values and dedupe-key components, so they must stay short and
+// well-formed; docs/METRICS.md states the cardinality contract.
+const maxTenantLen = 64
+
+// validateTenant enforces the tenant charset ([a-zA-Z0-9_.-]) and length
+// cap, rejecting arbitrary client strings before they can become metric
+// labels.
+func validateTenant(t string) error {
+	if len(t) > maxTenantLen {
+		return fmt.Errorf("tenant exceeds %d bytes", maxTenantLen)
+	}
+	for _, r := range t {
+		ok := r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("tenant %q contains %q; allowed characters are [a-zA-Z0-9_.-]", t, r)
+		}
+	}
+	return nil
+}
 
 // Job returns a job's status by id.
 func (s *Server) Job(id string) (JobStatus, bool) {

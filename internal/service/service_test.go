@@ -355,6 +355,15 @@ func TestSubmitValidation(t *testing.T) {
 		t.Fatal("sharded job accepted without a disk cache")
 	}
 
+	// Tenant becomes a Prometheus label and a dedupe-key component, so
+	// arbitrary client strings are rejected at submit (docs/METRICS.md).
+	if _, _, err := s.Submit(JobSpec{Experiment: "fig19", Tenant: "bad tenant!"}); err == nil {
+		t.Fatal("tenant with disallowed characters accepted")
+	}
+	if _, _, err := s.Submit(JobSpec{Experiment: "fig19", Tenant: strings.Repeat("a", maxTenantLen+1)}); err == nil {
+		t.Fatal("overlong tenant accepted")
+	}
+
 	st := submit(t, ts, JobSpec{Experiment: "fig15", Trials: 4, Seed: seedOf(99)}, http.StatusAccepted)
 	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
 	if err != nil {
