@@ -38,6 +38,7 @@ import (
 
 	"github.com/embodiedai/create/internal/dispatch"
 	"github.com/embodiedai/create/internal/obs"
+	"github.com/embodiedai/create/internal/obs/trace"
 	"github.com/embodiedai/create/internal/service"
 )
 
@@ -54,7 +55,16 @@ func main() {
 	planOnly := flag.Bool("plan", false, "print the shard plan and exit without running")
 	events := flag.Bool("events", false, "log every worker progress event (verbose)")
 	metricsOut := flag.String("metrics-out", "", "write the run's metrics in Prometheus text format to this file (\"-\" for stderr)")
+	traceOut := flag.String("trace-out", "", "write the run's stitched Chrome trace-event JSON (Perfetto-loadable) to this file (\"-\" for stderr)")
+	logFormat := flag.String("log-format", "text", "structured log format on stderr: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	l, err := dispatch.OpenLocal("", *cacheDir)
 	if err != nil {
@@ -98,7 +108,8 @@ func main() {
 			}
 			if *events {
 				r.OnEvent = func(shard int, ev service.Event) {
-					log.Printf("shard %d %s [%s] %s", shard+1, ev.Job, ev.State, ev.Message)
+					logger.Info("worker event", "shard", shard+1,
+						"job", ev.Job, "state", ev.State, "message", ev.Message)
 				}
 			}
 			runners = append(runners, r)
@@ -115,6 +126,24 @@ func main() {
 	numShards := *shards
 	if numShards <= 0 {
 		numShards = 2 * len(runners)
+	}
+
+	// One recorder is shared by the coordinator and every runner, so the
+	// whole fleet — dispatch, retries, merges, worker compute pulled back
+	// over HTTP — lands in a single stitched timeline. The trace ID is
+	// derived from the plan identity, so a replayed run traces identically.
+	names := make([]string, len(selection))
+	for i, d := range selection {
+		names[i] = d.Name
+	}
+	rec := trace.NewRecorder(dispatch.FleetTraceID(names, *trials, *seed, numShards), "coordinator")
+	for _, r := range runners {
+		switch rr := r.(type) {
+		case *dispatch.HTTPRunner:
+			rr.Trace = rec
+		case *dispatch.LocalRunner:
+			rr.Trace = rec
+		}
 	}
 
 	if *planOnly {
@@ -141,6 +170,8 @@ func main() {
 		Env: l.Env, Store: l.Store, Runners: runners,
 		Logf:    log.New(os.Stderr, "coordinator: ", 0).Printf,
 		Metrics: reg,
+		Trace:   rec,
+		Logger:  logger,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -152,14 +183,22 @@ func main() {
 		cleanup()
 		os.Exit(1)
 	}
-	log.Printf("coordinator: %d shards planned (%d points, %d cached, %d to compute)",
-		plan.NumShards, plan.GridPoints, plan.Cached, plan.ToCompute)
+	logger.Info("fleet run complete", "trace_id", rec.TraceID(),
+		"shards", plan.NumShards, "grid_points", plan.GridPoints,
+		"cached", plan.Cached, "to_compute", plan.ToCompute)
 	st := l.Store.Stats()
 	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d points resident\n",
 		st.Hits, st.Misses, st.Resident)
 	if *metricsOut != "" {
 		if err := dumpMetrics(reg, *metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "coordinator: writing metrics: %v\n", err)
+			cleanup()
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := dumpTrace(rec, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "coordinator: writing trace: %v\n", err)
 			cleanup()
 			os.Exit(1)
 		}
@@ -178,5 +217,24 @@ func dumpMetrics(reg *obs.Registry, path string) error {
 		return err
 	}
 	reg.WritePrometheus(f)
+	return f.Close()
+}
+
+// dumpTrace renders the fleet's stitched spans as one Chrome trace-event
+// JSON document to path ("-" = stderr) — open it in Perfetto or
+// chrome://tracing to see coordinator, dispatch, and worker lanes on one
+// timeline.
+func dumpTrace(rec *trace.Recorder, path string) error {
+	if path == "-" {
+		return trace.WriteChrome(os.Stderr, rec.Spans())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, rec.Spans()); err != nil {
+		f.Close()
+		return err
+	}
 	return f.Close()
 }

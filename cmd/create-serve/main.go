@@ -28,7 +28,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -38,6 +37,7 @@ import (
 
 	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/obs"
 	"github.com/embodiedai/create/internal/service"
 )
 
@@ -51,7 +51,15 @@ func main() {
 	queue := flag.Int("queue", 64, "bounded FIFO queue depth; a full queue rejects submissions with 503")
 	finishedTTL := flag.Duration("finished-ttl", 0, "expire finished jobs this long after completion (0 = count cap only)")
 	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers (CPU, heap, goroutine) on the service listener")
+	logFormat := flag.String("log-format", "text", "structured log format on stderr: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	store, err := cache.New(*cacheDir)
 	if err != nil {
@@ -75,6 +83,7 @@ func main() {
 		MaxConcurrentJobs: *jobs,
 		QueueDepth:        *queue,
 		FinishedJobTTL:    *finishedTTL,
+		Logger:            logger,
 	})
 	srv.Start()
 
@@ -92,16 +101,17 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/", handler)
 		handler = mux
-		log.Printf("create-serve: /debug/pprof/ enabled")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("create-serve: %v", err)
+			logger.Error("listener failed", "error", err.Error())
+			os.Exit(1)
 		}
 	}()
-	log.Printf("create-serve listening on %s (cache dir %q)", *addr, *cacheDir)
+	logger.Info("create-serve listening", "addr", *addr, "cache_dir", *cacheDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -110,12 +120,11 @@ func main() {
 	// Graceful shutdown: refuse new submissions and drain in-flight jobs
 	// first (event streams then observe terminal states), close the
 	// listener after.
-	log.Printf("create-serve: draining jobs")
+	logger.Info("draining jobs")
 	srv.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
 	st := store.Stats()
-	log.Printf("create-serve: cache %d hits, %d misses, %d points resident",
-		st.Hits, st.Misses, st.Resident)
+	logger.Info("cache summary", "hits", st.Hits, "misses", st.Misses, "resident", st.Resident)
 }

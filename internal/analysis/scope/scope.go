@@ -16,10 +16,11 @@ const Module = "github.com/embodiedai/create"
 // including the root package and every other internal package — is
 // deterministic core.
 var serviceTier = map[string]bool{
-	Module + "/internal/cache":    true,
-	Module + "/internal/service":  true,
-	Module + "/internal/dispatch": true,
-	Module + "/internal/obs":      true,
+	Module + "/internal/cache":     true,
+	Module + "/internal/service":   true,
+	Module + "/internal/dispatch":  true,
+	Module + "/internal/obs":       true,
+	Module + "/internal/obs/trace": true,
 }
 
 // ServiceTier reports whether pkgPath belongs to the operational service

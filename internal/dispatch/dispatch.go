@@ -41,14 +41,17 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
 	"github.com/embodiedai/create/internal/obs"
+	"github.com/embodiedai/create/internal/obs/trace"
 	"github.com/embodiedai/create/internal/registry"
 )
 
@@ -212,9 +215,19 @@ type Coordinator struct {
 	// allocates a private registry, so accounting is always on; inject a
 	// shared registry to surface it (cmd/create-coordinator -metrics-out).
 	Metrics *obs.Registry
+	// Trace receives the run's spans — plan, per-attempt dispatch, merge,
+	// replay — under one fleet root span. Share the same recorder with the
+	// pool's runners so worker-side spans stitch into this timeline
+	// (cmd/create-coordinator -trace-out). nil lazily allocates one with a
+	// trace ID derived from the plan, so span accounting is always on.
+	Trace *trace.Recorder
+	// Logger receives structured progress with trace/span IDs (the machine
+	// twin of Logf). nil discards.
+	Logger *slog.Logger
 
-	mu     sync.Mutex
-	merged map[int]bool // shards whose entries have landed, for at-most-once merge
+	mu       sync.Mutex
+	merged   map[int]bool // shards whose entries have landed, for at-most-once merge
+	rootSpan string       // fleet root span ID; parent of dispatch/merge spans
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -230,13 +243,50 @@ func (c *Coordinator) logf(format string, args ...any) {
 // same selection — the merge only ever adds cache entries the single-node
 // run would have computed itself.
 func (c *Coordinator) Run(ctx context.Context, w io.Writer, sel []registry.Descriptor, opt experiments.Options, numShards int, banner bool) (ShardPlan, error) {
+	runStart := now()
 	plan := PlanShards(c.Env, sel, opt, numShards)
+	rec := c.ensureTrace(plan)
+	root := c.mintRootSpan(rec)
+	rec.Record(trace.Span{
+		TraceID: rec.TraceID(), SpanID: rec.NewSpanID(), ParentID: root,
+		Name: "plan", Start: runStart, End: now(),
+		Attrs: map[string]string{
+			"node":        "coordinator",
+			"grid_points": strconv.Itoa(plan.GridPoints),
+			"cached":      strconv.Itoa(plan.Cached),
+			"to_compute":  strconv.Itoa(plan.ToCompute),
+			"shards":      strconv.Itoa(plan.NumShards),
+		},
+	})
+	c.log().Info("fleet run planned",
+		"trace_id", rec.TraceID(), "span_id", root,
+		"experiments", strings.Join(plan.Experiments, ","),
+		"shards", plan.NumShards, "grid_points", plan.GridPoints,
+		"cached", plan.Cached, "to_compute", plan.ToCompute)
+	// The fleet root span closes when Run returns, whatever the outcome —
+	// its duration is the end-to-end wall time of the distributed run.
+	finish := func(err error) {
+		attrs := map[string]string{
+			"node":        "coordinator",
+			"experiments": strings.Join(plan.Experiments, ","),
+			"shards":      strconv.Itoa(plan.NumShards),
+		}
+		if err != nil {
+			attrs["error"] = err.Error()
+		}
+		rec.Record(trace.Span{
+			TraceID: rec.TraceID(), SpanID: root,
+			Name: "coordinate", Start: runStart, End: now(), Attrs: attrs,
+		})
+	}
 	if err := c.Execute(ctx, plan); err != nil {
+		finish(err)
 		return plan, err
 	}
 	replay := opt
 	replay.Shard, replay.NumShards = 0, 0
 	replay.Ctx = ctx
+	replayStart := now()
 	// An interrupt mid-replay surfaces as the Canceled panic at the next
 	// grid-point boundary; convert it to the same clean error the fan-out
 	// phase reports instead of crashing the caller.
@@ -256,6 +306,15 @@ func (c *Coordinator) Run(ctx context.Context, w io.Writer, sel []registry.Descr
 		Render(w, c.Env, sel, replay, banner)
 		return nil
 	}()
+	replayAttrs := map[string]string{"node": "coordinator"}
+	if err != nil {
+		replayAttrs["error"] = err.Error()
+	}
+	rec.Record(trace.Span{
+		TraceID: rec.TraceID(), SpanID: rec.NewSpanID(), ParentID: root,
+		Name: "replay", Start: replayStart, End: now(), Attrs: replayAttrs,
+	})
+	finish(err)
 	return plan, err
 }
 
@@ -274,6 +333,8 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 		maxAttempts = 3
 	}
 	c.healthyWorkers().Set(int64(len(c.Runners)))
+	rec := c.ensureTrace(plan)
+	root := c.rootSpanID() // "" when Execute is driven without Run: dispatch spans become top-level
 
 	// Hit-aware schedule: heaviest shards first; fully cached shards are
 	// never dispatched at all — the replay serves their points locally.
@@ -282,6 +343,18 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 		if w.Free() {
 			c.logf("shard %s: all %d points cached; not dispatching", w.Selector, w.GridPoints)
 			c.countShard("free")
+			at := now()
+			rec.Record(trace.Span{
+				TraceID: rec.TraceID(), SpanID: rec.NewSpanID(), ParentID: root,
+				Name: "free " + w.Selector, Start: at, End: at,
+				Attrs: map[string]string{
+					"node": "coordinator", "shard": w.Selector,
+					"grid_points": strconv.Itoa(w.GridPoints),
+				},
+			})
+			c.log().Info("shard fully cached; not dispatched",
+				"trace_id", rec.TraceID(), "span_id", root,
+				"shard", w.Selector, "grid_points", w.GridPoints)
 			continue
 		}
 		pending = append(pending, w.Index)
@@ -307,6 +380,7 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 		idle[i] = i
 	}
 	attempts := make(map[int]int)
+	inflight := make(map[int]trace.Span) // dispatch span per in-flight shard
 	outstanding := 0
 	for {
 		for len(pending) > 0 && len(idle) > 0 {
@@ -327,11 +401,26 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 				w.Selector, c.Runners[r].Label(), w.GridPoints, w.Cached, w.ToCompute)
 			c.countShard("dispatched")
 			c.countAttempt(w.Selector)
+			sp := trace.Span{
+				TraceID: rec.TraceID(), SpanID: rec.NewSpanID(), ParentID: root,
+				Name: "dispatch " + w.Selector, Start: now(),
+				Attrs: map[string]string{
+					"node": "coordinator", "shard": w.Selector,
+					"worker":     c.Runners[r].Label(),
+					"attempt":    strconv.Itoa(attempts[shard] + 1),
+					"to_compute": strconv.Itoa(w.ToCompute),
+				},
+			}
+			inflight[shard] = sp
+			c.log().Info("shard dispatched",
+				"trace_id", rec.TraceID(), "span_id", sp.SpanID,
+				"shard", w.Selector, "worker", c.Runners[r].Label(),
+				"attempt", attempts[shard]+1, "to_compute", w.ToCompute)
 			outstanding++
-			go func(shard, r int) {
-				dir, err := c.Runners[r].RunShard(ctx, plan, shard)
+			go func(shard, r int, dctx context.Context) {
+				dir, err := c.Runners[r].RunShard(dctx, plan, shard)
 				results <- result{shard: shard, runner: r, dir: dir, err: err}
-			}(shard, r)
+			}(shard, r, withSpan(ctx, sp.Context()))
 		}
 		if outstanding == 0 {
 			if len(pending) == 0 {
@@ -343,12 +432,23 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 		res := <-results
 		outstanding--
 		w := plan.Shards[res.shard]
+		sp := inflight[res.shard]
+		delete(inflight, res.shard)
+		sp.End = now()
+		if res.err != nil {
+			sp.Attrs["error"] = res.err.Error()
+		}
+		rec.Record(sp)
 		if res.err != nil {
 			// Worker loss: retire the runner, re-queue the shard.
 			attempts[res.shard]++
 			c.countRetry(c.Runners[res.runner].Label())
 			c.logf("shard %s failed on %s (attempt %d/%d): %v",
 				w.Selector, c.Runners[res.runner].Label(), attempts[res.shard], maxAttempts, res.err)
+			c.log().Warn("shard failed; worker retired",
+				"trace_id", rec.TraceID(), "span_id", sp.SpanID,
+				"shard", w.Selector, "worker", c.Runners[res.runner].Label(),
+				"attempt", attempts[res.shard], "error", res.err.Error())
 			if attempts[res.shard] >= maxAttempts {
 				return fmt.Errorf("shard %s failed %d times, last on %s: %w",
 					w.Selector, attempts[res.shard], c.Runners[res.runner].Label(), res.err)
@@ -357,10 +457,26 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 			pending = append(pending, res.shard)
 			continue
 		}
+		mergeStart := now()
 		n, dup, err := c.mergeShard(res.shard, res.dir)
+		mergeAttrs := map[string]string{
+			"node": "coordinator", "shard": w.Selector,
+			"entries": strconv.Itoa(n), "dup": strconv.FormatBool(dup),
+		}
+		if err != nil {
+			mergeAttrs["error"] = err.Error()
+		}
+		rec.Record(trace.Span{
+			TraceID: rec.TraceID(), SpanID: rec.NewSpanID(), ParentID: sp.SpanID,
+			Name: "merge " + w.Selector, Start: mergeStart, End: now(), Attrs: mergeAttrs,
+		})
 		if err != nil {
 			return fmt.Errorf("merging shard %s: %w", w.Selector, err)
 		}
+		c.log().Info("shard merged",
+			"trace_id", rec.TraceID(), "span_id", sp.SpanID,
+			"shard", w.Selector, "worker", c.Runners[res.runner].Label(),
+			"entries", n, "dup", dup)
 		if res.dir != "" {
 			// The staging dir's entries now live in the destination (or, on
 			// a duplicate completion, already did); drop the copies so they

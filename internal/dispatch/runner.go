@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/obs/trace"
 	"github.com/embodiedai/create/internal/registry"
 	"github.com/embodiedai/create/internal/service"
 )
@@ -47,6 +49,9 @@ type LocalRunner struct {
 	Workers int
 	// Name labels the runner in logs (default "local").
 	Name string
+	// Trace, when set (share the coordinator's recorder), records one
+	// compute span per shard under the dispatch span threaded through ctx.
+	Trace *trace.Recorder
 }
 
 func (r *LocalRunner) Label() string {
@@ -67,19 +72,37 @@ func (r *LocalRunner) RunShard(ctx context.Context, plan ShardPlan, shard int) (
 		Trials: plan.Trials, Seed: plan.Seed, Workers: r.Workers,
 		Shard: w.Index, NumShards: plan.NumShards, Ctx: ctx,
 	}
-	for _, job := range w.Jobs {
-		if len(job.Keys) == 0 || job.ToCompute == 0 {
-			continue
+	start := now()
+	err := func() error {
+		for _, job := range w.Jobs {
+			if len(job.Keys) == 0 || job.ToCompute == 0 {
+				continue
+			}
+			d, ok := registry.Lookup(job.Experiment)
+			if !ok {
+				return fmt.Errorf("plan names unregistered experiment %q", job.Experiment)
+			}
+			if err := runQuietly(d, r.Env, opt); err != nil {
+				return err
+			}
 		}
-		d, ok := registry.Lookup(job.Experiment)
-		if !ok {
-			return "", fmt.Errorf("plan names unregistered experiment %q", job.Experiment)
+		return nil
+	}()
+	if r.Trace != nil {
+		parent, _ := spanFrom(ctx)
+		attrs := map[string]string{
+			"node": r.Label(), "shard": w.Selector,
+			"to_compute": strconv.Itoa(w.ToCompute),
 		}
-		if err := runQuietly(d, r.Env, opt); err != nil {
-			return "", err
+		if err != nil {
+			attrs["error"] = err.Error()
 		}
+		r.Trace.Record(trace.Span{
+			TraceID: r.Trace.TraceID(), SpanID: r.Trace.NewSpanID(), ParentID: parent.SpanID,
+			Name: "compute " + w.Selector, Start: start, End: now(), Attrs: attrs,
+		})
 	}
-	return "", nil
+	return "", err
 }
 
 // runQuietly executes one experiment, converting panics — including the
@@ -130,6 +153,13 @@ type HTTPRunner struct {
 	Prewarm bool
 	// OnEvent, when set, receives every progress event the worker streams.
 	OnEvent func(shard int, ev service.Event)
+	// Trace, when set (share the coordinator's recorder), stitches this
+	// worker into the fleet timeline: every request carries a traceparent
+	// header with the dispatch span from ctx, cache transfers record
+	// import/export spans, and each finished job's worker-side spans are
+	// pulled back and imported with their node rewritten to this worker's
+	// label.
+	Trace *trace.Recorder
 }
 
 func (r *HTTPRunner) Label() string { return r.BaseURL }
@@ -145,7 +175,11 @@ func (r *HTTPRunner) RunShard(ctx context.Context, plan ShardPlan, shard int) (s
 	w := plan.Shards[shard]
 	keys := w.Keys()
 	if r.Prewarm && r.Local != nil {
-		r.prewarm(ctx, keys)
+		start := now()
+		if n, err := r.prewarm(ctx, keys); n > 0 || err != nil {
+			r.span(ctx, "cache import "+w.Selector, start,
+				map[string]string{"shard": w.Selector, "entries": strconv.Itoa(n)}, err)
+		}
 	}
 	for _, job := range w.Jobs {
 		if len(job.Keys) == 0 || job.ToCompute == 0 {
@@ -174,10 +208,34 @@ func (r *HTTPRunner) RunShard(ctx context.Context, plan ShardPlan, shard int) (s
 	if len(keys) == 0 {
 		return dir, nil
 	}
-	if err := r.pull(ctx, keys, stage); err != nil {
+	start := now()
+	err = r.pull(ctx, keys, stage)
+	r.span(ctx, "cache export "+w.Selector, start,
+		map[string]string{"shard": w.Selector, "keys": strconv.Itoa(len(keys))}, err)
+	if err != nil {
 		return "", err
 	}
 	return dir, nil
+}
+
+// span records one runner-side operation (a cache transfer) under the
+// dispatch span threaded through ctx. No-op without a shared recorder.
+func (r *HTTPRunner) span(ctx context.Context, name string, start time.Time, attrs map[string]string, err error) {
+	if r.Trace == nil {
+		return
+	}
+	parent, _ := spanFrom(ctx)
+	if attrs == nil {
+		attrs = map[string]string{}
+	}
+	attrs["node"] = r.Label()
+	if err != nil {
+		attrs["error"] = err.Error()
+	}
+	r.Trace.Record(trace.Span{
+		TraceID: r.Trace.TraceID(), SpanID: r.Trace.NewSpanID(), ParentID: parent.SpanID,
+		Name: name, Start: start, End: now(), Attrs: attrs,
+	})
 }
 
 // runJob submits one (experiment, shard) job and follows its event stream
@@ -205,7 +263,44 @@ func (r *HTTPRunner) runJob(ctx context.Context, plan ShardPlan, w ShardWork, jo
 	if state != service.StateDone {
 		return fmt.Errorf("%s shard %s (%s) ended %s: %s", job.Experiment, w.Selector, st.ID, state, errMsg)
 	}
+	r.importJobTrace(ctx, st.ID)
 	return nil
+}
+
+// importJobTrace pulls a finished job's worker-side spans into the
+// shared fleet recorder, rewriting their node to this worker's label so
+// the stitched timeline shows which worker ran them. Best-effort: a
+// worker that cannot serve its trace costs visibility, not correctness.
+func (r *HTTPRunner) importJobTrace(ctx context.Context, id string) {
+	if r.Trace == nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return
+	}
+	if sc, ok := spanFrom(ctx); ok {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	spans, err := trace.ReadNDJSON(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return
+	}
+	for i := range spans {
+		if spans[i].Attrs == nil {
+			spans[i].Attrs = map[string]string{}
+		}
+		spans[i].Attrs["node"] = r.Label()
+	}
+	r.Trace.Import(spans)
 }
 
 // follow streams a job's NDJSON events until a terminal state, forwarding
@@ -215,6 +310,9 @@ func (r *HTTPRunner) follow(ctx context.Context, shard int, id string) (service.
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return "", "", err
+	}
+	if sc, ok := spanFrom(ctx); ok {
+		req.Header.Set("traceparent", sc.Traceparent())
 	}
 	resp, err := r.client().Do(req)
 	if err != nil {
@@ -248,14 +346,15 @@ func (r *HTTPRunner) follow(ctx context.Context, shard int, id string) (service.
 }
 
 // prewarm best-effort pushes locally resident entries from the shard's
-// manifest to the worker.
-func (r *HTTPRunner) prewarm(ctx context.Context, keys []string) {
+// manifest to the worker, reporting how many entries it shipped (for the
+// cache-import span; a failed push costs recompute, not correctness).
+func (r *HTTPRunner) prewarm(ctx context.Context, keys []string) (int, error) {
 	var buf bytes.Buffer
 	n, err := r.Local.ExportTo(&buf, keys)
 	if err != nil || n == 0 {
-		return
+		return 0, err
 	}
-	_ = r.do(ctx, http.MethodPost, "/v1/cache/import", &buf, nil)
+	return n, r.do(ctx, http.MethodPost, "/v1/cache/import", &buf, nil)
 }
 
 // pull fetches the manifest's entries from the worker and lands them in
@@ -269,6 +368,9 @@ func (r *HTTPRunner) pull(ctx context.Context, keys []string, stage *cache.Store
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.BaseURL+"/v1/cache/export", bytes.NewReader(body))
 	if err != nil {
 		return err
+	}
+	if sc, ok := spanFrom(ctx); ok {
+		req.Header.Set("traceparent", sc.Traceparent())
 	}
 	resp, err := r.client().Do(req)
 	if err != nil {
@@ -286,6 +388,8 @@ func (r *HTTPRunner) pull(ctx context.Context, keys []string, stage *cache.Store
 
 // do issues one JSON request against the worker, decoding a 2xx response
 // into out (when non-nil) and turning everything else into an error.
+// Every request propagates the dispatch span from ctx as a traceparent
+// header, so worker-side jobs and logs join the fleet trace.
 func (r *HTTPRunner) do(ctx context.Context, method, path string, body io.Reader, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, r.BaseURL+path, body)
 	if err != nil {
@@ -293,6 +397,9 @@ func (r *HTTPRunner) do(ctx context.Context, method, path string, body io.Reader
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if sc, ok := spanFrom(ctx); ok {
+		req.Header.Set("traceparent", sc.Traceparent())
 	}
 	resp, err := r.client().Do(req)
 	if err != nil {

@@ -106,6 +106,11 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // cold sweeps.
 var DefaultStageBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120}
 
+// DefaultHTTPBuckets are the bucket bounds for HTTP request-duration
+// histograms: most routes answer in microseconds from memory, while
+// submit-and-follow event streams and cache transfers run to seconds.
+var DefaultHTTPBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 120}
+
 type kind int
 
 const (

@@ -204,6 +204,42 @@ func TestJobTimingFinalizeAndCSV(t *testing.T) {
 	}
 }
 
+// TestJobTimingCSVGoldenBytes pins the exact CSV encoding — timestamp
+// format, duration precision, empty fields for unreached stages — so the
+// row format cannot drift without a deliberate golden update.
+func TestJobTimingCSVGoldenBytes(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	done := &JobTiming{
+		Job: "job-9", Experiment: "fig19", Tenant: "default", Shard: "2/4", Outcome: "done",
+		QueuedAt:   base,
+		StartedAt:  base.Add(2 * time.Second),
+		PlannedAt:  base.Add(3 * time.Second),
+		ComputedAt: base.Add(5 * time.Second),
+		RenderedAt: base.Add(6 * time.Second),
+		GridPoints: 12, CacheHits: 5, ComputedPoints: 7, DedupeJoins: 1,
+	}
+	done.Finalize()
+	want := "job-9,fig19,default,2/4,done," +
+		"2026-01-02T03:04:05Z,2026-01-02T03:04:07Z,2026-01-02T03:04:08Z,2026-01-02T03:04:10Z,2026-01-02T03:04:11Z," +
+		"2.000000,1.000000,2.000000,1.000000,6.000000," +
+		"12,5,7,1"
+	if got := done.CSVRow(); got != want {
+		t.Errorf("done row:\n got %s\nwant %s", got, want)
+	}
+
+	// Canceled while queued: only the queued stamp exists; every other
+	// timestamp renders empty and every duration exactly zero.
+	queued := &JobTiming{Job: "job-10", Experiment: "fig19", Tenant: "acme", Outcome: "canceled", QueuedAt: base}
+	queued.Finalize()
+	wantQueued := "job-10,fig19,acme,,canceled," +
+		"2026-01-02T03:04:05Z,,,,," +
+		"0.000000,0.000000,0.000000,0.000000,0.000000," +
+		"0,0,0,0"
+	if got := queued.CSVRow(); got != wantQueued {
+		t.Errorf("canceled-queued row:\n got %s\nwant %s", got, wantQueued)
+	}
+}
+
 // TestRegistryConcurrentResolution is the race regression for lazy
 // instrument creation: goroutines resolving the same name+labels
 // concurrently (the concurrent-job-worker pattern in internal/service)

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func sortSpans(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		if spans[i].Name != spans[j].Name {
+			return spans[i].Name < spans[j].Name
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+}
+
+// WriteNDJSON writes one span per line in canonical order. Field order
+// inside each line is fixed by the Span struct, so equal span slices
+// produce equal bytes (map-valued Attrs marshal with sorted keys).
+func WriteNDJSON(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sortSpans(sorted)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range sorted {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses spans written by WriteNDJSON (blank lines are
+// skipped). It is what the coordinator uses to pull worker-side spans
+// back over HTTP.
+func ReadNDJSON(r io.Reader) ([]Span, error) {
+	var spans []Span
+	dec := json.NewDecoder(r)
+	for {
+		var s Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return spans, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode span %d: %w", len(spans), err)
+		}
+		spans = append(spans, s)
+	}
+}
+
+// chromeEvent is one Chrome trace-event; "X" complete events carry a
+// duration, "M" metadata events name the process/thread lanes.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  *int64            `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome writes the spans as a Chrome trace-event JSON document
+// loadable in Perfetto or chrome://tracing. Each distinct "node" attr
+// becomes a process lane (the coordinator rewrites worker spans' node to
+// the worker label before stitching); the leading integer of a "shard"
+// attr ("k/n") becomes the thread lane within that process. Timestamps
+// are microseconds relative to the earliest span start, so traces from a
+// fake clock render identically regardless of the epoch used.
+func WriteChrome(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sortSpans(sorted)
+
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	if len(sorted) == 0 {
+		return writeJSON(w, doc)
+	}
+
+	epoch := sorted[0].Start
+	for _, s := range sorted[1:] {
+		if s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+
+	// Process lanes: one per distinct node, numbered in first-seen order
+	// over the canonically sorted spans (stable across runs).
+	pids := map[string]int{}
+	var nodes []string
+	type lane struct {
+		pid, tid int
+	}
+	threadNames := map[lane]string{}
+	for _, s := range sorted {
+		node := s.Attrs["node"]
+		if node == "" {
+			node = "create"
+		}
+		if _, ok := pids[node]; !ok {
+			pids[node] = len(nodes) + 1
+			nodes = append(nodes, node)
+		}
+		if tid := shardLane(s.Attrs["shard"]); tid != 0 {
+			threadNames[lane{pids[node], tid}] = "shard " + s.Attrs["shard"]
+		}
+	}
+
+	for i, node := range nodes {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: i + 1,
+			Args: map[string]string{"name": node},
+		})
+	}
+	// Thread-name metadata in deterministic lane order.
+	lanes := make([]lane, 0, len(threadNames))
+	for l := range threadNames {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].pid != lanes[j].pid {
+			return lanes[i].pid < lanes[j].pid
+		}
+		return lanes[i].tid < lanes[j].tid
+	})
+	for _, l := range lanes {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: l.pid, TID: l.tid,
+			Args: map[string]string{"name": threadNames[l]},
+		})
+	}
+
+	for _, s := range sorted {
+		node := s.Attrs["node"]
+		if node == "" {
+			node = "create"
+		}
+		args := map[string]string{
+			"trace_id": s.TraceID,
+			"span_id":  s.SpanID,
+		}
+		if s.ParentID != "" {
+			args["parent_id"] = s.ParentID
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		var dur int64
+		if !s.End.IsZero() && s.End.After(s.Start) {
+			dur = s.End.Sub(s.Start).Microseconds()
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: "create", Ph: "X",
+			TS: s.Start.Sub(epoch).Microseconds(), Dur: &dur,
+			PID: pids[node], TID: shardLane(s.Attrs["shard"]),
+			Args: args,
+		})
+	}
+	return writeJSON(w, doc)
+}
+
+// shardLane maps a "k/n" shard selector to thread lane k+1 (lane 0 is
+// the process's unsharded work).
+func shardLane(sel string) int {
+	k, _, ok := strings.Cut(sel, "/")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(k)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n + 1
+}
+
+func writeJSON(w io.Writer, doc chromeTrace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,114 @@
+package trace
+
+import "sync"
+
+// DefaultMaxSpans bounds a recorder's buffer. A fleet-wide trace for a
+// large sharded run is a few hundred spans; the cap exists so a
+// misbehaving caller cannot grow trace memory without bound. Overflow is
+// counted, not silently ignored.
+const DefaultMaxSpans = 4096
+
+// Recorder accumulates the spans of one trace. It hands out
+// deterministic span IDs from a per-recorder counter and keeps recorded
+// spans in a bounded buffer. Safe for concurrent use — parallel shards
+// record into one recorder.
+type Recorder struct {
+	mu      sync.Mutex
+	traceID string
+	scope   string
+	next    int
+	max     int
+	spans   []Span
+	dropped int
+}
+
+// NewRecorder returns a recorder for one trace. The scope seeds span-ID
+// derivation; two recorders contributing to the same trace (for example
+// a worker job and the coordinator) must use distinct scopes so their
+// counters cannot mint colliding IDs.
+func NewRecorder(traceID, scope string) *Recorder {
+	return &Recorder{traceID: traceID, scope: scope, max: DefaultMaxSpans}
+}
+
+// TraceID returns the trace this recorder contributes to.
+func (r *Recorder) TraceID() string {
+	return r.traceID
+}
+
+// SetMaxSpans overrides the span-buffer bound; n <= 0 is ignored.
+func (r *Recorder) SetMaxSpans(n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.max = n
+}
+
+// NewSpanID mints the next deterministic span ID for this trace. IDs
+// depend only on (trace ID, scope, allocation order), so a replayed run
+// that allocates in the same order gets the same IDs.
+func (r *Recorder) NewSpanID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	return deriveSpanID(r.traceID, r.scope, r.next)
+}
+
+// Record appends one finished (or abandoned, zero-End) span. Returns
+// false when the buffer is full; the span is dropped and counted.
+func (r *Recorder) Record(s Span) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.max {
+		r.dropped++
+		return false
+	}
+	r.spans = append(r.spans, s)
+	return true
+}
+
+// Import appends spans recorded elsewhere (worker-side spans pulled back
+// by the coordinator) and returns how many were accepted. Spans whose ID
+// is already present are skipped — a shard retried after a lost
+// acknowledgement can coalesce onto a live worker job and be pulled
+// twice — and the buffer bound applies as in Record.
+func (r *Recorder) Import(spans []Span) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(r.spans))
+	for _, s := range r.spans {
+		seen[s.SpanID] = true
+	}
+	added := 0
+	for _, s := range spans {
+		if s.SpanID != "" && seen[s.SpanID] {
+			continue
+		}
+		if len(r.spans) >= r.max {
+			r.dropped++
+			continue
+		}
+		r.spans = append(r.spans, s)
+		seen[s.SpanID] = true
+		added++
+	}
+	return added
+}
+
+// Spans returns a canonically sorted copy of everything recorded so far.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	r.mu.Unlock()
+	sortSpans(out)
+	return out
+}
+
+// Dropped reports how many spans the buffer bound rejected.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

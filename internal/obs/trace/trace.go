@@ -1,0 +1,122 @@
+// Package trace is the span core for the serving tier: a dependency-free,
+// wall-clock-free building block in the internal/obs style. The package
+// never reads the clock — callers stamp time.Time values on spans at
+// job/shard boundaries and trace only does timestamp arithmetic — so the
+// deterministic replay invariant (see docs/DETERMINISM.md) is untouched.
+//
+// IDs are derived, not random: the trace ID hashes the job's spec
+// fingerprint plus its submit sequence number, and span IDs hash the
+// trace ID, a recorder scope, and a per-recorder counter. Replaying the
+// same submission sequence against a fresh daemon therefore yields
+// byte-identical trace output, which is what lets tests pin traces the
+// same way they pin figure bytes.
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Span is one timed operation. Start and End are stamped by the caller;
+// a zero End marks a span that never completed (the exporters render it
+// with zero duration). Attrs carry small string key/values — node and
+// shard get special treatment in the Chrome exporter (process and thread
+// lanes); everything else is passed through as args.
+type Span struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end,omitzero"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Context returns the span's identity for propagation to children.
+func (s Span) Context() SpanContext {
+	return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID}
+}
+
+// SpanContext identifies a position in a trace: the trace a caller is
+// part of and the span that should become the callee's parent. It
+// crosses process boundaries as a W3C-style traceparent header.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether the context carries a well-formed, non-zero
+// trace and span ID (32 and 16 lowercase hex digits respectively).
+func (c SpanContext) Valid() bool {
+	return isHexID(c.TraceID, 32) && isHexID(c.SpanID, 16)
+}
+
+// Traceparent renders the context in W3C trace-context form:
+// 00-<trace-id>-<span-id>-01.
+func (c SpanContext) Traceparent() string {
+	return "00-" + c.TraceID + "-" + c.SpanID + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header. Only version 00 is
+// accepted; the trailing flags byte is validated for shape but ignored.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	if !isHexLower(parts[3]) {
+		return SpanContext{}, false
+	}
+	c := SpanContext{TraceID: parts[1], SpanID: parts[2]}
+	if !c.Valid() {
+		return SpanContext{}, false
+	}
+	return c, true
+}
+
+func isHexID(s string, n int) bool {
+	if len(s) != n || !isHexLower(s) {
+		return false
+	}
+	// An all-zero ID is the W3C "absent" sentinel, not a valid identity.
+	return strings.Trim(s, "0") != ""
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// DeriveTraceID derives a 32-hex-digit trace ID from a stable identity
+// fingerprint (the service uses the job's spec key — the same identity
+// the dedupe and cache layers key on) and a submit sequence number. The
+// derivation is versioned so the format can evolve without silently
+// changing existing golden traces.
+func DeriveTraceID(fingerprint string, seq int) string {
+	sum := sha256.Sum256([]byte("create-trace|v1|" + fingerprint + "|" + strconv.Itoa(seq)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// deriveSpanID derives a 16-hex-digit span ID from the trace ID, the
+// recorder's scope, and the recorder-local counter value. Scopes keep
+// counters from colliding when several processes contribute spans to one
+// trace (each worker job and the coordinator use distinct scopes).
+func deriveSpanID(traceID, scope string, n int) string {
+	sum := sha256.Sum256([]byte("create-span|v1|" + traceID + "|" + scope + "|" + strconv.Itoa(n)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Sort orders spans canonically: by start stamp, then name, then span
+// ID. Exporters sort before writing so output bytes do not depend on the
+// scheduling order in which concurrent shards recorded their spans.
+func Sort(spans []Span) {
+	sortSpans(spans)
+}

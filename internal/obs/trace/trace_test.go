@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeriveTraceIDDeterministic(t *testing.T) {
+	a := DeriveTraceID("fig19|4|2026||default", 1)
+	b := DeriveTraceID("fig19|4|2026||default", 1)
+	if a != b {
+		t.Fatalf("same inputs produced different trace IDs: %s vs %s", a, b)
+	}
+	if len(a) != 32 || !isHexLower(a) {
+		t.Fatalf("trace ID %q is not 32 lowercase hex digits", a)
+	}
+	if DeriveTraceID("fig19|4|2026||default", 2) == a {
+		t.Fatal("different submit sequence produced the same trace ID")
+	}
+	if DeriveTraceID("fig16|4|2026||default", 1) == a {
+		t.Fatal("different fingerprint produced the same trace ID")
+	}
+}
+
+func TestSpanIDsDeterministicPerScope(t *testing.T) {
+	id := DeriveTraceID("fp", 1)
+	a := NewRecorder(id, "job-1")
+	b := NewRecorder(id, "job-1")
+	for i := 0; i < 3; i++ {
+		sa, sb := a.NewSpanID(), b.NewSpanID()
+		if sa != sb {
+			t.Fatalf("allocation %d: same scope diverged: %s vs %s", i, sa, sb)
+		}
+		if len(sa) != 16 || !isHexLower(sa) {
+			t.Fatalf("span ID %q is not 16 lowercase hex digits", sa)
+		}
+	}
+	c := NewRecorder(id, "coordinator")
+	if got := c.NewSpanID(); got == NewRecorder(id, "job-1").NewSpanID() {
+		t.Fatalf("distinct scopes minted the same first span ID %s", got)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: DeriveTraceID("fp", 7), SpanID: deriveSpanID(DeriveTraceID("fp", 7), "s", 1)}
+	if !sc.Valid() {
+		t.Fatal("derived context should be valid")
+	}
+	hdr := sc.Traceparent()
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != sc {
+		t.Fatalf("round trip failed: %q -> %+v ok=%v", hdr, got, ok)
+	}
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"01-" + sc.TraceID + "-" + sc.SpanID + "-01",              // unknown version
+		"00-" + strings.Repeat("0", 32) + "-" + sc.SpanID + "-01", // zero trace id
+		"00-" + sc.TraceID + "-" + strings.Repeat("0", 16) + "-01",
+		"00-" + strings.ToUpper(sc.TraceID) + "-" + sc.SpanID + "-01",
+		"00-" + sc.TraceID + "-" + sc.SpanID, // missing flags
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	r := NewRecorder(DeriveTraceID("fp", 1), "s")
+	r.SetMaxSpans(2)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 4; i++ {
+		r.Record(Span{TraceID: r.TraceID(), SpanID: r.NewSpanID(), Name: "s", Start: base})
+	}
+	if got := len(r.Spans()); got != 2 {
+		t.Fatalf("bounded recorder kept %d spans, want 2", got)
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	if n := r.Import([]Span{{Name: "x"}}); n != 0 {
+		t.Fatalf("Import into full recorder accepted %d spans", n)
+	}
+}
+
+func testSpans() []Span {
+	id := DeriveTraceID("fig19|4|2026||default", 1)
+	rec := NewRecorder(id, "job-1")
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	root := Span{TraceID: id, SpanID: rec.NewSpanID(), Name: "job fig19",
+		Start: base, End: base.Add(4 * time.Second),
+		Attrs: map[string]string{"node": "serve", "job": "job-1"}}
+	queue := Span{TraceID: id, SpanID: rec.NewSpanID(), ParentID: root.SpanID,
+		Name: "queue", Start: base, End: base.Add(time.Second),
+		Attrs: map[string]string{"node": "serve"}}
+	shard := Span{TraceID: id, SpanID: rec.NewSpanID(), ParentID: root.SpanID,
+		Name: "compute", Start: base.Add(time.Second), End: base.Add(3 * time.Second),
+		Attrs: map[string]string{"node": "worker-a", "shard": "1/4"}}
+	open := Span{TraceID: id, SpanID: rec.NewSpanID(), ParentID: root.SpanID,
+		Name: "render", Start: base.Add(3 * time.Second), // zero End: never finished
+		Attrs: map[string]string{"node": "serve"}}
+	return []Span{shard, open, root, queue} // deliberately unsorted
+}
+
+func TestNDJSONRoundTripAndOrder(t *testing.T) {
+	spans := testSpans()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	back, err := ReadNDJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("read back %d spans, want 4", len(back))
+	}
+	// Canonical order: by start stamp, ties by name.
+	wantNames := []string{"job fig19", "queue", "compute", "render"}
+	for i, s := range back {
+		if s.Name != wantNames[i] {
+			t.Fatalf("span %d is %q, want %q (canonical order)", i, s.Name, wantNames[i])
+		}
+	}
+	if !back[0].Start.Equal(spans[2].Start) || !back[0].End.Equal(spans[2].End) {
+		t.Fatal("timestamps did not survive the round trip")
+	}
+	if back[3].End.IsZero() != true {
+		t.Fatal("zero End should survive the round trip as zero")
+	}
+	// Byte stability: same spans, same bytes.
+	var again bytes.Buffer
+	if err := WriteNDJSON(&again, testSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("WriteNDJSON is not byte-stable for equal input")
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, testSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   int64             `json:"ts"`
+			Dur  *int64            `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	pids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name == "process_name" {
+				pids[ev.Args["name"]] = ev.PID
+			}
+		case "X":
+			complete++
+			if ev.Args["trace_id"] == "" || ev.Args["span_id"] == "" {
+				t.Fatalf("X event %q missing trace/span id args", ev.Name)
+			}
+			if ev.Dur == nil {
+				t.Fatalf("X event %q missing dur", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("got %d X events, want 4", complete)
+	}
+	// Two nodes -> two process lanes; the shard span gets its own thread
+	// lane named after the selector.
+	if len(pids) != 2 || pids["serve"] == 0 || pids["worker-a"] == 0 {
+		t.Fatalf("process lanes = %v, want serve and worker-a", pids)
+	}
+	foundShardLane := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Args["name"] == "shard 1/4" {
+			foundShardLane = true
+			if ev.PID != pids["worker-a"] || ev.TID != 2 {
+				t.Fatalf("shard lane on pid=%d tid=%d, want pid=%d tid=2", ev.PID, ev.TID, pids["worker-a"])
+			}
+		}
+	}
+	if !foundShardLane {
+		t.Fatal("no thread_name metadata for shard 1/4")
+	}
+	// Relative microsecond timestamps: earliest span at ts=0.
+	minTS := int64(1 << 62)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.TS < minTS {
+			minTS = ev.TS
+		}
+	}
+	if minTS != 0 {
+		t.Fatalf("earliest X event at ts=%d, want 0", minTS)
+	}
+	// Byte stability.
+	var again bytes.Buffer
+	if err := WriteChrome(&again, testSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("WriteChrome is not byte-stable for equal input")
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("empty trace should still carry an empty traceEvents array, got %v", doc["traceEvents"])
+	}
+}

@@ -1,0 +1,51 @@
+package service
+
+import "net/http"
+
+//create:walltime-ok HTTP request durations are operational metadata measured at the server edge
+
+// statusWriter captures the status code a handler writes so the request
+// middleware can label its metrics. It forwards Flush so streaming
+// handlers (the NDJSON event follow) keep working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route in the server-level request metrics:
+// create_http_requests_total{route,code} and the
+// create_http_request_seconds{route} duration histogram. The route label
+// is the registration pattern, never the raw path, so label cardinality
+// is fixed by the route table.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.httpRequest(route, code, now().Sub(start).Seconds())
+	})
+}

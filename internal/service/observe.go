@@ -1,6 +1,7 @@
 package service
 
 import (
+	"strconv"
 	"sync"
 
 	"github.com/embodiedai/create/internal/obs"
@@ -92,6 +93,18 @@ func (m *serviceMetrics) observeStages(t *obs.JobTiming) {
 	if !t.RenderedAt.IsZero() {
 		stage("render").Observe(t.RenderSeconds)
 	}
+}
+
+// httpRequest records one served HTTP request: a counter by route
+// pattern and status code, and a duration histogram by route. Called
+// from the instrument middleware after the handler returns.
+func (m *serviceMetrics) httpRequest(route string, code int, seconds float64) {
+	m.reg.Counter("create_http_requests_total",
+		"HTTP requests served, by route pattern and status code.",
+		"route", route, "code", strconv.Itoa(code)).Inc()
+	m.reg.Histogram("create_http_request_seconds",
+		"HTTP request duration in seconds, by route pattern.",
+		obs.DefaultHTTPBuckets, "route", route).Observe(seconds)
 }
 
 // points accounts a finished job's grid points by where they came from.

@@ -41,6 +41,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -50,11 +51,18 @@ import (
 	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
 	"github.com/embodiedai/create/internal/obs"
+	"github.com/embodiedai/create/internal/obs/trace"
 	"github.com/embodiedai/create/internal/registry"
 	"github.com/embodiedai/create/internal/sim"
 )
 
 //create:walltime-ok job submit/start/finish timestamps, event-stream heartbeats and shutdown deadlines are operational metadata; figure bytes come from the deterministic engine underneath
+
+// now is the service tier's single wall-clock seam: every timestamp the
+// package stamps (job stages, events, HTTP durations, retention) flows
+// through it, so tests substitute a fake clock and assert exact stage
+// durations instead of mere monotonicity.
+var now = time.Now
 
 // DefaultTrials and DefaultSeed match the CLIs' defaults, so an
 // unqualified job renders exactly what an unqualified create-bench run
@@ -127,6 +135,7 @@ type Event struct {
 // JobStatus is the wire representation of a job.
 type JobStatus struct {
 	ID         string         `json:"id"`
+	TraceID    string         `json:"trace_id,omitempty"`
 	Spec       JobSpec        `json:"spec"`
 	State      State          `json:"state"`
 	Deduped    bool           `json:"deduped,omitempty"`
@@ -167,11 +176,19 @@ type job struct {
 	timing      *obs.JobTiming
 	events      []Event
 	done        chan struct{} // closed at terminal state
+
+	// rec collects the job's spans (immutable pointer, set at submit);
+	// rootSpan is the root span ID, allocated at submit so every log line
+	// can carry it; parent is the remote span context a traceparent header
+	// supplied, making this job part of a coordinator's fleet-wide trace.
+	rec      *trace.Recorder
+	rootSpan string
+	parent   trace.SpanContext
 }
 
 func (j *job) appendEventLocked(state State, msg string) {
 	j.events = append(j.events, Event{
-		Seq: len(j.events), Time: time.Now(), Job: j.id, State: state, Message: msg,
+		Seq: len(j.events), Time: now(), Job: j.id, State: state, Message: msg,
 	})
 }
 
@@ -187,6 +204,9 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID: j.id, Spec: j.spec, State: j.state, Plan: j.plan,
 		Error: j.err, CreatedAt: j.created, Cache: j.delta,
+	}
+	if j.rec != nil {
+		st.TraceID = j.rec.TraceID()
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -238,6 +258,10 @@ type Config struct {
 	// GET /metrics. nil allocates a private registry, so instrumentation
 	// is always on; pass a shared registry to co-expose other subsystems.
 	Metrics *obs.Registry
+	// Logger receives structured job-path logs; every line carries
+	// trace_id/span_id/job_id/tenant so log streams join against traces
+	// and timing records. nil discards (obs.NewLogger builds one).
+	Logger *slog.Logger
 }
 
 // Server is the HTTP daemon state. Create with New, launch workers with
@@ -247,6 +271,7 @@ type Server struct {
 	jobWorkers int // concurrent job executors
 	perJob     int // default core budget per executing job
 	metrics    *serviceMetrics
+	log        *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -285,12 +310,17 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	jobWorkers, perJob := sim.Split(cfg.Workers, cfg.MaxConcurrentJobs)
 	s := &Server{
 		cfg:         cfg,
 		jobWorkers:  jobWorkers,
 		perJob:      perJob,
 		metrics:     newServiceMetrics(cfg.Metrics),
+		log:         logger,
 		jobs:        make(map[string]*job),
 		byKey:       make(map[string]*job),
 		queue:       make(chan *job, cfg.QueueDepth),
@@ -334,7 +364,7 @@ func (s *Server) Start() {
 					return
 				case <-ticker.C:
 					s.mu.Lock()
-					s.evictFinishedLocked(time.Now())
+					s.evictFinishedLocked(now())
 					s.mu.Unlock()
 				}
 			}
@@ -360,6 +390,17 @@ func (s *Server) Close() {
 // Submit validates and enqueues a spec, returning the (possibly coalesced)
 // job status. The bool reports whether the spec coalesced onto a live job.
 func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
+	return s.SubmitTraced(spec, trace.SpanContext{})
+}
+
+// SubmitTraced is Submit with an optional remote trace parent (the
+// decoded traceparent header): when valid, the job joins the caller's
+// trace and its root span nests under the caller's span, which is how a
+// coordinator's fleet-wide timeline absorbs worker jobs. A zero parent
+// starts a fresh trace whose ID derives from the spec fingerprint and
+// the submit sequence — fully deterministic, so replayed submission
+// sequences yield byte-stable traces.
+func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (JobStatus, bool, error) {
 	if spec.Trials <= 0 {
 		spec.Trials = DefaultTrials
 	}
@@ -404,20 +445,36 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
 		s.mu.Unlock()
 		if counted {
 			s.metrics.dedupeJoin(spec.Experiment, spec.Tenant)
+			s.log.Info("job coalesced onto live job",
+				"job_id", live.id, "trace_id", live.rec.TraceID(), "span_id", live.rootSpan,
+				"tenant", spec.Tenant, "experiment", spec.Experiment)
 		}
 		return live.status(), true, nil
 	}
 	s.nextID++
+	// Trace identity: join the remote trace when a valid parent came in,
+	// otherwise derive a fresh trace ID from the spec fingerprint and the
+	// submit sequence. The span-ID scope folds in the job id and parent so
+	// two processes contributing to one trace can never mint colliding IDs.
+	id := "job-" + strconv.Itoa(s.nextID)
+	traceID := trace.DeriveTraceID(key, s.nextID)
+	if parent.Valid() {
+		traceID = parent.TraceID
+	}
+	rec := trace.NewRecorder(traceID, id+"|"+key+"|"+parent.SpanID)
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:      "job-" + strconv.Itoa(s.nextID),
-		spec:    spec,
-		key:     key,
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   StateQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:       id,
+		spec:     spec,
+		key:      key,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateQueued,
+		created:  now(),
+		done:     make(chan struct{}),
+		rec:      rec,
+		rootSpan: rec.NewSpanID(),
+		parent:   parent,
 	}
 	j.appendEventLocked(StateQueued, "")
 	select {
@@ -430,6 +487,10 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
 	s.order = append(s.order, j.id)
 	s.byKey[key] = j
 	s.mu.Unlock()
+	s.log.Info("job queued",
+		"job_id", j.id, "trace_id", traceID, "span_id", j.rootSpan,
+		"tenant", spec.Tenant, "experiment", spec.Experiment,
+		"trials", spec.Trials, "shard", spec.Shard)
 	return j.status(), false, nil
 }
 
@@ -487,11 +548,12 @@ func (s *Server) run(j *job) {
 		return
 	}
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = now()
 	j.appendEventLocked(StateRunning, "")
 	j.mu.Unlock()
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
+	s.log.Info("job started", j.logAttrs()...)
 
 	// Cache-aware planning before compute: the plan is surfaced in the
 	// status and the event stream, so clients see upfront whether the job
@@ -499,10 +561,12 @@ func (s *Server) run(j *job) {
 	plan := registry.PlanFor(d, s.cfg.Env, opt)
 	j.mu.Lock()
 	j.plan = &plan
-	j.planned = time.Now()
+	j.planned = now()
 	j.appendEventLocked(StateRunning, fmt.Sprintf("planned: %d grid points, %d cached, %d to compute",
 		plan.GridPoints, plan.Cached, plan.ToCompute))
 	j.mu.Unlock()
+	s.log.Info("job planned", append(j.logAttrs(),
+		"grid_points", plan.GridPoints, "cached", plan.Cached, "to_compute", plan.ToCompute)...)
 
 	var hits0, misses0 int64
 	if s.cfg.Store != nil {
@@ -525,7 +589,7 @@ func (s *Server) run(j *job) {
 			}
 		}()
 		res := d.Run(s.cfg.Env, opt)
-		computedAt = time.Now() // grid fully computed/replayed; render next
+		computedAt = now() // grid fully computed/replayed; render next
 		res.Render(&buf)
 		rows = res.Rows
 		return nil
@@ -540,7 +604,7 @@ func (s *Server) run(j *job) {
 	}
 
 	j.mu.Lock()
-	j.finished = time.Now()
+	j.finished = now()
 	j.computed = computedAt
 	j.delta = delta
 	switch {
@@ -562,8 +626,9 @@ func (s *Server) run(j *job) {
 		}
 		j.appendEventLocked(StateDone, msg)
 	}
-	state := j.state
+	state, errMsg := j.state, j.err
 	tm := j.buildTimingLocked()
+	j.buildTraceLocked()
 	j.mu.Unlock()
 	close(j.done)
 	j.cancel() // release the context's resources
@@ -572,6 +637,15 @@ func (s *Server) run(j *job) {
 	s.metrics.observeStages(tm)
 	if delta != nil {
 		s.metrics.points(delta.Hits, delta.Misses)
+	}
+	attrs := append(j.logAttrs(), "outcome", string(state), "total_seconds", tm.TotalSeconds)
+	if delta != nil {
+		attrs = append(attrs, "cache_hits", delta.Hits, "computed_points", delta.Misses)
+	}
+	if state == StateFailed {
+		s.log.Error("job finished", append(attrs, "error", errMsg)...)
+	} else {
+		s.log.Info("job finished", attrs...)
 	}
 
 	s.mu.Lock()
@@ -619,8 +693,8 @@ func (s *Server) retireLocked(j *job) {
 	if s.byKey[j.key] == j {
 		delete(s.byKey, j.key)
 	}
-	s.finished = append(s.finished, finishedRec{id: j.id, at: time.Now()})
-	s.evictFinishedLocked(time.Now())
+	s.finished = append(s.finished, finishedRec{id: j.id, at: now()})
+	s.evictFinishedLocked(now())
 }
 
 // evictFinishedLocked enforces finished-job retention: the count cap
@@ -667,13 +741,15 @@ func (s *Server) Cancel(id string) (JobStatus, bool, error) {
 		j.appendEventLocked(StateRunning, "cancel requested; stopping at the next grid point")
 		j.mu.Unlock()
 		j.cancel()
+		s.log.Info("job cancel requested", j.logAttrs()...)
 		return j.status(), true, nil
 	default: // queued
 		j.state = StateCanceled
 		j.err = "canceled"
-		j.finished = time.Now()
+		j.finished = now()
 		j.appendEventLocked(StateCanceled, "canceled while queued")
 		j.buildTimingLocked()
+		j.buildTraceLocked()
 		j.mu.Unlock()
 		close(j.done)
 		j.cancel()
@@ -681,6 +757,7 @@ func (s *Server) Cancel(id string) (JobStatus, bool, error) {
 		s.mu.Lock()
 		s.retireLocked(j)
 		s.mu.Unlock()
+		s.log.Info("job canceled while queued", j.logAttrs()...)
 		return j.status(), true, nil
 	}
 }
@@ -688,22 +765,29 @@ func (s *Server) Cancel(id string) (JobStatus, bool, error) {
 // ---------------------------------------------------------------------------
 // HTTP layer.
 
-// Handler routes the service API.
+// Handler routes the service API. Every route is wrapped in the
+// request-metrics middleware; the pattern string doubles as the `route`
+// label, so the label space is fixed at compile time (no per-path
+// cardinality).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/timing", s.handleTiming)
-	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
-	mux.HandleFunc("POST /v1/cache/export", s.handleCacheExport)
-	mux.HandleFunc("POST /v1/cache/import", s.handleCacheImport)
-	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	handle("POST /v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleList)
+	handle("GET /v1/jobs/{id}", s.handleJob)
+	handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	handle("GET /v1/jobs/{id}/result", s.handleResult)
+	handle("GET /v1/jobs/{id}/timing", s.handleTiming)
+	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	handle("GET /v1/cache/stats", s.handleCacheStats)
+	handle("POST /v1/cache/export", s.handleCacheExport)
+	handle("POST /v1/cache/import", s.handleCacheImport)
+	handle("GET /v1/experiments", s.handleExperiments)
+	handle("GET /metrics", s.cfg.Metrics.Handler().ServeHTTP)
+	handle("GET /healthz", s.handleHealthz)
 	return mux
 }
 
@@ -725,7 +809,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
 		return
 	}
-	st, deduped, err := s.Submit(spec)
+	// A well-formed traceparent header joins this job to the caller's
+	// trace (the coordinator fleet path); a missing or malformed header
+	// silently starts a fresh trace, per W3C trace-context semantics.
+	parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+	st, deduped, err := s.SubmitTraced(spec, parent)
 	switch {
 	case err == errQueueFull:
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -886,7 +974,11 @@ func (s *Server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	// Errors past this point cut the stream; the importer's validation
 	// rejects the truncated tail.
-	_, _ = st.ExportTo(w, req.Keys)
+	n, _ := st.ExportTo(w, req.Keys)
+	pc, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+	s.log.Info("cache export served",
+		"entries", n, "keys_requested", len(req.Keys),
+		"trace_id", pc.TraceID, "span_id", pc.SpanID)
 }
 
 // handleCacheImport lands an NDJSON entry stream (ExportTo's format) into
@@ -900,10 +992,16 @@ func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n, err := st.ImportFrom(r.Body)
+	pc, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
 	if err != nil {
+		s.log.Error("cache import failed",
+			"entries", n, "error", err.Error(),
+			"trace_id", pc.TraceID, "span_id", pc.SpanID)
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("import failed after %d entries: %v", n, err))
 		return
 	}
+	s.log.Info("cache import landed",
+		"entries", n, "trace_id", pc.TraceID, "span_id", pc.SpanID)
 	writeJSON(w, http.StatusOK, map[string]any{"imported": n})
 }
 

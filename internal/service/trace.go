@@ -1,0 +1,129 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/embodiedai/create/internal/obs/trace"
+)
+
+//create:walltime-ok span construction only arranges timestamps already stamped by the job lifecycle; no clock reads here
+
+// logAttrs is the attribute set every job-path log line carries, joining
+// log streams to traces and timing records. The fields it reads are
+// immutable after submit, so no lock is needed.
+func (j *job) logAttrs() []any {
+	return []any{
+		"job_id", j.id,
+		"trace_id", j.rec.TraceID(),
+		"span_id", j.rootSpan,
+		"tenant", j.spec.Tenant,
+		"experiment", j.spec.Experiment,
+	}
+}
+
+// buildTraceLocked assembles the job's span tree from the stage
+// timestamps run stamped at each boundary — the trace twin of
+// buildTimingLocked, called at the same terminal transitions. Caller
+// holds j.mu. Span IDs come from the job's recorder counter, so a
+// replayed submission sequence produces byte-identical spans; stages the
+// job never reached produce no spans.
+func (j *job) buildTraceLocked() {
+	tid := j.rec.TraceID()
+	base := func() map[string]string {
+		a := map[string]string{"node": "serve", "job": j.id, "tenant": j.spec.Tenant}
+		if j.spec.Shard != "" {
+			a["shard"] = j.spec.Shard
+		}
+		return a
+	}
+
+	rootAttrs := base()
+	rootAttrs["experiment"] = j.spec.Experiment
+	rootAttrs["outcome"] = string(j.state)
+	if j.err != "" {
+		rootAttrs["error"] = j.err
+	}
+	j.rec.Record(trace.Span{
+		TraceID: tid, SpanID: j.rootSpan, ParentID: j.parent.SpanID,
+		Name: "job " + j.spec.Experiment, Start: j.created, End: j.finished,
+		Attrs: rootAttrs,
+	})
+
+	child := func(name string, start, end time.Time, attrs map[string]string) trace.Span {
+		s := trace.Span{
+			TraceID: tid, SpanID: j.rec.NewSpanID(), ParentID: j.rootSpan,
+			Name: name, Start: start, End: end, Attrs: attrs,
+		}
+		j.rec.Record(s)
+		return s
+	}
+
+	// Queue wait: submit to dequeue (or straight to terminal when the job
+	// was canceled while queued).
+	queueEnd := j.started
+	if queueEnd.IsZero() {
+		queueEnd = j.finished
+	}
+	child("queue", j.created, queueEnd, base())
+
+	if !j.started.IsZero() && !j.planned.IsZero() {
+		child("plan", j.started, j.planned, base())
+	}
+	if !j.planned.IsZero() && !j.computed.IsZero() {
+		computeAttrs := base()
+		if j.plan != nil {
+			computeAttrs["grid_points"] = strconv.Itoa(j.plan.GridPoints)
+		}
+		if j.delta != nil {
+			computeAttrs["cache_hits"] = strconv.FormatInt(j.delta.Hits, 10)
+			computeAttrs["computed_points"] = strconv.FormatInt(j.delta.Misses, 10)
+		}
+		compute := child("compute", j.planned, j.computed, computeAttrs)
+		if j.spec.Shard != "" {
+			// Per-shard compute child: the span a coordinator's stitched
+			// timeline shows inside this worker's dispatch lane.
+			shard := trace.Span{
+				TraceID: tid, SpanID: j.rec.NewSpanID(), ParentID: compute.SpanID,
+				Name: "shard " + j.spec.Shard, Start: j.planned, End: j.computed,
+				Attrs: computeAttrs,
+			}
+			j.rec.Record(shard)
+		}
+	}
+	if j.state == StateDone && !j.computed.IsZero() {
+		child("render", j.computed, j.finished, base())
+	}
+}
+
+// handleTrace serves a job's span tree, built exactly once at the
+// terminal transition (like /timing, a live job is a 409). Default is
+// NDJSON — one span per line, the format the coordinator's shard pull
+// consumes — and ?format=chrome emits Chrome trace-event JSON loadable
+// in Perfetto or chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	// timing and trace are built under one critical section at the
+	// terminal transition, so timing's presence is the readiness signal.
+	ready, state := j.timing != nil, j.state
+	j.mu.Unlock()
+	if !ready {
+		writeError(w, http.StatusConflict, "job is "+string(state)+"; its trace is recorded when it terminates")
+		return
+	}
+	spans := j.rec.Spans()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = trace.WriteChrome(w, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = trace.WriteNDJSON(w, spans)
+}
