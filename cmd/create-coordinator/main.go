@@ -39,6 +39,7 @@ import (
 	"github.com/embodiedai/create/internal/dispatch"
 	"github.com/embodiedai/create/internal/obs"
 	"github.com/embodiedai/create/internal/obs/trace"
+	"github.com/embodiedai/create/internal/registry"
 	"github.com/embodiedai/create/internal/service"
 )
 
@@ -53,6 +54,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "destination cache directory (required with remote workers; shard entries merge here)")
 	prewarm := flag.Bool("prewarm", false, "push locally cached points to each worker before it runs its shard")
 	planOnly := flag.Bool("plan", false, "print the shard plan and exit without running")
+	costsIn := flag.String("costs", "", "cost table JSON (seconds_per_point map, or an array of job timing records) to weight shard scheduling by observed per-point compute cost")
+	costsOut := flag.String("costs-out", "", "write the run's harvested cost table as JSON to this file (\"-\" for stderr) for the next run's -costs")
 	events := flag.Bool("events", false, "log every worker progress event (verbose)")
 	metricsOut := flag.String("metrics-out", "", "write the run's metrics in Prometheus text format to this file (\"-\" for stderr)")
 	traceOut := flag.String("trace-out", "", "write the run's stitched Chrome trace-event JSON (Perfetto-loadable) to this file (\"-\" for stderr)")
@@ -77,6 +80,20 @@ func main() {
 		os.Exit(2)
 	}
 	opt := l.Options(*trials, *seed, 0)
+
+	// The cost table is shared by the planner (shard weights), every runner
+	// (timing harvest), and -costs-out (the next run's input): one feedback
+	// loop from observed per-point compute cost back into the schedule.
+	var costs *registry.CostTable
+	if *costsIn != "" {
+		costs, err = registry.LoadCostTable(*costsIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading -costs: %v\n", err)
+			os.Exit(2)
+		}
+	} else if *costsOut != "" {
+		costs = registry.NewCostTable()
+	}
 
 	var runners []dispatch.Runner
 	stage := "" // staging root for pulled entries; removed before every exit
@@ -105,6 +122,7 @@ func main() {
 				StageDir: filepath.Join(stage, fmt.Sprintf("worker-%d", i)),
 				Local:    l.Store,
 				Prewarm:  *prewarm,
+				Costs:    costs,
 			}
 			if *events {
 				r.OnEvent = func(shard int, ev service.Event) {
@@ -121,6 +139,7 @@ func main() {
 	for i := 0; i < *local; i++ {
 		runners = append(runners, &dispatch.LocalRunner{
 			Env: l.Env, Workers: *localWorkers, Name: fmt.Sprintf("local-%d", i+1),
+			Costs: costs,
 		})
 	}
 	numShards := *shards
@@ -147,13 +166,16 @@ func main() {
 	}
 
 	if *planOnly {
-		plan := dispatch.PlanShards(l.Env, selection, opt, numShards)
+		plan := dispatch.PlanShardsCosted(l.Env, selection, opt, numShards, costs)
 		fmt.Printf("%d experiment(s), %d shards: %d points, %d cached, %d to compute\n",
 			len(plan.Experiments), plan.NumShards, plan.GridPoints, plan.Cached, plan.ToCompute)
 		for _, w := range plan.Shards {
 			note := ""
+			if w.CostSeconds > 0 {
+				note = fmt.Sprintf("  (predicted %.2fs)", w.CostSeconds)
+			}
 			if w.Free() {
-				note = "  (free: will not dispatch)"
+				note += "  (free: will not dispatch)"
 			}
 			fmt.Printf("  shard %-6s %6d points %6d cached %6d to compute%s\n",
 				w.Selector, w.GridPoints, w.Cached, w.ToCompute, note)
@@ -172,6 +194,7 @@ func main() {
 		Metrics: reg,
 		Trace:   rec,
 		Logger:  logger,
+		Costs:   costs,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -203,6 +226,30 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *costsOut != "" {
+		if err := dumpCosts(costs, *costsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "coordinator: writing costs: %v\n", err)
+			cleanup()
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpCosts writes the harvested cost table as JSON to path ("-" = stderr):
+// feed it to the next run's -costs so schedules keep adapting across runs.
+func dumpCosts(costs *registry.CostTable, path string) error {
+	if path == "-" {
+		return costs.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := costs.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dumpMetrics renders the registry to path ("-" = stderr) after the run —

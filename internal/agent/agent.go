@@ -317,6 +317,55 @@ func Run(cfg Config) Result {
 	return runEpisode(cfg, newCorruptTable(cfg), newRunScratch())
 }
 
+// Scratch is a reusable single-episode arena for callers that issue many
+// Run-style calls in a loop: world, expert, probability buffer, histogram
+// and episode cache are reset — not reallocated — per episode. It is the
+// single-episode face of the RunMany worker scratch; byte-identity of reuse
+// is locked by TestRunWithMatchesRun. A Scratch must not be shared between
+// concurrent episodes.
+type Scratch struct {
+	rs *runScratch
+}
+
+// NewScratch returns an empty arena; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{rs: newRunScratch()} }
+
+// RunWith is Run on a caller-owned Scratch: byte-identical results, none of
+// the per-call scratch allocation.
+func RunWith(cfg Config, sc *Scratch) Result {
+	cfg = cfg.withDefaults()
+	return runEpisode(cfg, newCorruptTable(cfg), sc.rs)
+}
+
+// Runner executes seed sweeps of one configuration. It resolves the config
+// and composes the fault-model corruption table once — the table depends
+// only on the config's voltage/error-model fields, never the seed — and
+// reuses a Scratch across episodes, so loops that previously paid
+// newCorruptTable + newRunScratch per trial pay them once.
+type Runner struct {
+	cfg   Config
+	table *corruptTable
+	sc    *runScratch
+}
+
+// NewRunner builds a Runner for cfg with its own private Scratch.
+func NewRunner(cfg Config) *Runner { return NewRunnerWith(cfg, NewScratch()) }
+
+// NewRunnerWith builds a Runner for cfg on a shared Scratch, so several
+// sequential sweeps can ride one arena.
+func NewRunnerWith(cfg Config, sc *Scratch) *Runner {
+	cfg = cfg.withDefaults()
+	return &Runner{cfg: cfg, table: newCorruptTable(cfg), sc: sc.rs}
+}
+
+// RunSeed plays one episode of the Runner's configuration at seed,
+// byte-identical to agent.Run of the same config with that seed.
+func (r *Runner) RunSeed(seed int64) Result {
+	cfg := r.cfg
+	cfg.Seed = seed
+	return runEpisode(cfg, r.table, r.sc)
+}
+
 // runEpisode plays one episode on a worker's scratch. cfg must be resolved
 // (withDefaults) and carry its per-config corruption table.
 func runEpisode(cfg Config, table *corruptTable, sc *runScratch) Result {

@@ -1,0 +1,52 @@
+package agent
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/embodiedai/create/internal/world"
+)
+
+// runWithConfigs is the configuration class mix of the single-episode loops
+// this API replaces: characterize's traced clean episodes (Fig7Stages),
+// predictor's traced stone-task sweeps (OracleR2), and the fault-injected
+// voltage-scaled steady workload.
+func runWithConfigs() []Config {
+	return []Config{
+		{Task: world.TaskLog, UniformBER: 0, Trace: true, Seed: 41},
+		{Task: world.TaskStone, UniformBER: 0, Trace: true, Seed: 2026},
+		steadyConfig(),
+	}
+}
+
+// TestRunWithMatchesRun: pooled scratch must be byte-identical to fresh
+// scratch for every configuration class, even when the scratch is dirty
+// from episodes of a different config.
+func TestRunWithMatchesRun(t *testing.T) {
+	sc := NewScratch()
+	// Dirty the scratch with an unrelated episode first.
+	RunWith(Config{Task: world.TaskWool, Seed: 7}, sc)
+	for i, cfg := range runWithConfigs() {
+		fresh := Run(cfg)
+		pooled := RunWith(cfg, sc)
+		if !reflect.DeepEqual(fresh, pooled) {
+			t.Fatalf("config %d: RunWith diverged from Run\nfresh:  %+v\npooled: %+v", i, fresh, pooled)
+		}
+	}
+}
+
+// TestRunnerMatchesRun: a Runner's seed sweep must reproduce per-call Run
+// with the same seeds, sharing one corruption table and scratch throughout.
+func TestRunnerMatchesRun(t *testing.T) {
+	for i, cfg := range runWithConfigs() {
+		runner := NewRunner(cfg)
+		for t2 := 0; t2 < 3; t2++ {
+			seed := cfg.Seed + int64(t2)*31
+			want := func() Result { c := cfg; c.Seed = seed; return Run(c) }()
+			got := runner.RunSeed(seed)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("config %d seed %d: Runner diverged\nwant: %+v\ngot:  %+v", i, seed, want, got)
+			}
+		}
+	}
+}

@@ -244,9 +244,9 @@ func calibrate(prot Protection, opt MeasureOptions, run func(nn.Backend)) (*nn.S
 	eng.AD = prot.AD
 
 	counter := &inject.OutputCounter{}
-	eng.Injector = counter
+	prev := eng.SwapInjector(counter)
 	run(be)
-	eng.Injector = inject.None{}
+	eng.SwapInjector(prev)
 	if counter.N == 0 {
 		// The component filter matched nothing that runs on the engine.
 		counter.N = 1
@@ -274,9 +274,16 @@ func boundBit(be *nn.Systolic) int {
 	return 14
 }
 
+// The severity cache is per-key singleflight rather than one global lock:
+// a process's cold start measures many distinct (model, protection,
+// component, bits) keys on first use, and holding one mutex across each
+// multi-pass measurement would serialize them. Here the lock only guards
+// the map; each key's measurement runs outside it, so distinct keys warm
+// up concurrently while duplicate callers of the same key block on its
+// entry and reuse the single result (TestSeveritySingleflight).
 var (
 	cacheMu sync.Mutex
-	cache   = map[cacheKey]Severity{}
+	cache   = map[cacheKey]*severityEntry{}
 )
 
 type cacheKey struct {
@@ -284,6 +291,47 @@ type cacheKey struct {
 	prot      Protection
 	component string
 	bits      quant.Bits
+}
+
+// severityEntry is one in-flight or completed measurement. done is closed
+// once sev (or panicked) is set; waiters block on it.
+type severityEntry struct {
+	done     chan struct{}
+	sev      Severity
+	panicked any
+}
+
+// cachedSeverity returns the severity for key, invoking measure at most once
+// per key across all concurrent callers. A panicking measurement is removed
+// from the cache (a later call may retry) and the panic propagates to the
+// owner and every waiter.
+func cachedSeverity(key cacheKey, measure func() Severity) Severity {
+	cacheMu.Lock()
+	if e, ok := cache[key]; ok {
+		cacheMu.Unlock()
+		<-e.done
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.sev
+	}
+	e := &severityEntry{done: make(chan struct{})}
+	cache[key] = e
+	cacheMu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked = r
+			cacheMu.Lock()
+			delete(cache, key)
+			cacheMu.Unlock()
+			close(e.done)
+			panic(r)
+		}
+	}()
+	e.sev = measure()
+	close(e.done)
+	return e.sev
 }
 
 // PlannerSeverity returns the cached severity table for the default
@@ -296,17 +344,12 @@ func PlannerSeverity(prot Protection) Severity {
 // quantization width control.
 func PlannerSeverityFor(prot Protection, component string, bits quant.Bits) Severity {
 	key := cacheKey{planner: true, prot: prot, component: component, bits: bits}
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if s, ok := cache[key]; ok {
-		return s
-	}
-	opt := DefaultMeasureOptions()
-	opt.Component = component
-	opt.Bits = bits
-	s := MeasurePlannerSeverity(model.DefaultPlannerConfig(), prot, opt)
-	cache[key] = s
-	return s
+	return cachedSeverity(key, func() Severity {
+		opt := DefaultMeasureOptions()
+		opt.Component = component
+		opt.Bits = bits
+		return MeasurePlannerSeverity(model.DefaultPlannerConfig(), prot, opt)
+	})
 }
 
 // ControllerSeverity returns the cached severity table for the default
@@ -319,17 +362,12 @@ func ControllerSeverity(prot Protection) Severity {
 // quantization width control.
 func ControllerSeverityFor(prot Protection, component string, bits quant.Bits) Severity {
 	key := cacheKey{planner: false, prot: prot, component: component, bits: bits}
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if s, ok := cache[key]; ok {
-		return s
-	}
-	opt := DefaultMeasureOptions()
-	opt.Component = component
-	opt.Bits = bits
-	s := MeasureControllerSeverity(model.DefaultControllerConfig(), prot, opt)
-	cache[key] = s
-	return s
+	return cachedSeverity(key, func() Severity {
+		opt := DefaultMeasureOptions()
+		opt.Component = component
+		opt.Bits = bits
+		return MeasureControllerSeverity(model.DefaultControllerConfig(), prot, opt)
+	})
 }
 
 // Lambda composes a severity table with per-bit error rates into the

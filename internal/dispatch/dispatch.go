@@ -60,23 +60,32 @@ import (
 // planning store, and the content addresses — the manifest a worker's
 // computed entries are pulled back by.
 type ShardJob struct {
-	Experiment string   `json:"experiment"`
-	GridPoints int      `json:"grid_points"`
-	Cached     int      `json:"cached"`
-	ToCompute  int      `json:"to_compute"`
-	Keys       []string `json:"keys,omitempty"`
+	Experiment string `json:"experiment"`
+	GridPoints int    `json:"grid_points"`
+	Cached     int    `json:"cached"`
+	ToCompute  int    `json:"to_compute"`
+	// CostSeconds is the predicted compute cost of this slice under the
+	// plan's cost table (ToCompute x the experiment's observed per-point
+	// cost). Zero when the plan was built without a table, keeping such
+	// plans byte-identical to pre-cost ones.
+	CostSeconds float64  `json:"cost_seconds,omitempty"`
+	Keys        []string `json:"keys,omitempty"`
 }
 
 // ShardWork is one shard of the plan: its 1-based "k/n" selector (the
 // exact string a JobSpec or -shard flag accepts) and its per-experiment
 // slices with summed totals.
 type ShardWork struct {
-	Index      int        `json:"index"` // 0-based
-	Selector   string     `json:"selector"`
-	GridPoints int        `json:"grid_points"`
-	Cached     int        `json:"cached"`
-	ToCompute  int        `json:"to_compute"`
-	Jobs       []ShardJob `json:"jobs"`
+	Index      int    `json:"index"` // 0-based
+	Selector   string `json:"selector"`
+	GridPoints int    `json:"grid_points"`
+	Cached     int    `json:"cached"`
+	ToCompute  int    `json:"to_compute"`
+	// CostSeconds sums the jobs' predicted compute cost; the scheduler's
+	// heaviest-first order uses it when present (cost-aware autotuning)
+	// and falls back to raw ToCompute when zero.
+	CostSeconds float64    `json:"cost_seconds,omitempty"`
+	Jobs        []ShardJob `json:"jobs"`
 }
 
 // Free reports whether every point this shard owns is already resident in
@@ -123,6 +132,18 @@ type ShardPlan struct {
 // every shard carries its predicted hits and its key manifest. numShards
 // < 1 plans a single shard covering the whole grid.
 func PlanShards(env *experiments.Env, sel []registry.Descriptor, opt experiments.Options, numShards int) ShardPlan {
+	return PlanShardsCosted(env, sel, opt, numShards, nil)
+}
+
+// PlanShardsCosted is PlanShards weighted by a cost table: each shard job
+// additionally carries its predicted compute cost (ToCompute x observed
+// per-point cost of its experiment), which the coordinator's scheduler
+// orders by. The cost table only reweights scheduling — shard membership
+// is still grid-index modulo numShards, so the computed points, their
+// content addresses, and the merged cache are byte-identical whatever the
+// table says. A nil table leaves every cost zero (the uncosted plan).
+// Plans are deterministic given (env cache state, sel, opt, costs).
+func PlanShardsCosted(env *experiments.Env, sel []registry.Descriptor, opt experiments.Options, numShards int, costs *registry.CostTable) ShardPlan {
 	if numShards < 1 {
 		numShards = 1
 	}
@@ -136,14 +157,19 @@ func PlanShards(env *experiments.Env, sel []registry.Descriptor, opt experiments
 		w := ShardWork{Index: k, Selector: fmt.Sprintf("%d/%d", k+1, numShards)}
 		for _, d := range sel {
 			p, keys := registry.ShardPlanFor(d, env, so)
-			w.Jobs = append(w.Jobs, ShardJob{
+			j := ShardJob{
 				Experiment: d.Name,
 				GridPoints: p.GridPoints, Cached: p.Cached, ToCompute: p.ToCompute,
 				Keys: keys,
-			})
+			}
+			if costs != nil {
+				j.CostSeconds = float64(p.ToCompute) * costs.PointCost(d.Name)
+			}
+			w.Jobs = append(w.Jobs, j)
 			w.GridPoints += p.GridPoints
 			w.Cached += p.Cached
 			w.ToCompute += p.ToCompute
+			w.CostSeconds += j.CostSeconds
 		}
 		plan.GridPoints += w.GridPoints
 		plan.Cached += w.Cached
@@ -224,6 +250,12 @@ type Coordinator struct {
 	// Logger receives structured progress with trace/span IDs (the machine
 	// twin of Logf). nil discards.
 	Logger *slog.Logger
+	// Costs, when set, makes planning and scheduling cost-aware: shards
+	// are weighted by observed per-point compute cost instead of raw point
+	// counts, and every completed shard's measured timings are folded back
+	// into the table (runners share it), so the schedule adapts across
+	// runs of one coordinator process. nil keeps the point-count order.
+	Costs *registry.CostTable
 
 	mu       sync.Mutex
 	merged   map[int]bool // shards whose entries have landed, for at-most-once merge
@@ -244,7 +276,7 @@ func (c *Coordinator) logf(format string, args ...any) {
 // run would have computed itself.
 func (c *Coordinator) Run(ctx context.Context, w io.Writer, sel []registry.Descriptor, opt experiments.Options, numShards int, banner bool) (ShardPlan, error) {
 	runStart := now()
-	plan := PlanShards(c.Env, sel, opt, numShards)
+	plan := PlanShardsCosted(c.Env, sel, opt, numShards, c.Costs)
 	rec := c.ensureTrace(plan)
 	root := c.mintRootSpan(rec)
 	rec.Record(trace.Span{
@@ -359,8 +391,18 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 		}
 		pending = append(pending, w.Index)
 	}
+	// Heaviest-first by predicted cost when the plan carries one, raw
+	// point count otherwise. The stable sort keeps shard-index order among
+	// equals, so a nil cost table reproduces the pre-cost schedule exactly.
+	weight := func(idx int) float64 {
+		w := plan.Shards[idx]
+		if w.CostSeconds > 0 {
+			return w.CostSeconds
+		}
+		return float64(w.ToCompute)
+	}
 	sort.SliceStable(pending, func(i, j int) bool {
-		return plan.Shards[pending[i]].ToCompute > plan.Shards[pending[j]].ToCompute
+		return weight(pending[i]) > weight(pending[j])
 	})
 	if len(pending) == 0 {
 		return nil

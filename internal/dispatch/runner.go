@@ -13,6 +13,7 @@ import (
 
 	"github.com/embodiedai/create/internal/cache"
 	"github.com/embodiedai/create/internal/experiments"
+	"github.com/embodiedai/create/internal/obs"
 	"github.com/embodiedai/create/internal/obs/trace"
 	"github.com/embodiedai/create/internal/registry"
 	"github.com/embodiedai/create/internal/service"
@@ -52,6 +53,10 @@ type LocalRunner struct {
 	// Trace, when set (share the coordinator's recorder), records one
 	// compute span per shard under the dispatch span threaded through ctx.
 	Trace *trace.Recorder
+	// Costs, when set (share the coordinator's table), receives one
+	// observation per computed job: the slice's predicted point count and
+	// its measured wall time, the in-process leg of the cost feedback loop.
+	Costs *registry.CostTable
 }
 
 func (r *LocalRunner) Label() string {
@@ -82,8 +87,22 @@ func (r *LocalRunner) RunShard(ctx context.Context, plan ShardPlan, shard int) (
 			if !ok {
 				return fmt.Errorf("plan names unregistered experiment %q", job.Experiment)
 			}
+			// Only touch the clock seam when someone collects the signal:
+			// the fake-clock trace tests pin the exact read sequence of an
+			// uncosted run.
+			var jobStart time.Time
+			if r.Costs != nil {
+				jobStart = now()
+			}
 			if err := runQuietly(d, r.Env, opt); err != nil {
 				return err
+			}
+			if r.Costs != nil {
+				// ToCompute is the plan's predicted point count for this
+				// slice (dynamic grids are supersets); the measured wall
+				// time over it is the per-point cost signal the next plan
+				// schedules by.
+				r.Costs.Observe(job.Experiment, job.ToCompute, now().Sub(jobStart).Seconds())
 			}
 		}
 		return nil
@@ -160,6 +179,11 @@ type HTTPRunner struct {
 	// pulled back and imported with their node rewritten to this worker's
 	// label.
 	Trace *trace.Recorder
+	// Costs, when set (share the coordinator's table), harvests each
+	// finished job's timing record (/v1/jobs/{id}/timing: computed points
+	// and compute seconds) into the cost table — the remote leg of the
+	// cost feedback loop. Best-effort, like the trace import.
+	Costs *registry.CostTable
 }
 
 func (r *HTTPRunner) Label() string { return r.BaseURL }
@@ -264,7 +288,38 @@ func (r *HTTPRunner) runJob(ctx context.Context, plan ShardPlan, w ShardWork, jo
 		return fmt.Errorf("%s shard %s (%s) ended %s: %s", job.Experiment, w.Selector, st.ID, state, errMsg)
 	}
 	r.importJobTrace(ctx, st.ID)
+	r.harvestJobCost(ctx, st.ID)
 	return nil
+}
+
+// harvestJobCost pulls a finished job's timing record and folds its
+// measured per-point compute cost into the shared cost table. Best-effort:
+// a worker that cannot serve its timing costs schedule quality, not
+// correctness.
+func (r *HTTPRunner) harvestJobCost(ctx context.Context, id string) {
+	if r.Costs == nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+id+"/timing", nil)
+	if err != nil {
+		return
+	}
+	if sc, ok := spanFrom(ctx); ok {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var rec obs.JobTiming
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rec); err != nil {
+		return
+	}
+	r.Costs.Observe(rec.Experiment, rec.ComputedPoints, rec.ComputeSeconds)
 }
 
 // importJobTrace pulls a finished job's worker-side spans into the

@@ -340,10 +340,11 @@ func Fig7Stages(e *Env, opt Options) []StageProfile {
 	sums := map[world.Phase]float64{}
 	counts := map[world.Phase]int{}
 	total := 0
+	// Only the seed varies across trials: one Runner shares the resolved
+	// config, corruption table, and episode scratch across the sweep.
+	runner := agent.NewRunner(cfg)
 	for t := 0; t < opt.Trials/4+1; t++ {
-		c := cfg
-		c.Seed = opt.Seed + int64(t)*31
-		r := agent.Run(c)
+		r := runner.RunSeed(opt.Seed + int64(t)*31)
 		for i, ph := range r.PhaseTrace {
 			sums[ph] += r.EntropyTrace[i]
 			counts[ph]++
@@ -411,8 +412,9 @@ func Fig7PhaseInjection(e *Env, opt Options, q float64) []StageCorruption {
 func (e *Env) phaseInjectionRow(q float64, target world.Phase, opt Options) StageCorruption {
 	compute := func() agent.Summary {
 		success, stepsSum, n := 0, 0.0, 0
+		sc := &phaseScratch{}
 		for t := 0; t < opt.Trials; t++ {
-			r := runPhaseTargeted(world.TaskLog, q, target, opt.Seed+int64(t)*17)
+			r := runPhaseTargeted(sc, world.TaskLog, q, target, opt.Seed+int64(t)*17)
 			if r.ok {
 				success++
 				stepsSum += float64(r.steps)
@@ -439,13 +441,36 @@ type phaseResult struct {
 	steps int
 }
 
+// phaseScratch pools the bespoke loop's per-trial state the same way the
+// agent's runScratch does: world, expert and RNG are reseeded per trial —
+// byte-identical to fresh construction — instead of reallocated.
+type phaseScratch struct {
+	rng    *rand.Rand
+	w      *world.World
+	expert *world.Expert
+}
+
 // runPhaseTargeted is a bespoke episode loop that corrupts actions only in
 // the targeted phase.
-func runPhaseTargeted(task world.TaskName, q float64, target world.Phase, seed int64) phaseResult {
-	rng := rand.New(rand.NewSource(seed))
+func runPhaseTargeted(sc *phaseScratch, task world.TaskName, q float64, target world.Phase, seed int64) phaseResult {
+	if sc.rng == nil {
+		sc.rng = rand.New(rand.NewSource(seed))
+	} else {
+		sc.rng.Seed(seed) //create:rng-reviewed per-trial rewind: the stream restarts from seed so every trial is a function of its seed alone
+	}
+	rng := sc.rng
 	spec := world.Specs[task]
-	w := world.New(spec.Biome, seed+1)
-	expert := world.NewExpert(seed + 2)
+	if sc.w == nil {
+		sc.w = world.New(spec.Biome, seed+1)
+	} else {
+		sc.w.Reset(spec.Biome, seed+1)
+	}
+	if sc.expert == nil {
+		sc.expert = world.NewExpert(seed + 2)
+	} else {
+		sc.expert.Reseed(seed + 2)
+	}
+	w, expert := sc.w, sc.expert
 	st := world.Subtask{Kind: world.MineLog, Item: world.Log, Count: spec.Count}
 	for step := 0; step < 4000; step++ {
 		if st.Done(w) {

@@ -282,6 +282,14 @@ func (e *Env) crossControllerSummary(fm *bridge.FaultModel, task platforms.Cross
 		record := func(v float64) {
 			sum.StepsAtMV[int(v*1000+0.5)]++
 		}
+		// Both segments run at fixed entropies, so the policy voltages — and
+		// the precision segment's corruption probability, a pure function of
+		// (timing model, voltage, protection) — are loop invariants. Hoisting
+		// them out of the trial loop replaces a fault-model composition per
+		// precision step with one per sweep, byte-identically.
+		vApproach := vs.Voltage(3.5)
+		vPrecision := vs.Voltage(0.3)
+		q := fm.CorruptProbAtVoltage(e.Timing, vPrecision, prot)
 		success := 0
 		for t := 0; t < opt.Trials; t++ {
 			steps := 0
@@ -289,15 +297,13 @@ func (e *Env) crossControllerSummary(fm *bridge.FaultModel, task platforms.Cross
 			for ph := 0; ph < task.Phases && ok; ph++ {
 				// Approach segment: high entropy, tolerant.
 				for i := 0; i < task.StepsPerPhase/2; i++ {
-					record(vs.Voltage(3.5))
+					record(vApproach)
 					steps++
 				}
 				// Precision segment: low entropy, corruption repeats progress.
 				remaining := task.StepsPerPhase / 2
 				for remaining > 0 {
-					v := vs.Voltage(0.3)
-					q := fm.CorruptProbAtVoltage(e.Timing, v, prot)
-					record(v)
+					record(vPrecision)
 					steps++
 					if steps > task.Phases*task.StepsPerPhase*6 {
 						ok = false

@@ -162,9 +162,13 @@ func OracleR2(opt Options, sigma float64, n int) float64 {
 	truths := make([]float64, 0, n)
 	preds := make([]float64, 0, n)
 	cfg := agent.Config{Task: world.TaskStone, UniformBER: 0, Trace: true, Seed: opt.Seed}
+	// The sweep varies only the seed, so one Runner amortizes config
+	// resolution, corruption-table composition, and episode scratch.
+	runner := agent.NewRunner(cfg)
+	seed := opt.Seed
 	for len(truths) < n {
-		cfg.Seed += 13
-		r := agent.Run(cfg)
+		seed += 13
+		r := runner.RunSeed(seed)
 		for _, h := range r.EntropyTrace {
 			truths = append(truths, h)
 			preds = append(preds, oracle(h, rng))

@@ -59,10 +59,7 @@ func NewSystolic(e *systolic.Engine) *Systolic {
 // errors into targeted components and applies AD against the recorded range.
 func (s *Systolic) MatMul(component string, x, w *tensor.Mat) *tensor.Mat {
 	if s.Calibrating {
-		saved := s.Engine.Injector
-		s.Engine.Injector = inject.None{}
-		out := s.Engine.MatMul(x, w, 0)
-		s.Engine.Injector = saved
+		out := s.quiet(x, w, 0)
 		mx := tensor.AbsMax(out.Data)
 		if mx > s.Profile[component] {
 			s.Profile[component] = mx
@@ -71,13 +68,18 @@ func (s *Systolic) MatMul(component string, x, w *tensor.Mat) *tensor.Mat {
 	}
 	outMax := s.Profile[component] * s.Headroom
 	if !s.targeted(component) {
-		saved := s.Engine.Injector
-		s.Engine.Injector = inject.None{}
-		out := s.Engine.MatMul(x, w, outMax)
-		s.Engine.Injector = saved
-		return out
+		return s.quiet(x, w, outMax)
 	}
 	return s.Engine.MatMul(x, w, outMax)
+}
+
+// quiet runs one GEMM with injection disabled, restoring the previous
+// injector afterwards — the single home of the save/disable/restore dance.
+func (s *Systolic) quiet(x, w *tensor.Mat, outMax float32) *tensor.Mat {
+	saved := s.Engine.SwapInjector(inject.None{})
+	out := s.Engine.MatMul(x, w, outMax)
+	s.Engine.SwapInjector(saved)
+	return out
 }
 
 func (s *Systolic) targeted(component string) bool {

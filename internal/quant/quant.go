@@ -42,15 +42,62 @@ type Params struct {
 // Calibrate derives quantization parameters from the absolute maximum of the
 // calibration data. A zero absmax yields a scale of 1 so that quantization of
 // all-zero tensors stays well defined.
+//
+// The scan runs four independent comparison lanes (absMax is called per
+// GEMM operand on the severity-measurement hot path). Byte-safety: max is
+// associative and commutative, and the per-lane comparisons are exactly
+// the naive loop's — including the NaN behavior, where a NaN fails both
+// `v < 0` and `v > lane` and so never becomes the maximum in either
+// version. Locked by TestCalibrateUnrolledMatchesNaive.
+//
+//create:zeroalloc
 func Calibrate(data []float32, bits Bits) Params {
-	var absMax float32
-	for _, v := range data {
+	var m0, m1, m2, m3 float32
+	n := len(data) &^ 3
+	for i := 0; i < n; i += 4 {
+		v0, v1, v2, v3 := data[i], data[i+1], data[i+2], data[i+3]
+		if v0 < 0 {
+			v0 = -v0
+		}
+		if v1 < 0 {
+			v1 = -v1
+		}
+		if v2 < 0 {
+			v2 = -v2
+		}
+		if v3 < 0 {
+			v3 = -v3
+		}
+		if v0 > m0 {
+			m0 = v0
+		}
+		if v1 > m1 {
+			m1 = v1
+		}
+		if v2 > m2 {
+			m2 = v2
+		}
+		if v3 > m3 {
+			m3 = v3
+		}
+	}
+	for _, v := range data[n:] {
 		if v < 0 {
 			v = -v
 		}
-		if v > absMax {
-			absMax = v
+		if v > m0 {
+			m0 = v
 		}
+	}
+	absMax := m0
+	if m1 > absMax {
+		absMax = m1
+	}
+	if m2 > absMax {
+		absMax = m2
+	}
+	if m3 > absMax {
+		absMax = m3
 	}
 	if absMax == 0 {
 		return Params{Scale: 1, Bits: bits}

@@ -120,3 +120,71 @@ func TestAccumulatorBoundAdmitsValidResults(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// naiveCalibrate is the straight-line absmax scan the unrolled Calibrate must
+// reproduce exactly, including its NaN behavior (a NaN fails both the
+// negation and the max comparison, so it never becomes the absmax).
+func naiveCalibrate(data []float32, bits Bits) Params {
+	var absMax float32
+	for _, v := range data {
+		if v < 0 {
+			v = -v
+		}
+		if v > absMax {
+			absMax = v
+		}
+	}
+	if absMax == 0 {
+		return Params{Scale: 1, Bits: bits}
+	}
+	return Params{Scale: absMax / float32(bits.QMax()), Bits: bits}
+}
+
+func TestCalibrateUnrolledMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nan := float32(math.NaN())
+	cases := [][]float32{
+		nil,
+		{},
+		{0},
+		{-3},
+		{0, 0, 0, 0, 0},
+		{1, -2, 3, -4},             // exactly one unrolled step
+		{1, -2, 3, -4, 5},          // tail of one
+		{nan, 1, nan, -2, nan},     // NaN never wins
+		{nan, nan, nan, nan},       // all-NaN degenerates to zero absmax
+		{float32(math.Inf(1)), -1}, // +Inf wins
+	}
+	for i := 0; i < 50; i++ {
+		n := rng.Intn(40)
+		d := make([]float32, n)
+		for j := range d {
+			d[j] = (rng.Float32()*2 - 1) * 10
+		}
+		cases = append(cases, d)
+	}
+	for i, d := range cases {
+		for _, bits := range []Bits{INT8, INT4} {
+			got := Calibrate(d, bits)
+			want := naiveCalibrate(d, bits)
+			if got != want {
+				t.Fatalf("case %d bits %d: Calibrate = %+v, naive = %+v", i, bits, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkCalibrate(b *testing.B) {
+	// 128x128 weight-matrix-sized scan: the per-GEMM calibration cost on the
+	// severity-measurement hot path.
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float32, 128*128)
+	for i := range data {
+		data[i] = rng.Float32()*2 - 1
+	}
+	b.SetBytes(int64(len(data)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Calibrate(data, INT8)
+	}
+}

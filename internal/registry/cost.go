@@ -1,0 +1,163 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/embodiedai/create/internal/obs"
+)
+
+// CostTable holds observed per-grid-point compute cost by experiment, the
+// feedback signal cost-aware shard planning weighs shards with. Costs are
+// harvested from obs.JobTiming records (ComputeSeconds over ComputedPoints
+// — exactly what the serving tier exports at /v1/jobs/{id}/timing and the
+// coordinator's runners observe in-process), so a fleet's schedule adapts
+// to the measured heterogeneity of its experiments instead of assuming
+// every point costs the same.
+//
+// The table only ever influences *scheduling order and weights*: given the
+// same table, plans are deterministic, and because merges are
+// content-addressed and order-independent, any table — including none —
+// produces byte-identical merged results.
+type CostTable struct {
+	// SecondsPerPoint is the mean observed compute cost of one grid point,
+	// keyed by experiment name. It is the table's serialized form.
+	SecondsPerPoint map[string]float64 `json:"seconds_per_point"`
+	// DefaultSeconds is the fallback cost for experiments without an
+	// observation (0 means use the neutral cost 1, which degrades
+	// weighting to raw point counts).
+	DefaultSeconds float64 `json:"default_seconds,omitempty"`
+
+	mu           sync.Mutex
+	totalSeconds map[string]float64
+	totalPoints  map[string]int64
+}
+
+// NewCostTable returns an empty table ready to Observe into.
+func NewCostTable() *CostTable {
+	return &CostTable{SecondsPerPoint: map[string]float64{}}
+}
+
+// Observe folds one measurement — points grid points computed in seconds —
+// into the experiment's running mean. Records with nothing computed or a
+// non-positive duration carry no cost signal and are ignored. Safe for
+// concurrent use (runners observe from shard goroutines).
+func (t *CostTable) Observe(experiment string, points int, seconds float64) {
+	if t == nil || experiment == "" || points <= 0 || seconds <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.totalSeconds == nil {
+		t.totalSeconds = map[string]float64{}
+		t.totalPoints = map[string]int64{}
+	}
+	t.totalSeconds[experiment] += seconds
+	t.totalPoints[experiment] += int64(points)
+	if t.SecondsPerPoint == nil {
+		t.SecondsPerPoint = map[string]float64{}
+	}
+	t.SecondsPerPoint[experiment] = t.totalSeconds[experiment] / float64(t.totalPoints[experiment])
+}
+
+// Harvest folds a batch of job timing records into the table.
+func (t *CostTable) Harvest(recs []obs.JobTiming) {
+	for _, r := range recs {
+		t.Observe(r.Experiment, r.ComputedPoints, r.ComputeSeconds)
+	}
+}
+
+// PointCost returns the seconds one grid point of the experiment is
+// expected to cost: the observed mean, else DefaultSeconds, else the
+// neutral cost 1 (under which cost weighting reduces to point counting).
+// A nil table is the neutral table.
+func (t *CostTable) PointCost(experiment string) float64 {
+	if t == nil {
+		return 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.SecondsPerPoint[experiment]; ok && v > 0 {
+		return v
+	}
+	if t.DefaultSeconds > 0 {
+		return t.DefaultSeconds
+	}
+	return 1
+}
+
+// Experiments returns the experiment names with observed costs, sorted —
+// the deterministic iteration order for rendering or serializing.
+func (t *CostTable) Experiments() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.SecondsPerPoint))
+	for n := range t.SecondsPerPoint {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON serializes the table (its SecondsPerPoint form) to w.
+func (t *CostTable) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	out := struct {
+		SecondsPerPoint map[string]float64 `json:"seconds_per_point"`
+		DefaultSeconds  float64            `json:"default_seconds,omitempty"`
+	}{SecondsPerPoint: t.SecondsPerPoint, DefaultSeconds: t.DefaultSeconds}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadCostTable parses a cost table from r. Two shapes are accepted: the
+// table's own serialized form ({"seconds_per_point": {...}}), and a JSON
+// array of obs.JobTiming records (the serving tier's timing export), which
+// is harvested into a fresh table.
+func ReadCostTable(r io.Reader) (*CostTable, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var recs []obs.JobTiming
+	if err := json.Unmarshal(raw, &recs); err == nil {
+		t := NewCostTable()
+		t.Harvest(recs)
+		return t, nil
+	}
+	var t CostTable
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("cost table: neither a seconds_per_point table nor a timing-record array: %w", err)
+	}
+	if t.SecondsPerPoint == nil {
+		t.SecondsPerPoint = map[string]float64{}
+	}
+	// Seed the running totals so later Observe calls average against the
+	// loaded means (each counted as one point's worth of evidence).
+	t.totalSeconds = map[string]float64{}
+	t.totalPoints = map[string]int64{}
+	for n, v := range t.SecondsPerPoint {
+		t.totalSeconds[n] = v
+		t.totalPoints[n] = 1
+	}
+	return &t, nil
+}
+
+// LoadCostTable reads a cost table from a file via ReadCostTable.
+func LoadCostTable(path string) (*CostTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCostTable(f)
+}

@@ -1,0 +1,99 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/embodiedai/create/internal/obs"
+)
+
+func TestCostTableObserveAndPointCost(t *testing.T) {
+	var nilTable *CostTable
+	if got := nilTable.PointCost("fig19"); got != 1 {
+		t.Fatalf("nil table cost = %v, want neutral 1", got)
+	}
+	nilTable.Observe("fig19", 10, 5) // must not panic
+
+	ct := NewCostTable()
+	if got := ct.PointCost("fig19"); got != 1 {
+		t.Fatalf("empty table cost = %v, want 1", got)
+	}
+	ct.DefaultSeconds = 0.25
+	if got := ct.PointCost("fig19"); got != 0.25 {
+		t.Fatalf("default cost = %v, want 0.25", got)
+	}
+	ct.Observe("fig19", 10, 25)
+	if got := ct.PointCost("fig19"); got != 2.5 {
+		t.Fatalf("observed cost = %v, want 2.5", got)
+	}
+	// A second observation folds into the running mean: 50s / 20 points.
+	ct.Observe("fig19", 10, 25)
+	if got := ct.PointCost("fig19"); got != 2.5 {
+		t.Fatalf("mean cost = %v, want 2.5", got)
+	}
+	// Degenerate records carry no signal.
+	ct.Observe("fig19", 0, 99)
+	ct.Observe("fig19", 5, 0)
+	ct.Observe("", 5, 5)
+	if got := ct.PointCost("fig19"); got != 2.5 {
+		t.Fatalf("degenerate observations moved the mean: %v", got)
+	}
+}
+
+func TestCostTableHarvestTimings(t *testing.T) {
+	ct := NewCostTable()
+	ct.Harvest([]obs.JobTiming{
+		{Experiment: "fig16", ComputedPoints: 4, ComputeSeconds: 8},
+		{Experiment: "fig16", ComputedPoints: 4, ComputeSeconds: 8},
+		{Experiment: "fig19", ComputedPoints: 10, ComputeSeconds: 1},
+		{Experiment: "canceled", ComputedPoints: 0, ComputeSeconds: 0},
+	})
+	if got := ct.PointCost("fig16"); got != 2 {
+		t.Fatalf("fig16 cost = %v, want 2", got)
+	}
+	if got := ct.PointCost("fig19"); got != 0.1 {
+		t.Fatalf("fig19 cost = %v, want 0.1", got)
+	}
+	if got := ct.Experiments(); len(got) != 2 || got[0] != "fig16" || got[1] != "fig19" {
+		t.Fatalf("experiments = %v", got)
+	}
+}
+
+func TestCostTableJSONRoundTrip(t *testing.T) {
+	ct := NewCostTable()
+	ct.Observe("fig16", 4, 8)
+	var buf bytes.Buffer
+	if err := ct.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCostTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.PointCost("fig16"); got != 2 {
+		t.Fatalf("round-tripped cost = %v, want 2", got)
+	}
+	// A loaded table keeps averaging against its seeded mean.
+	back.Observe("fig16", 1, 4)
+	if got := back.PointCost("fig16"); got != 3 {
+		t.Fatalf("post-load mean = %v, want (2+4)/2 = 3", got)
+	}
+}
+
+func TestReadCostTableAcceptsTimingArray(t *testing.T) {
+	in := `[{"experiment":"fig13","computed_points":5,"compute_seconds":10}]`
+	ct, err := ReadCostTable(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.PointCost("fig13"); got != 2 {
+		t.Fatalf("harvested cost = %v, want 2", got)
+	}
+	if _, err := ReadCostTable(strings.NewReader("[1,2,3]")); err == nil {
+		t.Fatal("garbage array accepted")
+	}
+	if _, err := ReadCostTable(strings.NewReader("not json")); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}

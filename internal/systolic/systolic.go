@@ -8,6 +8,17 @@
 // CREATE technique: a row of anomaly-detection (AD) units — one comparator
 // plus multiplexer per column — that clamps any out-of-bound result to zero
 // (Sec. 5.1, Fig. 8(b)).
+//
+// The GEMM kernel here is the severity-measurement hot path: every
+// bridge.Measure*Severity cold start runs thousands of miniature forwards
+// through it. It is therefore written for throughput under a strict
+// bit-identity contract (PERFORMANCE.md): the quantize/accumulate buffers
+// live in a per-engine scratch arena (no steady-state allocation), and the
+// integer matmul is tiled for cache locality with an unrolled inner loop —
+// legal because int32 addition is associative and commutative (wrap-around
+// two's complement), so any summation order produces the same bytes. The
+// tiled kernel is locked against a naive reference by
+// TestBlockedMatMulBitIdentical.
 package systolic
 
 import (
@@ -20,6 +31,10 @@ import (
 
 // Engine executes quantized GEMMs with optional error injection and anomaly
 // clearance. The zero value is not usable; construct with NewEngine.
+//
+// An Engine is not safe for concurrent use: Stats, Rng and the scratch
+// arena are per-engine state (one engine per worker/backend, the same
+// discipline the rest of the repository follows).
 type Engine struct {
 	// Bits selects INT8 or INT4 operand quantization.
 	Bits quant.Bits
@@ -38,16 +53,28 @@ type Engine struct {
 
 	// Stats accumulate across calls until ResetStats.
 	Stats Stats
+
+	// scratch is the reusable quantize/accumulate arena: buffers grow to
+	// the high-water shape once and are reused by every subsequent call,
+	// so steady-state MatMul allocates nothing but its returned output.
+	scratch struct {
+		xq, wq, acc []int32
+	}
 }
 
 // Stats counts datapath events across GEMM calls.
 type Stats struct {
-	GEMMs      int   // number of GEMM invocations
-	MACs       int64 // multiply-accumulate operations executed
-	Outputs    int64 // accumulator results produced
-	Flips      int   // bit flips injected
-	Anomalies  int   // results clamped to zero by the AD units
-	OutOfRange int64 // results outside the profiled output range (clamped only when AD is on)
+	GEMMs int   // number of GEMM invocations
+	MACs  int64 // multiply-accumulate operations actually executed
+	// SkippedMACs counts the MACs the zero-activation-row skip elided: a
+	// quantized activation of 0 contributes nothing to any column, so the
+	// kernel never issues its row of multiplies. MACs+SkippedMACs is the
+	// dense r*k*c product a naive datapath would charge.
+	SkippedMACs int64
+	Flips       int   // bit flips injected
+	Anomalies   int   // results clamped to zero by the AD units
+	Outputs     int64 // accumulator results produced
+	OutOfRange  int64 // results outside the profiled output range (clamped only when AD is on)
 }
 
 // NewEngine returns an INT8 engine with deterministic seeding and no
@@ -64,6 +91,26 @@ func NewEngine(seed int64) *Engine {
 // ResetStats zeroes the accumulated statistics.
 func (e *Engine) ResetStats() { e.Stats = Stats{} }
 
+// SwapInjector installs inj and returns the previously installed injector,
+// so calibration and measurement passes can disable or redirect injection
+// without repeating the save/restore dance at every site.
+func (e *Engine) SwapInjector(inj inject.Injector) inject.Injector {
+	prev := e.Injector
+	e.Injector = inj
+	return prev
+}
+
+// grow returns a length-n int32 scratch buffer backed by *buf, reusing the
+// existing backing array whenever it is large enough.
+//
+//create:zeroalloc
+func grow(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n) //create:alloc-ok amortized: the arena grows to the high-water shape once and is reused by every later call
+	}
+	return (*buf)[:n]
+}
+
 // MatMul computes x*w on the simulated datapath:
 //
 //  1. quantize x and w symmetrically per tensor,
@@ -78,22 +125,27 @@ func (e *Engine) ResetStats() { e.Stats = Stats{} }
 // model, an un-cleared high-bit flip flows downstream at full magnitude —
 // that is precisely the failure mode AD exists to stop (Fig. 4(b)).
 func (e *Engine) MatMul(x, w *tensor.Mat, outAbsMax float32) *tensor.Mat {
+	out := tensor.NewMat(x.Rows, w.Cols)
+	e.MatMulInto(out, x, w, outAbsMax)
+	return out
+}
+
+// MatMulInto is MatMul into a caller-owned output matrix (which must be
+// x.Rows by w.Cols). It is the allocation-free steady-state entry: all
+// intermediate buffers come from the engine's scratch arena, locked by the
+// TestMatMulScratchZeroAllocs gate.
+//
+//create:zeroalloc
+func (e *Engine) MatMulInto(out, x, w *tensor.Mat, outAbsMax float32) {
 	if x.Cols != w.Rows {
 		panic("systolic: shape mismatch")
 	}
-	px := quant.Calibrate(x.Data, e.Bits)
-	pw := quant.Calibrate(w.Data, e.Bits)
-
-	xq := make([]int32, len(x.Data))
-	wq := make([]int32, len(w.Data))
-	px.QuantizeSlice(xq, x.Data)
-	pw.QuantizeSlice(wq, w.Data)
-
-	acc := make([]int32, x.Rows*w.Cols)
-	integerMatMul(acc, xq, wq, x.Rows, x.Cols, w.Cols)
+	if out.Rows != x.Rows || out.Cols != w.Cols {
+		panic("systolic: output shape mismatch")
+	}
+	px, pw, acc := e.accumulate(x, w)
 
 	e.Stats.GEMMs++
-	e.Stats.MACs += int64(x.Rows) * int64(x.Cols) * int64(w.Cols)
 	e.Stats.Outputs += int64(len(acc))
 
 	if e.Injector != nil {
@@ -119,46 +171,117 @@ func (e *Engine) MatMul(x, w *tensor.Mat, outAbsMax float32) *tensor.Mat {
 		}
 	}
 
-	out := tensor.NewMat(x.Rows, w.Cols)
 	scale := px.Scale * pw.Scale
 	for i, v := range acc {
 		out.Data[i] = float32(v) * scale
 	}
-	return out
 }
 
+// accumulate is the shared steps 1-2 prefix of MatMul and Accumulate:
+// calibrate, quantize into the scratch arena, and run the tiled integer
+// matmul. The returned accumulator slice aliases the arena and is only
+// valid until the next call. MAC accounting (executed vs skipped) happens
+// here so both entry points charge identically.
+//
+//create:zeroalloc
+func (e *Engine) accumulate(x, w *tensor.Mat) (px, pw quant.Params, acc []int32) {
+	px = quant.Calibrate(x.Data, e.Bits)
+	pw = quant.Calibrate(w.Data, e.Bits)
+
+	xq := grow(&e.scratch.xq, len(x.Data))
+	wq := grow(&e.scratch.wq, len(w.Data))
+	px.QuantizeSlice(xq, x.Data)
+	pw.QuantizeSlice(wq, w.Data)
+
+	acc = grow(&e.scratch.acc, x.Rows*w.Cols)
+	for i := range acc {
+		acc[i] = 0
+	}
+	integerMatMul(acc, xq, wq, x.Rows, x.Cols, w.Cols)
+
+	// Executed MACs: each nonzero quantized activation drives one multiply
+	// per output column; zero activations are skipped by the kernel.
+	nz := 0
+	for _, v := range xq {
+		if v != 0 {
+			nz++
+		}
+	}
+	dense := int64(x.Rows) * int64(x.Cols) * int64(w.Cols)
+	executed := int64(nz) * int64(w.Cols)
+	e.Stats.MACs += executed
+	e.Stats.SkippedMACs += dense - executed
+	return px, pw, acc
+}
+
+// Tile sizes of the blocked integer matmul: a kTile x jTile weight tile
+// (64 KiB at jTile=256) stays cache-resident while every activation row
+// streams over it, instead of re-streaming the whole weight matrix per row.
+const (
+	matmulKTile = 64
+	matmulJTile = 256
+)
+
 // integerMatMul computes the int32 accumulator matrix for xq (r x k) times
-// wq (k x c).
+// wq (k x c), accumulating into acc (which must be zeroed by the caller).
+//
+// The loop nest is tiled over (k, j) for cache locality and the innermost
+// loop is unrolled four wide (axpyInt32). Bit-identity: int32 addition is
+// associative and commutative under two's-complement wrap-around, so the
+// tiled summation order produces exactly the bytes of the naive row-major
+// triple loop (TestBlockedMatMulBitIdentical). Zero activations are
+// skipped — they cannot contribute to any column — which is also why
+// executed-MAC accounting excludes them.
+//
+//create:zeroalloc
 func integerMatMul(acc, xq, wq []int32, r, k, c int) {
-	for i := 0; i < r; i++ {
-		xrow := xq[i*k : (i+1)*k]
-		arow := acc[i*c : (i+1)*c]
-		for kk := 0; kk < k; kk++ {
-			xv := xrow[kk]
-			if xv == 0 {
-				continue
-			}
-			wrow := wq[kk*c : (kk+1)*c]
-			for j := 0; j < c; j++ {
-				arow[j] += xv * wrow[j]
+	for kk0 := 0; kk0 < k; kk0 += matmulKTile {
+		kend := min(kk0+matmulKTile, k)
+		for jj0 := 0; jj0 < c; jj0 += matmulJTile {
+			jend := min(jj0+matmulJTile, c)
+			for i := 0; i < r; i++ {
+				xrow := xq[i*k : (i+1)*k]
+				arow := acc[i*c+jj0 : i*c+jend]
+				for kk := kk0; kk < kend; kk++ {
+					xv := xrow[kk]
+					if xv == 0 {
+						continue
+					}
+					axpyInt32(arow, wq[kk*c+jj0:kk*c+jend], xv)
+				}
 			}
 		}
 	}
 }
 
-// Accumulate runs only steps 1-4 of the datapath and returns the raw
+// axpyInt32 computes dst[j] += xv * src[j], unrolled four wide. The order
+// of the independent += updates across j does not affect any byte of the
+// result (each dst element is touched once per call).
+//
+//create:zeroalloc
+func axpyInt32(dst, src []int32, xv int32) {
+	src = src[:len(dst)] // bounds-check hint
+	n := len(dst) &^ 3
+	for j := 0; j < n; j += 4 {
+		dst[j] += xv * src[j]
+		dst[j+1] += xv * src[j+1]
+		dst[j+2] += xv * src[j+2]
+		dst[j+3] += xv * src[j+3]
+	}
+	for j := n; j < len(dst); j++ {
+		dst[j] += xv * src[j]
+	}
+}
+
+// Accumulate runs only steps 1-3 of the datapath and returns the raw
 // accumulator values plus the input scales. The characterization harness
 // uses this to look at error magnitudes in the accumulator domain (Fig. 4(b),
-// Fig. 8(a)).
+// Fig. 8(a)). The returned slice is freshly allocated (callers keep it);
+// only the quantization buffers ride the scratch arena.
 func (e *Engine) Accumulate(x, w *tensor.Mat) (acc []int32, scale float32) {
-	px := quant.Calibrate(x.Data, e.Bits)
-	pw := quant.Calibrate(w.Data, e.Bits)
-	xq := make([]int32, len(x.Data))
-	wq := make([]int32, len(w.Data))
-	px.QuantizeSlice(xq, x.Data)
-	pw.QuantizeSlice(wq, w.Data)
-	acc = make([]int32, x.Rows*w.Cols)
-	integerMatMul(acc, xq, wq, x.Rows, x.Cols, w.Cols)
+	px, pw, scratchAcc := e.accumulate(x, w)
+	acc = make([]int32, len(scratchAcc))
+	copy(acc, scratchAcc)
 	if e.Injector != nil {
 		e.Stats.Flips += e.Injector.Inject(acc, e.Rng)
 	}

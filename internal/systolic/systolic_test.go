@@ -36,12 +36,14 @@ func TestErrorFreeGEMMCloseToFloat(t *testing.T) {
 func TestGEMMStatsAccounting(t *testing.T) {
 	e := NewEngine(2)
 	rng := rand.New(rand.NewSource(2))
-	e.MatMul(randMat(rng, 4, 8, 1), randMat(rng, 8, 3, 1), 0)
+	x, w := randMat(rng, 4, 8, 1), randMat(rng, 8, 3, 1)
+	e.MatMul(x, w, 0)
 	if e.Stats.GEMMs != 1 {
 		t.Fatalf("gemms = %d", e.Stats.GEMMs)
 	}
-	if e.Stats.MACs != 4*8*3 {
-		t.Fatalf("macs = %d", e.Stats.MACs)
+	// Executed + skipped must always reassemble the dense r*k*c product.
+	if got := e.Stats.MACs + e.Stats.SkippedMACs; got != 4*8*3 {
+		t.Fatalf("macs+skipped = %d, want %d", got, 4*8*3)
 	}
 	if e.Stats.Outputs != 12 {
 		t.Fatalf("outputs = %d", e.Stats.Outputs)
@@ -49,6 +51,182 @@ func TestGEMMStatsAccounting(t *testing.T) {
 	e.ResetStats()
 	if e.Stats.GEMMs != 0 {
 		t.Fatal("reset failed")
+	}
+}
+
+// TestExecutedMACsExcludeSkippedRows is the regression test for the MAC
+// overcounting bug: the kernel skips zero quantized activations, so Stats.MACs
+// must charge only the multiplies actually issued, with the elided ones in
+// SkippedMACs.
+func TestExecutedMACsExcludeSkippedRows(t *testing.T) {
+	x := tensor.NewMat(3, 4)
+	// Row 0 all zero (4 zero activations), row 1 half zero, row 2 dense.
+	copy(x.Data, []float32{
+		0, 0, 0, 0,
+		1, 0, -1, 0,
+		1, 1, 1, 1,
+	})
+	w := tensor.NewMat(4, 5)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	e := NewEngine(3)
+	e.MatMul(x, w, 0)
+	// 6 nonzero activations x 5 columns executed; 6 zero activations skipped.
+	if e.Stats.MACs != 6*5 {
+		t.Fatalf("executed macs = %d, want %d", e.Stats.MACs, 6*5)
+	}
+	if e.Stats.SkippedMACs != 6*5 {
+		t.Fatalf("skipped macs = %d, want %d", e.Stats.SkippedMACs, 6*5)
+	}
+	if e.Stats.MACs+e.Stats.SkippedMACs != 3*4*5 {
+		t.Fatalf("macs+skipped != dense: %d", e.Stats.MACs+e.Stats.SkippedMACs)
+	}
+}
+
+// naiveIntegerMatMul is the reference row-major triple loop the blocked
+// kernel must match byte for byte.
+func naiveIntegerMatMul(acc, xq, wq []int32, r, k, c int) {
+	for i := 0; i < r; i++ {
+		for kk := 0; kk < k; kk++ {
+			xv := xq[i*k+kk]
+			if xv == 0 {
+				continue
+			}
+			for j := 0; j < c; j++ {
+				acc[i*c+j] += xv * wq[kk*c+j]
+			}
+		}
+	}
+}
+
+func TestBlockedMatMulBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][3]int{
+		{1, 1, 1},
+		{4, 8, 3},
+		{7, 64, 256},   // exactly one k tile, one j tile
+		{3, 65, 257},   // one element past each tile boundary
+		{16, 200, 300}, // interior tiles plus ragged tails
+		{2, 128, 512},  // multiple full tiles both ways
+		{5, matmulKTile, matmulJTile},
+		{1, 300, 1},
+	}
+	for _, s := range shapes {
+		r, k, c := s[0], s[1], s[2]
+		xq := make([]int32, r*k)
+		wq := make([]int32, k*c)
+		for i := range xq {
+			// Include zero activations (the skip path) and negatives.
+			xq[i] = int32(rng.Intn(255)) - 127
+			if rng.Intn(4) == 0 {
+				xq[i] = 0
+			}
+		}
+		for i := range wq {
+			wq[i] = int32(rng.Intn(255)) - 127
+		}
+		// Zero out a whole activation row sometimes: the all-skip case.
+		if r > 1 {
+			row := rng.Intn(r)
+			for kk := 0; kk < k; kk++ {
+				xq[row*k+kk] = 0
+			}
+		}
+		got := make([]int32, r*c)
+		want := make([]int32, r*c)
+		integerMatMul(got, xq, wq, r, k, c)
+		naiveIntegerMatMul(want, xq, wq, r, k, c)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shape %dx%dx%d: acc[%d] = %d, naive %d", r, k, c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMatMulScratchZeroAllocs is the allocs-per-run gate on the steady-state
+// kernel: once the arena has grown to the working shape, MatMulInto must not
+// allocate at all.
+func TestMatMulScratchZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randMat(rng, 16, 64, 1)
+	w := randMat(rng, 64, 64, 1)
+	e := NewEngine(11)
+	out := tensor.NewMat(x.Rows, w.Cols)
+	e.MatMulInto(out, x, w, 0) // warm the arena
+	allocs := testing.AllocsPerRun(20, func() {
+		e.MatMulInto(out, x, w, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state MatMulInto allocates: %v allocs/run", allocs)
+	}
+}
+
+func TestMatMulMatchesMatMulInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x := randMat(rng, 9, 33, 1)
+	w := randMat(rng, 33, 21, 1)
+	a := NewEngine(17).MatMul(x, w, 0)
+	b := tensor.NewMat(x.Rows, w.Cols)
+	NewEngine(17).MatMulInto(b, x, w, 0)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("MatMul vs MatMulInto differ at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestSwapInjector(t *testing.T) {
+	e := NewEngine(1)
+	orig := e.Injector
+	prev := e.SwapInjector(inject.Uniform{BER: 1e-3})
+	if prev != orig {
+		t.Fatal("SwapInjector did not return the previous injector")
+	}
+	if _, ok := e.Injector.(inject.Uniform); !ok {
+		t.Fatal("SwapInjector did not install the new injector")
+	}
+	e.SwapInjector(prev)
+	if e.Injector != orig {
+		t.Fatal("SwapInjector restore failed")
+	}
+}
+
+func BenchmarkIntegerMatMul(b *testing.B) {
+	// The severity-measurement GEMM shape class: small batch, model-sized
+	// hidden dims (model.DefaultControllerConfig is 64-wide, planner 128).
+	rng := rand.New(rand.NewSource(1))
+	const r, k, c = 16, 128, 128
+	xq := make([]int32, r*k)
+	wq := make([]int32, k*c)
+	for i := range xq {
+		xq[i] = int32(rng.Intn(255)) - 127
+	}
+	for i := range wq {
+		wq[i] = int32(rng.Intn(255)) - 127
+	}
+	acc := make([]int32, r*c)
+	b.SetBytes(int64(r*k*c) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range acc {
+			acc[j] = 0
+		}
+		integerMatMul(acc, xq, wq, r, k, c)
+	}
+}
+
+func BenchmarkEngineMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randMat(rng, 16, 128, 1)
+	w := randMat(rng, 128, 128, 1)
+	e := NewEngine(2)
+	out := tensor.NewMat(x.Rows, w.Cols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MatMulInto(out, x, w, 0)
 	}
 }
 
