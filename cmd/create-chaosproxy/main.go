@@ -1,0 +1,80 @@
+// Command create-chaosproxy fronts one create-serve worker with a
+// scripted failure-injecting reverse proxy — the chaos harness's
+// standalone form, for e2e tests and operator fire drills against a
+// live fleet:
+//
+//	create-serve -addr :8081 -cache-dir w1 &
+//	create-chaosproxy -listen :9081 -target http://127.0.0.1:8081 \
+//	    -script pass:10,drop:6,pass:-1 -admin :9091 &
+//	create-coordinator -exp fig16 -cache-dir coord \
+//	    -workers http://127.0.0.1:9081 > fig16.txt
+//
+// The script decides the fate of each proxied request in arrival order
+// (see dispatch.ParseChaosScript): pass forwards, drop severs the
+// connection, delay adds latency, error answers a Retry-After'd 503, and
+// hang holds the connection until the client gives up. Deterministic by
+// construction — the script IS the schedule — so tests can assert exact
+// retry and probe counters afterwards.
+//
+// The -admin listener (kept separate so it can never be chaos'd like
+// worker traffic) serves GET /chaos for stats and POST /chaos
+// {"script": "..."} to swap the schedule mid-run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"github.com/embodiedai/create/internal/dispatch"
+)
+
+func main() {
+	listen := flag.String("listen", ":9081", "address proxied worker traffic is served on")
+	target := flag.String("target", "", "base URL of the create-serve worker to front (required)")
+	script := flag.String("script", "pass:-1", "chaos phase script, e.g. pass:3,drop:4,delay:2:50ms,error:2,hang:1,pass:-1")
+	admin := flag.String("admin", "", "optional address for the /chaos control surface (stats, mid-run script swaps)")
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "create-chaosproxy: -target is required (the worker to front)")
+		os.Exit(2)
+	}
+	phases, err := dispatch.ParseChaosScript(*script)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create-chaosproxy: %v\n", err)
+		os.Exit(2)
+	}
+	proxy, err := dispatch.NewChaosProxy(*target, phases)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create-chaosproxy: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create-chaosproxy: admin listener: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "create-chaosproxy: admin on http://%s/chaos\n", aln.Addr())
+		go func() {
+			if err := http.Serve(aln, proxy.Admin()); err != nil {
+				fmt.Fprintf(os.Stderr, "create-chaosproxy: admin server: %v\n", err)
+			}
+		}()
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create-chaosproxy: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "create-chaosproxy: fronting %s on http://%s (script %q)\n",
+		*target, ln.Addr(), *script)
+	if err := http.Serve(ln, proxy); err != nil {
+		fmt.Fprintf(os.Stderr, "create-chaosproxy: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -15,10 +15,17 @@
 // Scheduling is hit-aware: shards are planned against the local cache
 // (registry.PlanFor per shard), fully cached shards are never dispatched,
 // and the heaviest predicted compute goes out first. A worker that fails
-// a shard is retired and the shard re-queued to a surviving worker; each
-// shard's entries merge into -cache-dir at most once. -prewarm pushes
-// points the coordinator already holds to each worker before it runs, so
-// a warm coordinator cache saves remote recompute too.
+// a shard is placed on probation and probed (-probe-* flags) — readmitted
+// when its health endpoint answers again, retired only when the probe
+// budget runs out — and the shard is re-queued to a surviving worker;
+// each shard's entries merge into -cache-dir at most once. -prewarm
+// pushes points the coordinator already holds to each worker before it
+// runs, so a warm coordinator cache saves remote recompute too.
+//
+// -workers-listen serves the pool's membership API during the run:
+// GET /v1/workers lists the pool with per-worker state, POST registers a
+// worker mid-run (it starts pulling queued shards immediately), DELETE
+// drains one (it finishes its in-flight shard, then leaves).
 //
 // A second run over the same -cache-dir replays entirely from cache: the
 // plan marks every shard free, nothing is dispatched, and no grid point
@@ -30,10 +37,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"github.com/embodiedai/create/internal/dispatch"
@@ -61,6 +71,15 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the run's stitched Chrome trace-event JSON (Perfetto-loadable) to this file (\"-\" for stderr)")
 	logFormat := flag.String("log-format", "text", "structured log format on stderr: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	workersListen := flag.String("workers-listen", "", "serve the pool membership API (GET/POST/DELETE /v1/workers) on this address during the run")
+	noProbation := flag.Bool("no-probation", false, "retire a failed worker immediately instead of probing it for readmission")
+	probeAttempts := flag.Int("probe-attempts", 0, "health probes before a failed worker is retired (0 = 6)")
+	probeSuccesses := flag.Int("probe-successes", 0, "consecutive probe successes before readmission (0 = 2)")
+	probeBase := flag.Duration("probe-base", 0, "first probe backoff delay, doubled per failure (0 = 250ms)")
+	probeMax := flag.Duration("probe-max", 0, "probe backoff ceiling (0 = 5s)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline for worker control-plane calls (0 = 30s)")
+	requestRetries := flag.Int("request-retries", 0, "retries per transient worker request failure (0 = 2, negative disables)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "max silence on a worker's events stream before the shard fails over (0 = 2m; keep above the worker's -event-keepalive)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -102,7 +121,29 @@ func main() {
 			os.RemoveAll(stage)
 		}
 	}
-	if *workerList != "" {
+	// One construction path for every remote worker — the -workers list and
+	// anything registered later through -workers-listen — so a joined
+	// worker gets the same staging, prewarm, retry, and trace wiring.
+	newHTTPRunner := func(url, stageName string) *dispatch.HTTPRunner {
+		r := &dispatch.HTTPRunner{
+			BaseURL:        strings.TrimRight(strings.TrimSpace(url), "/"),
+			StageDir:       filepath.Join(stage, stageName),
+			Local:          l.Store,
+			Prewarm:        *prewarm,
+			Costs:          costs,
+			RequestTimeout: *requestTimeout,
+			MaxRetries:     *requestRetries,
+			StallTimeout:   *stallTimeout,
+		}
+		if *events {
+			r.OnEvent = func(shard int, ev service.Event) {
+				logger.Info("worker event", "shard", shard+1,
+					"job", ev.Job, "state", ev.State, "message", ev.Message)
+			}
+		}
+		return r
+	}
+	if *workerList != "" || *workersListen != "" {
 		if *cacheDir == "" {
 			fmt.Fprintln(os.Stderr, "remote workers need -cache-dir: their shard entries are pulled and merged there")
 			os.Exit(2)
@@ -116,21 +157,10 @@ func main() {
 			os.Exit(2)
 		}
 		defer cleanup()
+	}
+	if *workerList != "" {
 		for i, url := range strings.Split(*workerList, ",") {
-			r := &dispatch.HTTPRunner{
-				BaseURL:  strings.TrimRight(strings.TrimSpace(url), "/"),
-				StageDir: filepath.Join(stage, fmt.Sprintf("worker-%d", i)),
-				Local:    l.Store,
-				Prewarm:  *prewarm,
-				Costs:    costs,
-			}
-			if *events {
-				r.OnEvent = func(shard int, ev service.Event) {
-					logger.Info("worker event", "shard", shard+1,
-						"job", ev.Job, "state", ev.State, "message", ev.Message)
-				}
-			}
-			runners = append(runners, r)
+			runners = append(runners, newHTTPRunner(url, fmt.Sprintf("worker-%d", i)))
 		}
 	}
 	if *local == 0 && len(runners) == 0 {
@@ -195,6 +225,35 @@ func main() {
 		Trace:   rec,
 		Logger:  logger,
 		Costs:   costs,
+		Health: dispatch.HealthConfig{
+			Disabled:  *noProbation,
+			MaxProbes: *probeAttempts,
+			Successes: *probeSuccesses,
+			BaseDelay: *probeBase,
+			MaxDelay:  *probeMax,
+		},
+	}
+
+	if *workersListen != "" {
+		var joined atomic.Int64
+		ln, err := net.Listen("tcp", *workersListen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coordinator: -workers-listen: %v\n", err)
+			cleanup()
+			os.Exit(2)
+		}
+		srv := &http.Server{Handler: coord.WorkersHandler(func(url string) (dispatch.Runner, error) {
+			r := newHTTPRunner(url, fmt.Sprintf("joined-%d", joined.Add(1)))
+			r.Trace = rec
+			return r, nil
+		})}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logger.Error("workers admin server", "error", err.Error())
+			}
+		}()
+		defer srv.Close()
+		logger.Info("workers admin listening", "addr", ln.Addr().String())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -48,8 +48,10 @@ func main() {
 	cacheMaxResident := flag.Int("cache-max-resident", 200000, "cap the in-memory summary layer at this many grid points so daemon memory stays flat (0 = unbounded)")
 	workers := flag.Int("workers", 0, "total core budget across concurrent jobs (0 = all cores)")
 	jobs := flag.Int("jobs", 2, "concurrent job executors; the worker budget is split between them")
-	queue := flag.Int("queue", 64, "bounded FIFO queue depth; a full queue rejects submissions with 503")
+	queue := flag.Int("queue", 64, "bounded admission queue depth across all tenants; a full queue rejects submissions with 503 and a Retry-After hint")
+	tenantQuota := flag.Int("tenant-quota", 0, "cap each tenant's queued+running jobs; over-quota submissions get 429 with a Retry-After hint (0 = unlimited)")
 	finishedTTL := flag.Duration("finished-ttl", 0, "expire finished jobs this long after completion (0 = count cap only)")
+	eventKeepalive := flag.Duration("event-keepalive", 0, "keepalive cadence on idle events streams so clients can detect hung connections (0 = 10s, negative disables)")
 	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers (CPU, heap, goroutine) on the service listener")
 	logFormat := flag.String("log-format", "text", "structured log format on stderr: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -82,6 +84,8 @@ func main() {
 		Workers:           *workers,
 		MaxConcurrentJobs: *jobs,
 		QueueDepth:        *queue,
+		TenantQuota:       *tenantQuota,
+		EventKeepalive:    *eventKeepalive,
 		FinishedJobTTL:    *finishedTTL,
 		Logger:            logger,
 	})

@@ -1,0 +1,71 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// WorkersHandler exposes dynamic pool membership over HTTP — the
+// coordinator's admin surface (cmd/create-coordinator -workers-listen):
+//
+//	GET    /v1/workers                 pool listing with per-worker state
+//	POST   /v1/workers {"url": "..."}  register a worker (late join)
+//	DELETE /v1/workers?url=...         drain a worker (finish in-flight, leave)
+//
+// newRunner builds the Runner for a registered URL, so the binary wires
+// its standard HTTPRunner construction (stage dir, prewarm, trace, cost
+// table) in one place. Duplicate registrations answer 409; draining an
+// unknown worker answers 404.
+func (c *Coordinator) WorkersHandler(newRunner func(url string) (Runner, error)) http.Handler {
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	workerURL := func(r *http.Request) string {
+		var body struct {
+			URL string `json:"url"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&body)
+		if body.URL == "" {
+			body.URL = r.URL.Query().Get("url")
+		}
+		return strings.TrimRight(strings.TrimSpace(body.URL), "/")
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+	})
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		url := workerURL(r)
+		if url == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "missing worker url"})
+			return
+		}
+		runner, err := newRunner(url)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+		if err := c.AddRunner(runner); err != nil {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"joined": runner.Label()})
+	})
+	mux.HandleFunc("DELETE /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		url := workerURL(r)
+		if url == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "missing worker url"})
+			return
+		}
+		if err := c.DrainRunner(url); err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"draining": url})
+	})
+	return mux
+}

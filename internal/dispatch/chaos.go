@@ -1,0 +1,236 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+//create:walltime-ok chaos-injected delays are test-harness timing; nothing here touches figure bytes
+
+// ChaosMode is one failure the chaos proxy can inject in front of a
+// worker.
+type ChaosMode string
+
+const (
+	// ChaosPass forwards the request untouched.
+	ChaosPass ChaosMode = "pass"
+	// ChaosDrop severs the connection without a response — a worker
+	// crashing mid-request.
+	ChaosDrop ChaosMode = "drop"
+	// ChaosDelay holds the request for Delay, then forwards it — a slow
+	// network or an overloaded box.
+	ChaosDelay ChaosMode = "delay"
+	// ChaosError answers 503 with a Retry-After hint — a worker shedding
+	// load.
+	ChaosError ChaosMode = "error"
+	// ChaosHang holds the connection open until the client gives up — the
+	// hung-TCP case per-request timeouts exist for.
+	ChaosHang ChaosMode = "hang"
+)
+
+// ChaosPhase injects Mode into the next N requests (N < 0 = every
+// remaining request).
+type ChaosPhase struct {
+	Mode  ChaosMode
+	N     int
+	Delay time.Duration
+}
+
+// ParseChaosScript parses a comma-separated phase script, e.g.
+//
+//	pass:3,drop:4,delay:2:50ms,error:2,hang:1,pass:-1
+//
+// Each phase is mode:count, with delay taking a third duration field.
+// Phases advance one request at a time, so a test knows exactly which
+// request hits which fault.
+func ParseChaosScript(s string) ([]ChaosPhase, error) {
+	var phases []ChaosPhase
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		mode := ChaosMode(fields[0])
+		switch mode {
+		case ChaosPass, ChaosDrop, ChaosDelay, ChaosError, ChaosHang:
+		default:
+			return nil, fmt.Errorf("chaos script: unknown mode %q in %q", fields[0], part)
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("chaos script: phase %q needs a count (mode:count)", part)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("chaos script: bad count in %q: %w", part, err)
+		}
+		ph := ChaosPhase{Mode: mode, N: n}
+		if mode == ChaosDelay {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("chaos script: delay phase %q needs a duration (delay:count:duration)", part)
+			}
+			d, err := time.ParseDuration(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("chaos script: bad duration in %q: %w", part, err)
+			}
+			ph.Delay = d
+		} else if len(fields) > 2 {
+			return nil, fmt.Errorf("chaos script: phase %q has extra fields", part)
+		}
+		phases = append(phases, ph)
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("chaos script: empty")
+	}
+	return phases, nil
+}
+
+// ChaosStats is the proxy's accounting, served by Admin() — the numbers a
+// chaos e2e asserts against.
+type ChaosStats struct {
+	Requests int            `json:"requests"`
+	Phase    int            `json:"phase"`
+	Injected map[string]int `json:"injected"`
+}
+
+// ChaosProxy is a failure-injecting reverse proxy for one worker: the
+// chaos harness sits it between the coordinator and a create-serve
+// worker, and a scripted phase list decides the fate of each request in
+// arrival order. Deterministic by construction — no randomness, the
+// script IS the schedule — so e2e tests can assert exact probe and retry
+// counters.
+type ChaosProxy struct {
+	proxy *httputil.ReverseProxy
+
+	mu       sync.Mutex
+	phases   []ChaosPhase
+	phase    int
+	used     int // requests consumed from the current phase
+	requests int
+	injected map[ChaosMode]int
+}
+
+// NewChaosProxy builds a proxy to target (a worker base URL) driven by
+// the script.
+func NewChaosProxy(target string, phases []ChaosPhase) (*ChaosProxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("chaos proxy target: %w", err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(u)
+	// Workers stream NDJSON events and keepalives; buffering them would
+	// starve the coordinator's stall watchdog, so flush immediately.
+	rp.FlushInterval = -1
+	return &ChaosProxy{
+		proxy:    rp,
+		phases:   phases,
+		injected: make(map[ChaosMode]int),
+	}, nil
+}
+
+// SetScript replaces the script and rewinds to its first phase.
+func (p *ChaosProxy) SetScript(phases []ChaosPhase) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.phases = phases
+	p.phase, p.used = 0, 0
+}
+
+// Stats snapshots the proxy's request accounting.
+func (p *ChaosProxy) Stats() ChaosStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inj := make(map[string]int, len(p.injected))
+	for m, n := range p.injected {
+		inj[string(m)] = n
+	}
+	return ChaosStats{Requests: p.requests, Phase: p.phase, Injected: inj}
+}
+
+// next consumes one request from the script and returns its fate.
+func (p *ChaosProxy) next() ChaosPhase {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.requests++
+	for p.phase < len(p.phases) {
+		ph := p.phases[p.phase]
+		if ph.N < 0 || p.used < ph.N {
+			p.used++
+			if ph.Mode != ChaosPass {
+				p.injected[ph.Mode]++
+			}
+			return ph
+		}
+		p.phase++
+		p.used = 0
+	}
+	return ChaosPhase{Mode: ChaosPass}
+}
+
+func (p *ChaosProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ph := p.next()
+	switch ph.Mode {
+	case ChaosDrop:
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				_ = conn.Close()
+				return
+			}
+		}
+		panic(http.ErrAbortHandler)
+	case ChaosError:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
+		return
+	case ChaosHang:
+		// Drain the body first: the server only watches for client
+		// disconnects once the request body is consumed, and the hang must
+		// end when the stalled client finally gives up.
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		panic(http.ErrAbortHandler)
+	case ChaosDelay:
+		time.Sleep(ph.Delay)
+	}
+	p.proxy.ServeHTTP(w, r)
+}
+
+// Admin serves the proxy's control surface, kept off the proxied
+// listener so it can never collide with (or be chaos'd like) worker
+// routes:
+//
+//	GET  /chaos                     stats (requests, injected, phase)
+//	POST /chaos {"script": "..."}   swap the script mid-run
+func (p *ChaosProxy) Admin() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /chaos", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(p.Stats())
+	})
+	mux.HandleFunc("POST /chaos", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Script string `json:"script"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		phases, err := ParseChaosScript(body.Script)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.SetScript(phases)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"phases": len(phases)})
+	})
+	return mux
+}

@@ -23,17 +23,20 @@
 //
 //   - Coordinator: fans a plan's shards out over a Runner pool with
 //     retry-on-worker-loss (a failed shard is re-queued to a healthy
-//     runner; the failing runner is retired), merges each completed
-//     shard's staging directory into the destination cache at most once
-//     (cache.MergeDirs — content addressing makes the union the complete
-//     merge), and finally replays the selection unsharded against the
-//     merged cache, rendering output byte-identical to a single machine.
+//     runner; the failing runner enters probation and is health-probed
+//     back into the pool, pool.go), merges each completed shard's staging
+//     directory into the destination cache at most once (cache.MergeDirs
+//     — content addressing makes the union the complete merge), and
+//     finally replays the selection unsharded against the merged cache,
+//     rendering output byte-identical to a single machine. Pool
+//     membership is dynamic: workers join (AddRunner) and drain
+//     (DrainRunner) mid-run, over HTTP via WorkersHandler (admin.go).
 //
 // The coordinator accounts every scheduling decision — shards dispatched,
-// re-queued after worker loss, workers retired, entries merged — on
-// internal/obs counters at shard granularity (observe.go), surfaced by
-// cmd/create-coordinator's -metrics-out flag and catalogued in
-// docs/METRICS.md. The tier's place in the stack is drawn out in
+// re-queued after worker loss, workers probed/readmitted/retired, entries
+// merged — on internal/obs counters at shard granularity (observe.go),
+// surfaced by cmd/create-coordinator's -metrics-out flag and catalogued
+// in docs/METRICS.md. The tier's place in the stack is drawn out in
 // docs/ARCHITECTURE.md.
 package dispatch
 
@@ -256,10 +259,24 @@ type Coordinator struct {
 	// into the table (runners share it), so the schedule adapts across
 	// runs of one coordinator process. nil keeps the point-count order.
 	Costs *registry.CostTable
+	// Health governs what happens to a runner after a shard failure:
+	// probeable runners enter probation and are health-checked back into
+	// the pool instead of being retired outright. The zero value enables
+	// probation with defaults; set Disabled for the legacy
+	// retire-on-first-failure policy.
+	Health HealthConfig
 
 	mu       sync.Mutex
 	merged   map[int]bool // shards whose entries have landed, for at-most-once merge
 	rootSpan string       // fleet root span ID; parent of dispatch/merge spans
+
+	// Live pool state for one Execute (pool.go). Guarded by poolMu, never
+	// mu: metric helpers lock mu, and they run while pool decisions are
+	// being made.
+	poolMu sync.Mutex
+	pool   []*member
+	poolOn bool
+	wake   chan struct{}
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -356,6 +373,12 @@ func (c *Coordinator) Run(ctx context.Context, w io.Writer, sel []registry.Descr
 // whole tail), failed shards are re-queued to surviving runners, and each
 // completed shard's staged entries are merged into the destination store
 // at most once.
+//
+// The pool is self-healing: a runner that fails a shard enters probation
+// (pool.go) and is health-probed back in instead of being lost for the
+// run, workers can join or drain mid-run (AddRunner/DrainRunner), and the
+// run only fails for lack of workers once every member is retired with
+// its probation exhausted.
 func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 	if len(c.Runners) == 0 {
 		return fmt.Errorf("coordinator has no runners")
@@ -364,6 +387,20 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 	if maxAttempts <= 0 {
 		maxAttempts = 3
 	}
+	health := c.Health.withDefaults()
+	if err := c.startPool(); err != nil {
+		return err
+	}
+	defer c.stopPool()
+	// Probes outlive individual scheduling iterations but not Execute:
+	// canceling here stops every in-flight probation episode, and the Wait
+	// keeps probe goroutines from outliving the run they account against.
+	probeCtx, cancelProbes := context.WithCancel(ctx)
+	var probeWG sync.WaitGroup
+	defer func() {
+		cancelProbes()
+		probeWG.Wait()
+	}()
 	c.healthyWorkers().Set(int64(len(c.Runners)))
 	rec := c.ensureTrace(plan)
 	root := c.rootSpanID() // "" when Execute is driven without Run: dispatch spans become top-level
@@ -409,38 +446,35 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 	}
 
 	type result struct {
-		shard, runner int
-		dir           string
-		err           error
+		shard  int
+		member *member
+		dir    string
+		err    error
 	}
-	// Buffered to the pool size (each runner has at most one shard in
-	// flight), so an error return never strands an in-flight goroutine
-	// blocking on its send.
-	results := make(chan result, len(c.Runners))
-	idle := make([]int, len(c.Runners))
-	for i := range idle {
-		idle[i] = i
-	}
+	// Unbuffered: senders race their result against loopDone, so an error
+	// return never strands an in-flight goroutine blocking on its send —
+	// however large the pool has grown by then.
+	results := make(chan result)
+	loopDone := make(chan struct{})
+	defer close(loopDone)
 	attempts := make(map[int]int)
 	inflight := make(map[int]trace.Span) // dispatch span per in-flight shard
 	outstanding := 0
 	for {
-		for len(pending) > 0 && len(idle) > 0 {
+		for len(pending) > 0 {
 			if err := ctx.Err(); err != nil {
-				// Let in-flight shards finish reporting before returning, so
-				// no goroutine blocks on the results channel forever.
-				for ; outstanding > 0; outstanding-- {
-					<-results
-				}
 				return err
+			}
+			m, ok := c.claimIdle()
+			if !ok {
+				break
 			}
 			shard := pending[0]
 			pending = pending[1:]
-			r := idle[0]
-			idle = idle[1:]
 			w := plan.Shards[shard]
+			label := m.runner.Label()
 			c.logf("shard %s -> %s (%d points, %d cached, %d to compute)",
-				w.Selector, c.Runners[r].Label(), w.GridPoints, w.Cached, w.ToCompute)
+				w.Selector, label, w.GridPoints, w.Cached, w.ToCompute)
 			c.countShard("dispatched")
 			c.countAttempt(w.Selector)
 			sp := trace.Span{
@@ -448,7 +482,7 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 				Name: "dispatch " + w.Selector, Start: now(),
 				Attrs: map[string]string{
 					"node": "coordinator", "shard": w.Selector,
-					"worker":     c.Runners[r].Label(),
+					"worker":     label,
 					"attempt":    strconv.Itoa(attempts[shard] + 1),
 					"to_compute": strconv.Itoa(w.ToCompute),
 				},
@@ -456,24 +490,51 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 			inflight[shard] = sp
 			c.log().Info("shard dispatched",
 				"trace_id", rec.TraceID(), "span_id", sp.SpanID,
-				"shard", w.Selector, "worker", c.Runners[r].Label(),
+				"shard", w.Selector, "worker", label,
 				"attempt", attempts[shard]+1, "to_compute", w.ToCompute)
 			outstanding++
-			go func(shard, r int, dctx context.Context) {
-				dir, err := c.Runners[r].RunShard(dctx, plan, shard)
-				results <- result{shard: shard, runner: r, dir: dir, err: err}
-			}(shard, r, withSpan(ctx, sp.Context()))
+			go func(shard int, m *member, dctx context.Context) {
+				dir, err := m.runner.RunShard(dctx, plan, shard)
+				select {
+				case results <- result{shard: shard, member: m, dir: dir, err: err}:
+				case <-loopDone:
+				}
+			}(shard, m, withSpan(ctx, sp.Context()))
 		}
 		if outstanding == 0 {
 			if len(pending) == 0 {
 				return nil
 			}
-			return fmt.Errorf("no healthy runners left with %d shard(s) unfinished", len(pending))
+			idleN, probation := c.poolHope()
+			if idleN == 0 && probation == 0 {
+				return fmt.Errorf("no healthy runners left with %d shard(s) unfinished (probation exhausted)", len(pending))
+			}
+			if idleN > 0 {
+				// A readmit or join landed between claim attempts.
+				continue
+			}
+			// Everything is in probation: wait for an episode to settle (or
+			// a worker to join) before deciding the run's fate.
+			select {
+			case <-c.wake:
+				continue
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
 
-		res := <-results
+		var res result
+		select {
+		case res = <-results:
+		case <-c.wake:
+			// Membership changed (join/readmit/drain): revisit dispatch.
+			continue
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 		outstanding--
 		w := plan.Shards[res.shard]
+		label := res.member.runner.Label()
 		sp := inflight[res.shard]
 		delete(inflight, res.shard)
 		sp.End = now()
@@ -482,18 +543,20 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 		}
 		rec.Record(sp)
 		if res.err != nil {
-			// Worker loss: retire the runner, re-queue the shard.
+			// Worker loss: the runner goes to probation (or retirement) and
+			// the shard is re-queued.
 			attempts[res.shard]++
-			c.countRetry(c.Runners[res.runner].Label())
+			c.countRetry(label)
 			c.logf("shard %s failed on %s (attempt %d/%d): %v",
-				w.Selector, c.Runners[res.runner].Label(), attempts[res.shard], maxAttempts, res.err)
-			c.log().Warn("shard failed; worker retired",
+				w.Selector, label, attempts[res.shard], maxAttempts, res.err)
+			c.log().Warn("shard failed; worker leaving service",
 				"trace_id", rec.TraceID(), "span_id", sp.SpanID,
-				"shard", w.Selector, "worker", c.Runners[res.runner].Label(),
+				"shard", w.Selector, "worker", label,
 				"attempt", attempts[res.shard], "error", res.err.Error())
+			c.handleFailure(res.member, health, rec, probeCtx, &probeWG)
 			if attempts[res.shard] >= maxAttempts {
 				return fmt.Errorf("shard %s failed %d times, last on %s: %w",
-					w.Selector, attempts[res.shard], c.Runners[res.runner].Label(), res.err)
+					w.Selector, attempts[res.shard], label, res.err)
 			}
 			c.countShard("requeued")
 			pending = append(pending, res.shard)
@@ -517,7 +580,7 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 		}
 		c.log().Info("shard merged",
 			"trace_id", rec.TraceID(), "span_id", sp.SpanID,
-			"shard", w.Selector, "worker", c.Runners[res.runner].Label(),
+			"shard", w.Selector, "worker", label,
 			"entries", n, "dup", dup)
 		if res.dir != "" {
 			// The staging dir's entries now live in the destination (or, on
@@ -529,14 +592,14 @@ func (c *Coordinator) Execute(ctx context.Context, plan ShardPlan) error {
 		switch {
 		case dup:
 			c.logf("shard %s completed again on %s; merge skipped (already landed)",
-				w.Selector, c.Runners[res.runner].Label())
+				w.Selector, label)
 		case res.dir != "":
 			c.countMergedEntries(n)
-			c.logf("shard %s done on %s: merged %d entries", w.Selector, c.Runners[res.runner].Label(), n)
+			c.logf("shard %s done on %s: merged %d entries", w.Selector, label, n)
 		default:
-			c.logf("shard %s done on %s", w.Selector, c.Runners[res.runner].Label())
+			c.logf("shard %s done on %s", w.Selector, label)
 		}
-		idle = append(idle, res.runner)
+		c.releaseMember(res.member)
 	}
 }
 

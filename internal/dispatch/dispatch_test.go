@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/embodiedai/create/internal/agent"
 	"github.com/embodiedai/create/internal/cache"
@@ -220,10 +221,11 @@ func flakyWorker(t *testing.T) (string, *atomic.Int64) {
 	return ts.URL, &submissions
 }
 
-// TestCoordinatorWorkerLossRequeues: a worker killed mid-shard does not
-// fail the job — its shard is re-queued to the surviving worker, the dead
-// worker is retired, and the merged output still byte-matches the
-// single-node run.
+// TestCoordinatorWorkerLossRequeues: with probation disabled (the legacy
+// policy), a worker killed mid-shard does not fail the job — its shard is
+// re-queued to the surviving worker, the dead worker is retired
+// immediately, and the merged output still byte-matches the single-node
+// run.
 func TestCoordinatorWorkerLossRequeues(t *testing.T) {
 	opt := testOptions()
 	sel := selection(t, "fig19")
@@ -241,10 +243,11 @@ func TestCoordinatorWorkerLossRequeues(t *testing.T) {
 	coord := &Coordinator{
 		Env: env, Store: store,
 		Runners: []Runner{
-			&HTTPRunner{BaseURL: healthy, StageDir: t.TempDir()},
-			&HTTPRunner{BaseURL: dead, StageDir: t.TempDir()},
+			&HTTPRunner{BaseURL: healthy, StageDir: t.TempDir(), RetryBaseDelay: time.Millisecond},
+			&HTTPRunner{BaseURL: dead, StageDir: t.TempDir(), RetryBaseDelay: time.Millisecond},
 		},
-		Logf: t.Logf,
+		Health: HealthConfig{Disabled: true},
+		Logf:   t.Logf,
 	}
 	var out bytes.Buffer
 	if _, err := coord.Run(context.Background(), &out, sel, opt, 3, false); err != nil {
@@ -293,9 +296,10 @@ func TestCoordinatorWorkerLossRequeues(t *testing.T) {
 	}
 }
 
-// TestCoordinatorAllWorkersLost: when every runner is retired with shards
-// still pending, the run fails with a diagnosable error instead of
-// hanging.
+// TestCoordinatorAllWorkersLost: when every runner's probation is
+// exhausted with shards still pending, the run fails with a diagnosable
+// error instead of hanging — and only after the probe budget was actually
+// spent against the dead worker.
 func TestCoordinatorAllWorkersLost(t *testing.T) {
 	dead, _ := flakyWorker(t)
 	store, err := cache.New(t.TempDir())
@@ -306,12 +310,29 @@ func TestCoordinatorAllWorkersLost(t *testing.T) {
 	env.Cache = store
 	coord := &Coordinator{
 		Env: env, Store: store,
-		Runners: []Runner{&HTTPRunner{BaseURL: dead, StageDir: t.TempDir()}},
-		Logf:    t.Logf,
+		Runners: []Runner{&HTTPRunner{BaseURL: dead, StageDir: t.TempDir(), RetryBaseDelay: time.Millisecond}},
+		Health: HealthConfig{
+			MaxProbes: 3, Successes: 1,
+			BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+		},
+		Logf: t.Logf,
 	}
 	var out bytes.Buffer
-	if _, err := coord.Run(context.Background(), &out, selection(t, "fig19"), testOptions(), 2, false); err == nil {
+	_, err = coord.Run(context.Background(), &out, selection(t, "fig19"), testOptions(), 2, false)
+	if err == nil {
 		t.Fatal("run with no surviving workers reported success")
+	}
+	if !strings.Contains(err.Error(), "no healthy runners left") {
+		t.Fatalf("error does not name the condition: %v", err)
+	}
+	// The flaky worker 500s /v1/healthz, so the whole probe budget failed
+	// before the pool gave up on it.
+	if got := coord.Metrics.Counter("create_dispatch_probes_total", "",
+		"worker", dead, "outcome", "fail").Value(); got != 3 {
+		t.Fatalf("failed probes = %d, want the full budget of 3", got)
+	}
+	if got := coord.Metrics.Counter("create_dispatch_workers_retired_total", "").Value(); got != 1 {
+		t.Fatalf("workers retired = %d, want 1", got)
 	}
 }
 

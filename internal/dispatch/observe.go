@@ -34,11 +34,40 @@ func (c *Coordinator) countAttempt(selector string) {
 
 func (c *Coordinator) countRetry(worker string) {
 	c.reg().Counter("create_dispatch_retries_total",
-		"Shard failures by worker; each one retires the worker and re-queues its shard.",
+		"Shard failures by worker; each one re-queues the shard and sends the worker to probation (or retires it).",
 		"worker", worker).Inc()
+}
+
+// countRetired accounts a runner leaving the pool for good: probation
+// exhausted, or health probing disabled/unsupported for it.
+func (c *Coordinator) countRetired() {
 	c.reg().Counter("create_dispatch_workers_retired_total",
-		"Runners retired after a shard failure (worker loss).").Inc()
-	c.healthyWorkers().Add(-1)
+		"Runners retired from the pool: probation exhausted, or probing disabled/unsupported.").Inc()
+}
+
+// countProbe accounts one probation health check, outcome "ok" or "fail".
+func (c *Coordinator) countProbe(worker, outcome string) {
+	c.reg().Counter("create_dispatch_probes_total",
+		"Health probes sent to workers in probation, by worker and outcome (ok, fail).",
+		"worker", worker, "outcome", outcome).Inc()
+}
+
+func (c *Coordinator) countReadmitted(worker string) {
+	c.reg().Counter("create_dispatch_workers_readmitted_total",
+		"Workers that recovered during probation and rejoined the dispatch pool.",
+		"worker", worker).Inc()
+}
+
+func (c *Coordinator) countJoined(worker string) {
+	c.reg().Counter("create_dispatch_workers_joined_total",
+		"Workers added to the pool at runtime (dynamic membership).",
+		"worker", worker).Inc()
+}
+
+func (c *Coordinator) countDrained(worker string) {
+	c.reg().Counter("create_dispatch_workers_drained_total",
+		"Workers that finished their in-flight work and left the pool on request.",
+		"worker", worker).Inc()
 }
 
 func (c *Coordinator) countMergedEntries(n int) {
@@ -49,4 +78,9 @@ func (c *Coordinator) countMergedEntries(n int) {
 func (c *Coordinator) healthyWorkers() *obs.Gauge {
 	return c.reg().Gauge("create_dispatch_workers_healthy",
 		"Runners currently eligible for shard dispatch.")
+}
+
+func (c *Coordinator) probationWorkers() *obs.Gauge {
+	return c.reg().Gauge("create_dispatch_workers_probation",
+		"Runners currently in probation, being health-probed for readmission.")
 }

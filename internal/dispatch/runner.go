@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,6 +19,8 @@ import (
 	"github.com/embodiedai/create/internal/registry"
 	"github.com/embodiedai/create/internal/service"
 )
+
+//create:walltime-ok request deadlines, retry backoff, and the events-stream stall watchdog are failure-path timing; figure bytes come from the deterministic replay
 
 // Runner executes one shard of a plan: every cacheable grid point the
 // shard owns ends up either in the coordinator's own store or in a
@@ -184,6 +187,26 @@ type HTTPRunner struct {
 	// and compute seconds) into the cost table — the remote leg of the
 	// cost feedback loop. Best-effort, like the trace import.
 	Costs *registry.CostTable
+	// RequestTimeout bounds each control-plane request — submit, health
+	// probe, timing/trace pulls, cache import — so one hung TCP connection
+	// can never stall a shard indefinitely (0 = 30s).
+	RequestTimeout time.Duration
+	// MaxRetries bounds how many times a transient request failure
+	// (transport error, 429, 5xx) is retried with backoff before the shard
+	// is declared failed (0 = 2; negative disables retries). Retried
+	// requests are safe: submissions dedupe on the worker and cache
+	// transfers are content-addressed and idempotent.
+	MaxRetries int
+	// RetryBaseDelay seeds the retry backoff, doubled per attempt and
+	// capped at 2s, with deterministic jitter (0 = 100ms). A Retry-After
+	// hint from the worker overrides it, capped at 15s.
+	RetryBaseDelay time.Duration
+	// StallTimeout bounds *silence* on the events stream (0 = 2m). A shard
+	// may legitimately run much longer — the worker emits keepalive lines
+	// while computing — so a stream quiet past this is a hung connection
+	// and the shard fails over. Keep it above the worker's keepalive
+	// cadence (create-serve -event-keepalive, default 10s).
+	StallTimeout time.Duration
 }
 
 func (r *HTTPRunner) Label() string { return r.BaseURL }
@@ -193,6 +216,60 @@ func (r *HTTPRunner) client() *http.Client {
 		return r.Client
 	}
 	return http.DefaultClient
+}
+
+func (r *HTTPRunner) requestTimeout() time.Duration {
+	if r.RequestTimeout > 0 {
+		return r.RequestTimeout
+	}
+	return 30 * time.Second
+}
+
+func (r *HTTPRunner) maxRetries() int {
+	if r.MaxRetries > 0 {
+		return r.MaxRetries
+	}
+	if r.MaxRetries < 0 {
+		return 0
+	}
+	return 2
+}
+
+func (r *HTTPRunner) retryBase() time.Duration {
+	if r.RetryBaseDelay > 0 {
+		return r.RetryBaseDelay
+	}
+	return 100 * time.Millisecond
+}
+
+func (r *HTTPRunner) stallTimeout() time.Duration {
+	if r.StallTimeout > 0 {
+		return r.StallTimeout
+	}
+	return 2 * time.Minute
+}
+
+// CheckHealth implements HealthChecker: one GET /v1/healthz under the
+// request timeout. Any 2xx means the worker is serving again — the
+// endpoint reports queue depth, in-flight jobs, and cache stats, but for
+// readmission reachability is the signal.
+func (r *HTTPRunner) CheckHealth(ctx context.Context) error {
+	rctx, cancel := context.WithTimeout(ctx, r.requestTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, r.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	return nil
 }
 
 func (r *HTTPRunner) RunShard(ctx context.Context, plan ShardPlan, shard int) (string, error) {
@@ -277,7 +354,7 @@ func (r *HTTPRunner) runJob(ctx context.Context, plan ShardPlan, w ShardWork, jo
 		return err
 	}
 	var st service.JobStatus
-	if err := r.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body), &st); err != nil {
+	if err := r.do(ctx, http.MethodPost, "/v1/jobs", body, &st); err != nil {
 		return fmt.Errorf("submitting %s shard %s: %w", job.Experiment, w.Selector, err)
 	}
 	state, errMsg, err := r.follow(ctx, w.Index, st.ID)
@@ -300,6 +377,8 @@ func (r *HTTPRunner) harvestJobCost(ctx context.Context, id string) {
 	if r.Costs == nil {
 		return
 	}
+	ctx, cancel := context.WithTimeout(ctx, r.requestTimeout())
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+id+"/timing", nil)
 	if err != nil {
 		return
@@ -330,6 +409,8 @@ func (r *HTTPRunner) importJobTrace(ctx context.Context, id string) {
 	if r.Trace == nil {
 		return
 	}
+	ctx, cancel := context.WithTimeout(ctx, r.requestTimeout())
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+id+"/trace", nil)
 	if err != nil {
 		return
@@ -360,17 +441,29 @@ func (r *HTTPRunner) importJobTrace(ctx context.Context, id string) {
 
 // follow streams a job's NDJSON events until a terminal state, forwarding
 // each event to OnEvent. A broken stream is an error: the coordinator
-// treats it as worker loss and re-queues the shard.
+// treats it as worker loss and re-queues the shard. There is no overall
+// deadline — a shard legitimately runs for the length of its compute —
+// but a watchdog bounds silence: the worker emits keepalive lines while
+// idle, so a stream quiet past StallTimeout is a hung connection and the
+// request is canceled.
 func (r *HTTPRunner) follow(ctx context.Context, shard int, id string) (service.State, string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return "", "", err
 	}
 	if sc, ok := spanFrom(ctx); ok {
 		req.Header.Set("traceparent", sc.Traceparent())
 	}
+	stall := r.stallTimeout()
+	watchdog := time.AfterFunc(stall, cancel)
+	defer watchdog.Stop()
 	resp, err := r.client().Do(req)
 	if err != nil {
+		if fctx.Err() != nil && ctx.Err() == nil {
+			return "", "", fmt.Errorf("events stream stalled for %v: %w", stall, err)
+		}
 		return "", "", err
 	}
 	defer resp.Body.Close()
@@ -385,7 +478,15 @@ func (r *HTTPRunner) follow(ctx context.Context, shard int, id string) (service.
 		if err := dec.Decode(&ev); err == io.EOF {
 			break
 		} else if err != nil {
+			if fctx.Err() != nil && ctx.Err() == nil {
+				return "", "", fmt.Errorf("events stream stalled for %v: %w", stall, err)
+			}
 			return "", "", fmt.Errorf("events stream broke: %w", err)
+		}
+		watchdog.Reset(stall)
+		if ev.State == "" {
+			// Keepalive line: liveness only, not a job event.
+			continue
 		}
 		last = ev
 		terminal = ev.State == service.StateDone || ev.State == service.StateFailed ||
@@ -409,31 +510,62 @@ func (r *HTTPRunner) prewarm(ctx context.Context, keys []string) (int, error) {
 	if err != nil || n == 0 {
 		return 0, err
 	}
-	return n, r.do(ctx, http.MethodPost, "/v1/cache/import", &buf, nil)
+	return n, r.do(ctx, http.MethodPost, "/v1/cache/import", buf.Bytes(), nil)
 }
 
 // pull fetches the manifest's entries from the worker and lands them in
-// the staging store. Keys the worker never computed (dynamic-grid
-// supersets) are simply absent from the stream.
+// the staging store, with the same bounded retries as do(): entries are
+// content-addressed, so re-importing after a partial transfer is
+// idempotent. Keys the worker never computed (dynamic-grid supersets) are
+// simply absent from the stream.
 func (r *HTTPRunner) pull(ctx context.Context, keys []string, stage *cache.Store) error {
 	body, err := json.Marshal(map[string]any{"keys": keys})
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.BaseURL+"/v1/cache/export", bytes.NewReader(body))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = r.pullOnce(ctx, body, stage)
+		if lastErr == nil {
+			return nil
+		}
+		var re *retryableError
+		if !errors.As(lastErr, &re) || attempt >= r.maxRetries() || ctx.Err() != nil {
+			return lastErr
+		}
+		if !sleepCtx(ctx, r.retryDelay("/v1/cache/export", attempt, re.retryAfter)) {
+			return lastErr
+		}
+	}
+}
+
+func (r *HTTPRunner) pullOnce(ctx context.Context, body []byte, stage *cache.Store) error {
+	// The stall timeout, not the request timeout, bounds the transfer: a
+	// full shard export can far outlast a control-plane round trip.
+	rctx, cancel := context.WithTimeout(ctx, r.stallTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, r.BaseURL+"/v1/cache/export", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
+	req.Header.Set("Content-Type", "application/json")
 	if sc, ok := spanFrom(ctx); ok {
 		req.Header.Set("traceparent", sc.Traceparent())
 	}
 	resp, err := r.client().Do(req)
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			return err
+		}
+		return &retryableError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("cache export returned %d", resp.StatusCode)
+		err := fmt.Errorf("cache export returned %d", resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			return &retryableError{err: err, retryAfter: retryAfterHint(resp)}
+		}
+		return err
 	}
 	if _, err := stage.ImportFrom(resp.Body); err != nil {
 		return fmt.Errorf("staging exported entries: %w", err)
@@ -441,12 +573,68 @@ func (r *HTTPRunner) pull(ctx context.Context, keys []string, stage *cache.Store
 	return nil
 }
 
-// do issues one JSON request against the worker, decoding a 2xx response
-// into out (when non-nil) and turning everything else into an error.
-// Every request propagates the dispatch span from ctx as a traceparent
-// header, so worker-side jobs and logs join the fleet trace.
-func (r *HTTPRunner) do(ctx context.Context, method, path string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, r.BaseURL+path, body)
+// retryableError marks a request failure worth retrying: a transport
+// error, a 429, or a 5xx. retryAfter carries the worker's Retry-After
+// hint when it sent one.
+type retryableError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// retryAfterHint parses a response's Retry-After header (seconds form).
+func retryAfterHint(resp *http.Response) time.Duration {
+	n, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second
+}
+
+// retryDelay is the wait before retry `attempt`: jittered exponential
+// backoff from the base, overridden by the worker's Retry-After hint
+// (capped at 15s so a confused worker cannot park the coordinator).
+func (r *HTTPRunner) retryDelay(path string, attempt int, hint time.Duration) time.Duration {
+	d := probeBackoff(r.retryBase(), 2*time.Second, 0, r.BaseURL+path, attempt)
+	if hint > d {
+		d = min(hint, 15*time.Second)
+	}
+	return d
+}
+
+// do issues one JSON request against the worker with a per-request
+// deadline and bounded retries, decoding a 2xx response into out (when
+// non-nil) and turning everything else into an error. Every request
+// propagates the dispatch span from ctx as a traceparent header, so
+// worker-side jobs and logs join the fleet trace. The body is a byte
+// slice — not a Reader — precisely so retries can replay it.
+func (r *HTTPRunner) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = r.doOnce(ctx, method, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		var re *retryableError
+		if !errors.As(lastErr, &re) || attempt >= r.maxRetries() || ctx.Err() != nil {
+			return lastErr
+		}
+		if !sleepCtx(ctx, r.retryDelay(path, attempt, re.retryAfter)) {
+			return lastErr
+		}
+	}
+}
+
+func (r *HTTPRunner) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, r.requestTimeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, r.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
@@ -458,12 +646,21 @@ func (r *HTTPRunner) do(ctx context.Context, method, path string, body io.Reader
 	}
 	resp, err := r.client().Do(req)
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			// The caller gave up; do not classify its cancellation as a
+			// worker fault worth retrying.
+			return err
+		}
+		return &retryableError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%s %s returned %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(msg))
+		err := fmt.Errorf("%s %s returned %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(msg))
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			return &retryableError{err: err, retryAfter: retryAfterHint(resp)}
+		}
+		return err
 	}
 	if out == nil {
 		return nil

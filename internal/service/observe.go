@@ -53,10 +53,27 @@ func (m *serviceMetrics) tenantLabel(tenant string) string {
 }
 
 // registerQueueDepth exposes the live submission-queue length. Called once
-// the queue channel exists.
+// the admission queue exists.
 func (m *serviceMetrics) registerQueueDepth(depth func() float64) {
 	m.reg.GaugeFunc("create_queue_depth",
-		"Jobs waiting in the bounded FIFO submission queue.", depth)
+		"Jobs waiting in the bounded admission queue, across all tenants.", depth)
+}
+
+// admissionRejected counts one submission turned away at admission:
+// reason "tenant_quota" (429) or "queue_full" (503).
+func (m *serviceMetrics) admissionRejected(tenant, reason string) {
+	m.reg.Counter("create_admission_rejections_total",
+		"Submissions rejected by admission control, by tenant and reason (tenant_quota, queue_full).",
+		"tenant", m.tenantLabel(tenant), "reason", reason).Inc()
+}
+
+// tenantQueue is the per-tenant queued-jobs gauge, maintained at enqueue,
+// dequeue, and cancel-while-queued (the tenant label space is capped, so
+// overflow tenants share the "other" series).
+func (m *serviceMetrics) tenantQueue(tenant string) *obs.Gauge {
+	return m.reg.Gauge("create_tenant_queue_depth",
+		"Jobs queued per tenant in the weighted-fair admission queue.",
+		"tenant", m.tenantLabel(tenant))
 }
 
 // jobTerminal counts one job reaching a terminal state.

@@ -16,7 +16,7 @@
 //	GET  /v1/cache/stats     shared cache accounting (one source with /metrics)
 //	GET  /v1/experiments     registry listing with per-experiment cache plans
 //	GET  /metrics            Prometheus text exposition of the obs registry
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness + load snapshot (also GET /v1/healthz)
 //
 // Observability: every job is stamped at its stage boundaries
 // (queued→planned→computed→rendered) into an obs.JobTiming record served
@@ -25,20 +25,25 @@
 // Instrumentation lives only at job and grid-point boundaries — the
 // deterministic engine underneath is never touched.
 //
-// Scheduling: jobs enter a bounded FIFO queue and are executed by a fixed
-// pool of job workers. The total core budget is divided between concurrent
-// jobs with the same sim.Split arithmetic the sweep grids use internally,
-// so concurrent jobs cannot oversubscribe the machine. Identical live
-// submissions (same experiment, trials, seed, shard) coalesce onto one
-// job, which — together with per-point cache dedupe — guarantees a grid is
-// computed at most once no matter how often or how concurrently it is
-// requested.
+// Scheduling: jobs enter a bounded per-tenant weighted-fair admission
+// queue (admission.go) and are executed by a fixed pool of job workers.
+// Tenants drain in deterministic round-robin rotation — one job per turn,
+// highest priority first within a tenant — so no tenant starves another;
+// an optional per-tenant quota on queued+running jobs converts one
+// tenant's flood into 429s for that tenant alone. The total core budget is
+// divided between concurrent jobs with the same sim.Split arithmetic the
+// sweep grids use internally, so concurrent jobs cannot oversubscribe the
+// machine. Identical live submissions (same experiment, trials, seed,
+// shard) coalesce onto one job, which — together with per-point cache
+// dedupe — guarantees a grid is computed at most once no matter how often
+// or how concurrently it is requested.
 package service
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -100,8 +105,14 @@ type JobSpec struct {
 	Workers    int    `json:"workers,omitempty"`
 	Shard      string `json:"shard,omitempty"`
 	// Tenant labels the submission for per-tenant accounting in metrics
-	// and timing records; empty normalizes to "default".
+	// and timing records, and keys the per-tenant admission queue and
+	// quota; empty normalizes to "default".
 	Tenant string `json:"tenant,omitempty"`
+	// Priority orders jobs within one tenant's admission queue: higher
+	// drains first, equal priorities drain in submission order. It never
+	// lets one tenant jump another's turn in the round-robin rotation.
+	// Bounded to [-100, 100]; 0 is the default.
+	Priority int `json:"priority,omitempty"`
 }
 
 // key is the dedupe identity of a normalized spec: two live submissions
@@ -110,8 +121,15 @@ type JobSpec struct {
 // tenant's jobs are accounted separately; identical grids still share
 // compute through the point cache and singleflight underneath.
 func (s JobSpec) key() string {
-	return s.Experiment + "|" + strconv.Itoa(s.Trials) + "|" +
+	k := s.Experiment + "|" + strconv.Itoa(s.Trials) + "|" +
 		strconv.FormatInt(*s.Seed, 10) + "|" + s.Shard + "|" + s.Tenant
+	// Priority is part of the identity (a high-priority duplicate must not
+	// silently coalesce onto a low-priority queued job), appended only when
+	// set so priority-0 specs keep their historical keys and trace IDs.
+	if s.Priority != 0 {
+		k += "|p" + strconv.Itoa(s.Priority)
+	}
+	return k
 }
 
 // CacheDelta is the shared store's accounting delta across one job's run:
@@ -242,9 +260,19 @@ type Config struct {
 	Workers int
 	// MaxConcurrentJobs sizes the worker pool (default 2).
 	MaxConcurrentJobs int
-	// QueueDepth bounds the FIFO submission queue (default 64); a full
-	// queue rejects submissions with 503 rather than buffering unboundedly.
+	// QueueDepth bounds the total queued jobs across all tenants (default
+	// 64); a full queue rejects submissions with 503 (plus a Retry-After
+	// hint) rather than buffering unboundedly.
 	QueueDepth int
+	// TenantQuota, when positive, caps each tenant's queued+running jobs:
+	// submissions past the quota are rejected with 429 and a Retry-After
+	// hint while other tenants keep being admitted. 0 disables the quota.
+	TenantQuota int
+	// EventKeepalive is how long an idle events stream goes before a
+	// keepalive line ({"keepalive":true}) is written, so readers can tell
+	// a long compute from a hung connection (default 10s; negative
+	// disables).
+	EventKeepalive time.Duration
 	// MaxFinishedJobs bounds how many terminal jobs (with their rendered
 	// output, typed rows and event history) stay queryable (default 256).
 	// Older finished jobs are forgotten, keeping a long-lived daemon's
@@ -281,7 +309,7 @@ type Server struct {
 	closed   bool
 	nextID   int
 
-	queue       chan *job
+	adm         *admission
 	wg          sync.WaitGroup
 	janitorStop chan struct{}
 }
@@ -307,6 +335,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxFinishedJobs <= 0 {
 		cfg.MaxFinishedJobs = 256
 	}
+	if cfg.EventKeepalive == 0 {
+		cfg.EventKeepalive = 10 * time.Second
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
@@ -323,10 +354,10 @@ func New(cfg Config) *Server {
 		log:         logger,
 		jobs:        make(map[string]*job),
 		byKey:       make(map[string]*job),
-		queue:       make(chan *job, cfg.QueueDepth),
+		adm:         newAdmission(cfg.QueueDepth, cfg.TenantQuota, jobWorkers),
 		janitorStop: make(chan struct{}),
 	}
-	s.metrics.registerQueueDepth(func() float64 { return float64(len(s.queue)) })
+	s.metrics.registerQueueDepth(func() float64 { return float64(s.adm.depth()) })
 	if cfg.Store != nil {
 		cfg.Store.Register(cfg.Metrics)
 	}
@@ -340,8 +371,7 @@ func (s *Server) Start() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
-				s.run(j)
+			for s.runNext() {
 			}
 		}()
 	}
@@ -382,9 +412,25 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	close(s.queue)
+	s.adm.close()
 	close(s.janitorStop)
 	s.wg.Wait()
+}
+
+// runNext executes the next admitted job, blocking until one is available.
+// false means the queue is closed and drained — the worker exits. The
+// quota slot a dequeued job holds is released here, exactly once, whatever
+// path run takes (including the skip of a job canceled between dequeue and
+// run).
+func (s *Server) runNext() bool {
+	j, ok := s.adm.dequeue()
+	if !ok {
+		return false
+	}
+	s.metrics.tenantQueue(j.spec.Tenant).Add(-1)
+	s.run(j)
+	s.adm.release(j.spec.Tenant)
+	return true
 }
 
 // Submit validates and enqueues a spec, returning the (possibly coalesced)
@@ -413,6 +459,9 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (JobStatus
 	}
 	if err := validateTenant(spec.Tenant); err != nil {
 		return JobStatus{}, false, err
+	}
+	if spec.Priority < -100 || spec.Priority > 100 {
+		return JobStatus{}, false, fmt.Errorf("priority %d out of range [-100, 100]", spec.Priority)
 	}
 	if _, ok := registry.Lookup(spec.Experiment); !ok {
 		return JobStatus{}, false, fmt.Errorf("unknown experiment %q (registered: %s)",
@@ -477,12 +526,18 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (JobStatus
 		parent:   parent,
 	}
 	j.appendEventLocked(StateQueued, "")
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.adm.enqueue(j); err != nil {
 		s.mu.Unlock()
-		return JobStatus{}, false, errQueueFull
+		var ae *AdmissionError
+		if errors.As(err, &ae) {
+			s.metrics.admissionRejected(spec.Tenant, ae.Reason)
+			s.log.Warn("job rejected at admission",
+				"tenant", spec.Tenant, "experiment", spec.Experiment,
+				"reason", ae.Reason, "retry_after_seconds", ae.RetryAfterSeconds)
+		}
+		return JobStatus{}, false, err
 	}
+	s.metrics.tenantQueue(spec.Tenant).Add(1)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.byKey[key] = j
@@ -494,10 +549,7 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (JobStatus
 	return j.status(), false, nil
 }
 
-var (
-	errQueueFull    = fmt.Errorf("job queue is full")
-	errShuttingDown = fmt.Errorf("server is shutting down")
-)
+var errShuttingDown = fmt.Errorf("server is shutting down")
 
 // maxTenantLen bounds the tenant field. Tenant values become Prometheus
 // label values and dedupe-key components, so they must stay short and
@@ -744,6 +796,12 @@ func (s *Server) Cancel(id string) (JobStatus, bool, error) {
 		s.log.Info("job cancel requested", j.logAttrs()...)
 		return j.status(), true, nil
 	default: // queued
+		// Pull the job out of the admission queue while it is still there;
+		// if a worker already dequeued it, run() will observe the canceled
+		// state and skip it, and that worker settles the quota instead.
+		if s.adm.remove(j) {
+			s.metrics.tenantQueue(j.spec.Tenant).Add(-1)
+		}
 		j.state = StateCanceled
 		j.err = "canceled"
 		j.finished = now()
@@ -788,6 +846,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/experiments", s.handleExperiments)
 	handle("GET /metrics", s.cfg.Metrics.Handler().ServeHTTP)
 	handle("GET /healthz", s.handleHealthz)
+	handle("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -814,9 +873,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// silently starts a fresh trace, per W3C trace-context semantics.
 	parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
 	st, deduped, err := s.SubmitTraced(spec, parent)
+	var ae *AdmissionError
 	switch {
-	case err == errQueueFull:
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, &ae):
+		// Admission rejections carry a machine-readable reason and a
+		// depth-proportional Retry-After hint, so a polite client (the
+		// coordinator's request retry, say) can back off exactly as long
+		// as the queue needs.
+		w.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfterSeconds))
+		writeJSON(w, ae.Status, map[string]any{
+			"error":               ae.Error(),
+			"reason":              ae.Reason,
+			"retry_after_seconds": ae.RetryAfterSeconds,
+		})
 		return
 	case err == errShuttingDown:
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -877,7 +946,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	next := 0
+	// Keepalive cadence is counted in poll ticks rather than clock reads,
+	// so an idle stream emits {"keepalive":true} lines without consuming
+	// the fake-clock seam the timing tests pin.
+	const pollTick = 100 * time.Millisecond
+	keepaliveTicks := int(s.cfg.EventKeepalive / pollTick)
+	if keepaliveTicks < 1 {
+		keepaliveTicks = 1
+	}
+	next, idleTicks := 0, 0
 	for {
 		evs, terminal := j.eventsSince(next)
 		for _, ev := range evs {
@@ -886,18 +963,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		next += len(evs)
-		if len(evs) > 0 && flusher != nil {
-			flusher.Flush()
+		if len(evs) > 0 {
+			idleTicks = 0
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 		if terminal {
 			return
+		}
+		if s.cfg.EventKeepalive > 0 && idleTicks >= keepaliveTicks {
+			idleTicks = 0
+			if _, err := io.WriteString(w, "{\"keepalive\":true}\n"); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 		select {
 		case <-r.Context().Done():
 			return
 		case <-j.done:
 			// Loop once more to drain the terminal events.
-		case <-time.After(100 * time.Millisecond):
+		case <-time.After(pollTick):
+			idleTicks++
 		}
 	}
 }
@@ -1068,10 +1158,20 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"trials": opt.Trials, "seed": opt.Seed, "experiments": out})
 }
 
+// handleHealthz serves liveness plus the lightweight load snapshot the
+// coordinator's worker probes read: queue depth, in-flight jobs, and cache
+// accounting. Served on both /healthz (the original liveness path) and
+// /v1/healthz (the probe path).
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	h := map[string]any{
 		"status":      "ok",
 		"job_workers": s.jobWorkers,
 		"per_job":     s.perJob,
-	})
+		"queue_depth": s.adm.depth(),
+		"inflight":    s.metrics.inflight.Value(),
+	}
+	if s.cfg.Store != nil {
+		h["cache"] = s.cfg.Store.Stats()
+	}
+	writeJSON(w, http.StatusOK, h)
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -493,7 +494,7 @@ func TestFinishedJobRetention(t *testing.T) {
 }
 
 // TestQueueFull: a bounded queue rejects the overflow submission with a
-// distinguishable error instead of buffering unboundedly.
+// typed, distinguishable error instead of buffering unboundedly.
 func TestQueueFull(t *testing.T) {
 	store, _ := cache.New("")
 	env := experiments.NewEnv()
@@ -505,8 +506,13 @@ func TestQueueFull(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := s.Submit(JobSpec{Experiment: "table2", Seed: seedOf(99)}); err != errQueueFull {
+	_, _, err := s.Submit(JobSpec{Experiment: "table2", Seed: seedOf(99)})
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != "queue_full" || ae.Status != http.StatusServiceUnavailable {
 		t.Fatalf("overflow submit: %v", err)
+	}
+	if ae.RetryAfterSeconds < 1 {
+		t.Fatalf("queue-full rejection carries no backoff hint: %+v", ae)
 	}
 	s.Start()
 	s.Close()

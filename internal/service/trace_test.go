@@ -89,7 +89,7 @@ func TestTraceEndpointSpanTree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.run(<-s.queue)
+		s.runNext()
 		return fetchTrace(t, ts, st.ID, "", http.StatusOK),
 			fetchTrace(t, ts, st.ID, "?format=chrome", http.StatusOK),
 			st
@@ -198,7 +198,7 @@ func TestFakeClockExactStageDurations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.run(<-s.queue)
+	s.runNext()
 
 	s.mu.Lock()
 	j := s.jobs[st.ID]
